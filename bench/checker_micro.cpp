@@ -1,0 +1,86 @@
+// Engine micro-benchmarks (google-benchmark): the primitive costs behind
+// Figure 7's wall-clock numbers — vector-clock joins, history message
+// scans, topological-sort enumeration, and end-to-end exploration
+// throughput on small litmus tests.
+#include <benchmark/benchmark.h>
+
+#include "ds/msqueue.h"
+#include "harness/runner.h"
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "spec/history.h"
+#include "support/vector_clock.h"
+
+namespace {
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  cds::support::VectorClock a, b;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    a.set(i, static_cast<std::uint32_t>(i * 3));
+    b.set(i, static_cast<std::uint32_t>(i * 2 + 7));
+  }
+  for (auto _ : state) {
+    cds::support::VectorClock c = a;
+    c.join(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ExploreStoreBuffering(benchmark::State& state) {
+  for (auto _ : state) {
+    cds::mc::Engine e;
+    auto stats = e.explore([](cds::mc::Exec& x) {
+      auto* fx = x.make<cds::mc::Atomic<int>>(0, "x");
+      auto* fy = x.make<cds::mc::Atomic<int>>(0, "y");
+      int t1 = x.spawn([fx, fy] {
+        fx->store(1, cds::mc::MemoryOrder::relaxed);
+        (void)fy->load(cds::mc::MemoryOrder::relaxed);
+      });
+      int t2 = x.spawn([fx, fy] {
+        fy->store(1, cds::mc::MemoryOrder::relaxed);
+        (void)fx->load(cds::mc::MemoryOrder::relaxed);
+      });
+      x.join(t1);
+      x.join(t2);
+    });
+    state.counters["executions"] = static_cast<double>(stats.executions);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_ExploreStoreBuffering);
+
+void BM_ExploreMSQueueWithSpec(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = cds::harness::run_with_spec(cds::ds::msqueue_test_1p1c);
+    state.counters["executions"] = static_cast<double>(r.mc.executions);
+    state.counters["histories"] = static_cast<double>(r.spec.histories_checked);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExploreMSQueueWithSpec)->Unit(benchmark::kMillisecond);
+
+void BM_TopoSortEnumeration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<cds::spec::CallRecord> recs(static_cast<std::size_t>(n));
+  std::vector<const cds::spec::CallRecord*> calls;
+  for (auto& r : recs) calls.push_back(&r);
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  for (int i = 0; i + 2 < n; i += 2) succ[static_cast<std::size_t>(i)].push_back(i + 2);
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    cds::spec::for_each_topo_order(
+        calls, succ, 100000,
+        [&](const std::vector<const cds::spec::CallRecord*>&) {
+          ++count;
+          return true;
+        });
+    benchmark::DoNotOptimize(count);
+    state.counters["orders"] = static_cast<double>(count);
+  }
+}
+BENCHMARK(BM_TopoSortEnumeration)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

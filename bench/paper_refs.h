@@ -1,0 +1,60 @@
+// Reference values from the paper's evaluation (Figures 7 and 8), printed
+// alongside our measurements for shape comparison. Absolute numbers are
+// not expected to match: the substrate is a different (operational) model
+// checker on different hardware; the comparison is about ordering and
+// detection behavior.
+#ifndef CDS_BENCH_PAPER_REFS_H
+#define CDS_BENCH_PAPER_REFS_H
+
+#include <cstdint>
+#include <string>
+
+namespace cds::bench {
+
+struct Figure7Row {
+  const char* benchmark;  // harness key
+  const char* display;
+  std::uint64_t paper_executions;
+  std::uint64_t paper_feasible;
+  double paper_seconds;
+};
+
+inline constexpr Figure7Row kFigure7[] = {
+    {"chase-lev-deque", "Chase-Lev Deque", 893, 158, 0.10},
+    {"spsc-queue", "SPSC Queue", 18, 15, 0.01},
+    {"rcu", "RCU", 47, 18, 0.01},
+    {"lockfree-hashtable", "Lockfree Hashtable", 6, 6, 0.01},
+    {"mcs-lock", "MCS Lock", 21126, 13786, 3.00},
+    {"mpmc-queue", "MPMC Queue", 2911, 1274, 4.83},
+    {"ms-queue", "M&S Queue", 296, 150, 0.03},
+    {"linux-rwlock", "Linux RW Lock", 69386, 1822, 13.71},
+    {"seqlock", "Seqlock", 89, 36, 0.01},
+    {"ticket-lock", "Ticket Lock", 1790, 978, 0.17},
+};
+
+struct Figure8Row {
+  const char* benchmark;
+  const char* display;
+  int paper_injections;
+  int paper_builtin;
+  int paper_admissibility;
+  int paper_assertion;
+  int paper_rate_pct;
+};
+
+inline constexpr Figure8Row kFigure8[] = {
+    {"chase-lev-deque", "Chase-Lev Deque", 7, 3, 0, 4, 100},
+    {"spsc-queue", "SPSC Queue", 2, 0, 0, 2, 100},
+    {"rcu", "RCU", 3, 3, 0, 0, 100},
+    {"lockfree-hashtable", "Lockfree Hashtable", 4, 2, 0, 2, 100},
+    {"mcs-lock", "MCS Lock", 8, 4, 0, 4, 100},
+    {"mpmc-queue", "MPMC Queue", 8, 0, 4, 0, 50},
+    {"ms-queue", "M&S Queue", 10, 3, 0, 7, 100},
+    {"linux-rwlock", "Linux RW Lock", 8, 0, 0, 8, 100},
+    {"seqlock", "Seqlock", 5, 0, 0, 5, 100},
+    {"ticket-lock", "Ticket Lock", 2, 0, 0, 2, 100},
+};
+
+}  // namespace cds::bench
+
+#endif  // CDS_BENCH_PAPER_REFS_H

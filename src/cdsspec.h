@@ -1,0 +1,26 @@
+// Umbrella header: everything a user needs to model-check a concurrent
+// data structure against a CDSSpec specification.
+//
+//   #include "cdsspec.h"
+//
+//   - cds::mc       — the C/C++11 memory-model exploration engine
+//                     (Atomic<T>, Var<T>, Mutex, fences, Engine, Exec)
+//   - cds::spec     — the specification DSL and checker
+//                     (Specification, Method/Object annotations, SpecChecker)
+//   - cds::inject   — the memory-order injection framework
+//   - cds::harness  — run helpers and the benchmark registry
+#ifndef CDS_CDSSPEC_H
+#define CDS_CDSSPEC_H
+
+#include "harness/runner.h"
+#include "inject/inject.h"
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "mc/sync.h"
+#include "mc/var.h"
+#include "spec/annotations.h"
+#include "spec/checker.h"
+#include "spec/seqstate.h"
+#include "spec/specification.h"
+
+#endif  // CDS_CDSSPEC_H

@@ -1,0 +1,176 @@
+#include "ds/blocking_queue.h"
+
+#include "spec/seqstate.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+using spec::IntList;
+
+// /** @DeclareState: IntList *q; */  (Figure 6, line 1)
+const spec::Specification& BlockingQueue::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("BlockingQueue");
+    sp->state<IntList>();
+    // /** @SideEffect: STATE(q)->push_back(val); */
+    sp->method("enq").side_effect(
+        [](Ctx& c) { c.st<IntList>().push_back(c.arg(0)); });
+    // /** @SideEffect:
+    //     S_RET = STATE(q)->empty() ? -1 : STATE(q)->front();
+    //     if (S_RET != -1 && C_RET != -1) STATE(q)->pop_front();
+    //     @PostCondition:
+    //     return C_RET == -1 ? true : C_RET == S_RET;
+    //     @JustifyingPostcondition: if (C_RET == -1)
+    //     return S_RET == -1; */
+    sp->method("deq")
+        .side_effect([](Ctx& c) {
+          IntList& q = c.st<IntList>();
+          c.s_ret = q.empty() ? -1 : q.front();
+          if (c.s_ret != -1 && c.c_ret() != -1) q.pop_front();
+        })
+        .post([](Ctx& c) { return c.c_ret() == -1 || c.c_ret() == c.s_ret; })
+        .justifying_post([](Ctx& c) {
+          if (c.c_ret() != -1) return true;
+          const IntList& q = c.st<IntList>();
+          if (q.empty()) return true;
+          // A deq may observe empty despite hb-ordered enqueues when
+          // concurrent dequeues drain every element it missed.
+          for (std::int64_t v : q) {
+            bool claimed = false;
+            for (const spec::CallRecord* d : c.concurrent()) {
+              if (d->spec->method_at(d->method).name() == "deq" &&
+                  d->c_ret == v) {
+                claimed = true;
+                break;
+              }
+            }
+            if (!claimed) return false;
+          }
+          return true;
+        });
+    return sp;
+  }();
+  return *s;
+}
+
+const spec::Specification& BlockingQueue::deterministic_specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("BlockingQueueDet");
+    sp->state<IntList>();
+    sp->method("enq").side_effect(
+        [](Ctx& c) { c.st<IntList>().push_back(c.arg(0)); });
+    // Deterministic FIFO: deq must return the front (or -1 on a genuinely
+    // empty queue).
+    sp->method("deq")
+        .side_effect([](Ctx& c) {
+          IntList& q = c.st<IntList>();
+          c.s_ret = q.empty() ? -1 : q.front();
+          if (c.s_ret != -1) q.pop_front();
+        })
+        .post([](Ctx& c) { return c.c_ret() == c.s_ret; });
+    // @Admit: deq <-> enq (M1->C_RET == -1): a deq returning empty must be
+    // ordered relative to every enq for the deterministic spec to apply.
+    sp->admit("deq", "enq",
+              [](const spec::CallRecord& m1, const spec::CallRecord&) {
+                return m1.c_ret == -1;
+              });
+    return sp;
+  }();
+  return *s;
+}
+
+BlockingQueue::BlockingQueue(const spec::Specification& s)
+    : tail_("bq.tail"), head_("bq.head"), obj_(s) {
+  Node* dummy = mc::alloc<Node>();
+  tail_.init(dummy);
+  head_.init(dummy);
+}
+
+void BlockingQueue::enq(int val) {
+  spec::Method m(obj_, "enq", {val});
+  Node* n = mc::alloc<Node>();
+  n->data.store(val, MemoryOrder::relaxed);
+  while (true) {
+    Node* t = tail_.load(MemoryOrder::acquire);
+    Node* old = nullptr;
+    if (t->next.compare_exchange_strong(old, n, MemoryOrder::release,
+                                        MemoryOrder::relaxed)) {
+      m.op_define();  // /** @OPDefine: true */  (Figure 6, line 10)
+      tail_.store(n, MemoryOrder::release);
+      return;
+    }
+    mc::yield();
+  }
+}
+
+int BlockingQueue::deq() {
+  spec::Method m(obj_, "deq");
+  while (true) {
+    Node* h = head_.load(MemoryOrder::acquire);
+    Node* n = h->next.load(MemoryOrder::acquire);
+    m.op_clear_define();  // /** @OPClearDefine: true */  (Figure 6, line 27)
+    if (n == nullptr) return static_cast<int>(m.ret(-1));
+    if (head_.compare_exchange_strong(h, n, MemoryOrder::release,
+                                      MemoryOrder::relaxed)) {
+      return static_cast<int>(m.ret(n->data.load(MemoryOrder::relaxed)));
+    }
+    mc::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unit-test drivers
+// ---------------------------------------------------------------------------
+
+void blocking_queue_test_seq(mc::Exec& x) {
+  auto* q = x.make<BlockingQueue>();
+  q->enq(1);
+  q->enq(2);
+  (void)q->deq();
+  (void)q->deq();
+  (void)q->deq();  // empty
+}
+
+void blocking_queue_test_2t(mc::Exec& x) {
+  auto* q = x.make<BlockingQueue>();
+  int t1 = x.spawn([q] {
+    q->enq(1);
+    q->enq(2);
+  });
+  int t2 = x.spawn([q] {
+    (void)q->deq();
+    (void)q->deq();
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+void blocking_queue_test_race_deq(mc::Exec& x) {
+  auto* q = x.make<BlockingQueue>();
+  int t1 = x.spawn([q] { q->enq(1); });
+  int t2 = x.spawn([q] { (void)q->deq(); });
+  int t3 = x.spawn([q] { (void)q->deq(); });
+  x.join(t1);
+  x.join(t2);
+  x.join(t3);
+}
+
+void blocking_queue_test_fig3(mc::Exec& x) {
+  // Paper Figure 3: with queues x and y initially empty, both deq calls
+  // may return -1 — a non-linearizable but correct (justified) execution.
+  auto* qx = x.make<BlockingQueue>();
+  auto* qy = x.make<BlockingQueue>();
+  int t1 = x.spawn([&] {
+    qx->enq(1);
+    (void)qy->deq();
+  });
+  int t2 = x.spawn([&] {
+    qy->enq(1);
+    (void)qx->deq();
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+}  // namespace cds::ds

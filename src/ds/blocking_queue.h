@@ -1,0 +1,52 @@
+// The paper's running example (Figures 2 & 6): a simple blocking queue with
+// release/acquire synchronization. Enqueuers race to CAS a new node onto
+// tail->next; dequeuers race to CAS head forward. Dequeue returns -1 when
+// it observes an empty queue. Nodes are never recycled.
+#ifndef CDS_DS_BLOCKING_QUEUE_H
+#define CDS_DS_BLOCKING_QUEUE_H
+
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class BlockingQueue {
+ public:
+  // Bind to the non-deterministic spec (default) or the deterministic
+  // spec with admissibility rules (paper Section 2.3, options 1 vs 2).
+  explicit BlockingQueue(const spec::Specification& s = specification());
+
+  void enq(int val);
+  int deq();  // -1 when (observed) empty
+
+  // Option 2: non-deterministic specification — deq may spuriously return
+  // empty, justified by a justifying subhistory in which the sequential
+  // queue is also empty (Figure 6).
+  static const spec::Specification& specification();
+  // Option 1: deterministic specification with the admissibility rule
+  // @Admit: deq <-> enq (M1->C_RET == -1).
+  static const spec::Specification& deterministic_specification();
+
+ private:
+  struct Node {
+    Node() : data("bq.data"), next(nullptr, "bq.next") {}
+    mc::Atomic<int> data;  // uninitialized until the enqueuer stores it
+    mc::Atomic<Node*> next;
+  };
+
+  mc::Atomic<Node*> tail_;
+  mc::Atomic<Node*> head_;
+  spec::Object obj_;
+};
+
+// Unit-test drivers (shared by tests, benches, and examples).
+void blocking_queue_test_seq(mc::Exec& x);       // single thread, FIFO
+void blocking_queue_test_2t(mc::Exec& x);        // producer/consumer
+void blocking_queue_test_race_deq(mc::Exec& x);  // two dequeuers, one enq
+void blocking_queue_test_fig3(mc::Exec& x);      // Figure 3: two queues
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_BLOCKING_QUEUE_H

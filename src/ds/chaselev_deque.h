@@ -1,0 +1,67 @@
+// Chase-Lev work-stealing deque, following the C11 adaptation of
+// Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13) — the paper's headline
+// benchmark. The owner thread pushes and takes at the bottom; thieves
+// steal from the top. The circular array grows on demand.
+//
+// Known bug (Section 6.4.1, found by CDSChecker [40]): the published C11
+// version orders the resize's array publication too weakly, so a
+// concurrent steal can read an uninitialized (or wrong) slot of the new
+// array. `Variant::kBugResize` reproduces it; with `init_arrays` the
+// uninitialized-load report is suppressed (slots are zero-initialized) and
+// the bug surfaces as a steal returning the wrong item — exactly the
+// paper's experiment.
+//
+// Overly strong parameter (Section 6.4.3): the seq_cst CAS on top in
+// take() can be weakened to relaxed with no specification violation; the
+// authors confirmed the strength is unnecessary. The injection site
+// "take: top CAS" reproduces this finding.
+#ifndef CDS_DS_CHASELEV_DEQUE_H
+#define CDS_DS_CHASELEV_DEQUE_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class ChaseLevDeque {
+ public:
+  static constexpr int kEmpty = -1;
+  static constexpr int kAbort = -2;
+
+  enum class Variant { kCorrect, kBugResize };
+
+  explicit ChaseLevDeque(Variant v = Variant::kCorrect, bool init_arrays = false,
+                         unsigned initial_capacity = 2);
+
+  void push(int v);  // owner only
+  int take();        // owner only; kEmpty when empty
+  int steal();       // any thief; kEmpty / kAbort
+
+  static const spec::Specification& specification();
+
+ private:
+  struct Array {
+    explicit Array(unsigned cap, bool init);
+    unsigned capacity;
+    mc::Atomic<int>* slots;  // arena-allocated
+  };
+
+  void resize();
+
+  Variant variant_;
+  bool init_arrays_;
+  mc::Atomic<unsigned> top_;
+  mc::Atomic<unsigned> bottom_;
+  mc::Atomic<Array*> array_;
+  spec::Object obj_;
+};
+
+void chaselev_test_paper(mc::Exec& x);  // paper's 2-thread known-bug test
+void chaselev_test_steal_race(mc::Exec& x);
+void chaselev_test_resize(mc::Exec& x);
+mc::TestFn chaselev_buggy_test(bool init_arrays);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_CHASELEV_DEQUE_H

@@ -1,0 +1,51 @@
+// Concurrent hashtable ported from Doug Lea's Java ConcurrentHashMap
+// (paper Section 6.1): the key/value slots live in segments protected by
+// per-segment locks; gets first probe lock-free with seq_cst loads and fall
+// back to locking. A get is therefore ordered with a put either on the
+// seq_cst value access or on the lock hand-off — the two alternative
+// ordering points the paper describes.
+#ifndef CDS_DS_CONCURRENT_HASHMAP_H
+#define CDS_DS_CONCURRENT_HASHMAP_H
+
+#include "mc/atomic.h"
+#include "mc/sync.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class ConcurrentHashMap {
+ public:
+  static constexpr unsigned kSegments = 2;
+  static constexpr unsigned kSlotsPerSegment = 2;
+
+  ConcurrentHashMap();
+
+  void put(int key, int value);
+  int get(int key);  // 0 when absent
+
+  static const spec::Specification& specification();
+
+ private:
+  struct Slot {
+    Slot() : key(0, "chm.key"), value(0, "chm.value") {}
+    mc::Atomic<int> key;
+    mc::Atomic<int> value;
+  };
+
+  struct Segment {
+    Segment() : lock("chm.segment.lock") {}
+    mc::Mutex lock;
+    Slot slots[kSlotsPerSegment];
+  };
+
+  Segment segments_[kSegments];
+  spec::Object obj_;
+};
+
+void chm_test_put_get(mc::Exec& x);
+void chm_test_two_writers(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_CONCURRENT_HASHMAP_H

@@ -1,0 +1,40 @@
+// Lamport's classic bounded single-producer/single-consumer ring buffer in
+// its C11 formulation: the producer owns `head`, the consumer owns `tail`,
+// and each side reads the other's cursor with acquire and publishes its own
+// with release. The second of the paper's "two types of concurrent queues";
+// an extra (non-Figure-7) benchmark here.
+#ifndef CDS_DS_LAMPORT_QUEUE_H
+#define CDS_DS_LAMPORT_QUEUE_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class LamportQueue {
+ public:
+  static constexpr unsigned kCapacity = 2;  // usable slots: kCapacity - 1
+
+  LamportQueue();
+
+  // false when the ring is (observed) full.
+  bool enq(int v);
+  // -1 when the ring is (observed) empty.
+  int deq();
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<unsigned> head_;  // producer cursor
+  mc::Atomic<unsigned> tail_;  // consumer cursor
+  mc::Atomic<int> buf_[kCapacity];
+  spec::Object obj_;
+};
+
+void lamport_test_1p1c(mc::Exec& x);
+void lamport_test_full(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_LAMPORT_QUEUE_H

@@ -1,0 +1,221 @@
+#include "ds/linux_rwlock.h"
+
+#include "inject/inject.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+
+namespace {
+const inject::SiteId kReadLockSub = inject::register_site(
+    "linux-rwlock", "read_lock: fetch_sub", MemoryOrder::acquire,
+    inject::OpKind::kRmw);
+const inject::SiteId kReadSpinLoad = inject::register_site(
+    "linux-rwlock", "read_lock: spin load", MemoryOrder::acquire,
+    inject::OpKind::kLoad);
+const inject::SiteId kReadUnlockAdd = inject::register_site(
+    "linux-rwlock", "read_unlock: fetch_add", MemoryOrder::release,
+    inject::OpKind::kRmw);
+const inject::SiteId kWriteLockSub = inject::register_site(
+    "linux-rwlock", "write_lock: fetch_sub", MemoryOrder::acquire,
+    inject::OpKind::kRmw);
+const inject::SiteId kWriteSpinLoad = inject::register_site(
+    "linux-rwlock", "write_lock: spin load", MemoryOrder::acquire,
+    inject::OpKind::kLoad);
+const inject::SiteId kWriteUnlockAdd = inject::register_site(
+    "linux-rwlock", "write_unlock: fetch_add", MemoryOrder::release,
+    inject::OpKind::kRmw);
+const inject::SiteId kReadTrySub = inject::register_site(
+    "linux-rwlock", "read_trylock: fetch_sub", MemoryOrder::acquire,
+    inject::OpKind::kRmw);
+const inject::SiteId kWriteTrySub = inject::register_site(
+    "linux-rwlock", "write_trylock: fetch_sub", MemoryOrder::acquire,
+    inject::OpKind::kRmw);
+
+void register_common(spec::Specification* sp) {
+  sp->state<RwLockSpecState>();
+  sp->method("read_lock")
+      .pre([](Ctx& c) { return !c.st<RwLockSpecState>().writer; })
+      .side_effect([](Ctx& c) { ++c.st<RwLockSpecState>().readers; });
+  sp->method("read_unlock")
+      .pre([](Ctx& c) { return c.st<RwLockSpecState>().readers > 0; })
+      .side_effect([](Ctx& c) { --c.st<RwLockSpecState>().readers; });
+  sp->method("write_lock")
+      .pre([](Ctx& c) {
+        const auto& st = c.st<RwLockSpecState>();
+        return !st.writer && st.readers == 0;
+      })
+      .side_effect([](Ctx& c) { c.st<RwLockSpecState>().writer = true; });
+  sp->method("write_unlock")
+      .pre([](Ctx& c) { return c.st<RwLockSpecState>().writer; })
+      .side_effect([](Ctx& c) { c.st<RwLockSpecState>().writer = false; });
+}
+}  // namespace
+
+const spec::Specification& LinuxRwLock::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("LinuxRwLock");
+    register_common(sp);
+    // Refined trylock specs: spurious failure allowed (the transient bias
+    // subtraction of a racing trylock can make another trylock fail).
+    sp->method("read_trylock").side_effect([](Ctx& c) {
+      auto& st = c.st<RwLockSpecState>();
+      c.s_ret = st.writer ? 0 : 1;
+      if (c.c_ret() == 1) ++st.readers;
+    }).post([](Ctx& c) { return c.c_ret() == 0 || c.s_ret == 1; });
+    sp->method("write_trylock").side_effect([](Ctx& c) {
+      auto& st = c.st<RwLockSpecState>();
+      c.s_ret = (st.writer || st.readers > 0) ? 0 : 1;
+      if (c.c_ret() == 1) st.writer = true;
+    }).post([](Ctx& c) { return c.c_ret() == 0 || c.s_ret == 1; });
+    return sp;
+  }();
+  return *s;
+}
+
+const spec::Specification& LinuxRwLock::strict_trylock_specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("LinuxRwLockStrict");
+    register_common(sp);
+    // First-attempt spec: trylock outcome must equal the sequential
+    // outcome. Wrong for this implementation (see Section 6.1).
+    sp->method("read_trylock").side_effect([](Ctx& c) {
+      auto& st = c.st<RwLockSpecState>();
+      c.s_ret = st.writer ? 0 : 1;
+      if (c.c_ret() == 1) ++st.readers;
+    }).post([](Ctx& c) { return c.c_ret() == c.s_ret; });
+    sp->method("write_trylock").side_effect([](Ctx& c) {
+      auto& st = c.st<RwLockSpecState>();
+      c.s_ret = (st.writer || st.readers > 0) ? 0 : 1;
+      if (c.c_ret() == 1) st.writer = true;
+    }).post([](Ctx& c) { return c.c_ret() == c.s_ret; });
+    return sp;
+  }();
+  return *s;
+}
+
+LinuxRwLock::LinuxRwLock(const spec::Specification& s)
+    : lock_(kBias, "rwlock.lock"), obj_(s) {}
+
+void LinuxRwLock::read_lock() {
+  spec::Method m(obj_, "read_lock");
+  for (;;) {
+    int prior = lock_.fetch_sub(1, inject::order(kReadLockSub));
+    m.op_clear_define();  // the successful subtraction orders the call
+    if (prior > 0) return;
+    // A writer holds (or is acquiring) the lock: undo and spin.
+    lock_.fetch_add(1, MemoryOrder::relaxed);
+    while (lock_.load(inject::order(kReadSpinLoad)) <= 0) mc::yield();
+  }
+}
+
+void LinuxRwLock::read_unlock() {
+  spec::Method m(obj_, "read_unlock");
+  lock_.fetch_add(1, inject::order(kReadUnlockAdd));
+  m.op_define();
+}
+
+void LinuxRwLock::write_lock() {
+  spec::Method m(obj_, "write_lock");
+  for (;;) {
+    int prior = lock_.fetch_sub(kBias, inject::order(kWriteLockSub));
+    m.op_clear_define();
+    if (prior == kBias) return;
+    lock_.fetch_add(kBias, MemoryOrder::relaxed);
+    while (lock_.load(inject::order(kWriteSpinLoad)) != kBias) mc::yield();
+  }
+}
+
+void LinuxRwLock::write_unlock() {
+  spec::Method m(obj_, "write_unlock");
+  lock_.fetch_add(kBias, inject::order(kWriteUnlockAdd));
+  m.op_define();
+}
+
+int LinuxRwLock::read_trylock() {
+  spec::Method m(obj_, "read_trylock");
+  int prior = lock_.fetch_sub(1, inject::order(kReadTrySub));
+  m.op_define();
+  if (prior > 0) return static_cast<int>(m.ret(1));
+  lock_.fetch_add(1, MemoryOrder::relaxed);  // transient side effect undone
+  return static_cast<int>(m.ret(0));
+}
+
+int LinuxRwLock::write_trylock() {
+  spec::Method m(obj_, "write_trylock");
+  int prior = lock_.fetch_sub(kBias, inject::order(kWriteTrySub));
+  m.op_define();
+  if (prior == kBias) return static_cast<int>(m.ret(1));
+  lock_.fetch_add(kBias, MemoryOrder::relaxed);
+  return static_cast<int>(m.ret(0));
+}
+
+void rwlock_test_rw(mc::Exec& x) {
+  auto* l = x.make<LinuxRwLock>();
+  int t1 = x.spawn([l] {
+    l->read_lock();
+    l->read_unlock();
+  });
+  int t2 = x.spawn([l] {
+    l->write_lock();
+    l->write_unlock();
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+void rwlock_test_2w(mc::Exec& x) {
+  auto* l = x.make<LinuxRwLock>();
+  auto body = [l] {
+    l->write_lock();
+    l->write_unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+}
+
+void rwlock_test_trylock(mc::Exec& x) {
+  auto* l = x.make<LinuxRwLock>();
+  int t1 = x.spawn([l] {
+    if (l->write_trylock() == 1) l->write_unlock();
+  });
+  int t2 = x.spawn([l] {
+    if (l->read_trylock() == 1) l->read_unlock();
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+void rwlock_test_3t_mixed(mc::Exec& x) {
+  auto* l = x.make<LinuxRwLock>();
+  int t1 = x.spawn([l] {
+    l->write_lock();
+    l->write_unlock();
+  });
+  int t2 = x.spawn([l] {
+    l->read_lock();
+    l->read_unlock();
+  });
+  int t3 = x.spawn([l] {
+    if (l->read_trylock() == 1) l->read_unlock();
+  });
+  x.join(t1);
+  x.join(t2);
+  x.join(t3);
+}
+
+void rwlock_test_racing_trylocks(mc::Exec& x) {
+  auto* l = x.make<LinuxRwLock>();
+  auto body = [l] {
+    if (l->write_trylock() == 1) l->write_unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+}
+
+}  // namespace cds::ds

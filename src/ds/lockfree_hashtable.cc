@@ -1,0 +1,109 @@
+#include "ds/lockfree_hashtable.h"
+
+#include "inject/inject.h"
+#include "spec/seqstate.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+using spec::IntMap;
+
+namespace {
+const inject::SiteId kPutKeyCas = inject::register_site(
+    "lockfree-hashtable", "put: key claim CAS", MemoryOrder::seq_cst,
+    inject::OpKind::kRmw);
+const inject::SiteId kPutKeyLoad = inject::register_site(
+    "lockfree-hashtable", "put: key probe load", MemoryOrder::seq_cst,
+    inject::OpKind::kLoad);
+const inject::SiteId kPutValueStore = inject::register_site(
+    "lockfree-hashtable", "put: value store", MemoryOrder::seq_cst,
+    inject::OpKind::kStore);
+const inject::SiteId kGetKeyLoad = inject::register_site(
+    "lockfree-hashtable", "get: key probe load", MemoryOrder::seq_cst,
+    inject::OpKind::kLoad);
+const inject::SiteId kGetValueLoad = inject::register_site(
+    "lockfree-hashtable", "get: value load", MemoryOrder::seq_cst,
+    inject::OpKind::kLoad);
+}  // namespace
+
+const spec::Specification& LockfreeHashtable::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("LockfreeHashtable");
+    sp->state<IntMap>();
+    sp->method("put").side_effect(
+        [](Ctx& c) { c.st<IntMap>()[c.arg(0)] = c.arg(1); });
+    sp->method("get")
+        .side_effect([](Ctx& c) {
+          const IntMap& m = c.st<IntMap>();
+          auto it = m.find(c.arg(0));
+          c.s_ret = it == m.end() ? 0 : it->second;
+        })
+        .post([](Ctx& c) { return c.c_ret() == c.s_ret; });
+    return sp;
+  }();
+  return *s;
+}
+
+LockfreeHashtable::LockfreeHashtable() : obj_(specification()) {}
+
+void LockfreeHashtable::put(int key, int value) {
+  spec::Method m(obj_, "put", {key, value});
+  unsigned idx = static_cast<unsigned>(key) % kSlots;
+  for (unsigned probe = 0; probe < kSlots; ++probe, idx = (idx + 1) % kSlots) {
+    int k = slots_[idx].key.load(inject::order(kPutKeyLoad));
+    if (k == 0) {
+      int expected = 0;
+      if (!slots_[idx].key.compare_exchange_strong(
+              expected, key, inject::order(kPutKeyCas), MemoryOrder::relaxed)) {
+        k = expected;
+      } else {
+        k = key;
+      }
+    }
+    if (k == key) {
+      slots_[idx].value.store(value, inject::order(kPutValueStore));
+      m.op_define();  // the seq_cst value store orders the put
+      return;
+    }
+  }
+  // Table full: treated as a usage error in the unit tests.
+}
+
+int LockfreeHashtable::get(int key) {
+  spec::Method m(obj_, "get", {key});
+  unsigned idx = static_cast<unsigned>(key) % kSlots;
+  for (unsigned probe = 0; probe < kSlots; ++probe, idx = (idx + 1) % kSlots) {
+    int k = slots_[idx].key.load(inject::order(kGetKeyLoad));
+    m.op_clear_define();  // absent key: the probe load orders the get
+    if (k == 0) return static_cast<int>(m.ret(0));
+    if (k == key) {
+      // A zero value means the claiming put has not published yet: the
+      // key reads as absent (and this get is sc-ordered before the put).
+      int v = slots_[idx].value.load(inject::order(kGetValueLoad));
+      m.op_clear_define();  // present key: the value load orders the get
+      return static_cast<int>(m.ret(v));
+    }
+  }
+  return static_cast<int>(m.ret(0));
+}
+
+void lfht_test_2t(mc::Exec& x) {
+  auto* h = x.make<LockfreeHashtable>();
+  int t1 = x.spawn([h] { h->put(1, 10); });
+  int t2 = x.spawn([h] { h->put(2, 20); });
+  x.join(t1);
+  x.join(t2);
+  (void)h->get(1);
+  (void)h->get(2);
+}
+
+void lfht_test_same_key(mc::Exec& x) {
+  auto* h = x.make<LockfreeHashtable>();
+  int t1 = x.spawn([h] { h->put(1, 10); });
+  int t2 = x.spawn([h] { (void)h->get(1); });
+  x.join(t1);
+  x.join(t2);
+}
+
+}  // namespace cds::ds

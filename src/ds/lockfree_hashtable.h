@@ -1,0 +1,43 @@
+// Non-blocking fixed-size hashtable (paper Section 6's "Lockfree
+// Hashtable"): open addressing over an array of key/value slot pairs.
+// Keys are claimed with a seq_cst CAS; values are published with seq_cst
+// stores and read with seq_cst loads, which makes get/put on the same key
+// strongly ordered — the specification is a plain deterministic map.
+#ifndef CDS_DS_LOCKFREE_HASHTABLE_H
+#define CDS_DS_LOCKFREE_HASHTABLE_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class LockfreeHashtable {
+ public:
+  static constexpr unsigned kSlots = 4;
+
+  LockfreeHashtable();
+
+  void put(int key, int value);
+  // 0 when the key is absent (values must be nonzero).
+  int get(int key);
+
+  static const spec::Specification& specification();
+
+ private:
+  struct Slot {
+    Slot() : key(0, "lfht.key"), value(0, "lfht.value") {}
+    mc::Atomic<int> key;    // 0 = free
+    mc::Atomic<int> value;  // 0 = put in flight (reads as absent)
+  };
+
+  Slot slots_[kSlots];
+  spec::Object obj_;
+};
+
+void lfht_test_2t(mc::Exec& x);
+void lfht_test_same_key(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_LOCKFREE_HASHTABLE_H

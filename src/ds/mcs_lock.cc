@@ -1,0 +1,119 @@
+#include "ds/mcs_lock.h"
+
+#include "ds/ticket_lock.h"  // LockSpecState
+#include "inject/inject.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+
+namespace {
+constexpr int kOpExchange = 1;  // PotentialOP label
+
+const inject::SiteId kTailXchg = inject::register_site(
+    "mcs-lock", "lock: tail exchange", MemoryOrder::acq_rel, inject::OpKind::kRmw);
+const inject::SiteId kLinkStore = inject::register_site(
+    "mcs-lock", "lock: prev->next store", MemoryOrder::release,
+    inject::OpKind::kStore);
+const inject::SiteId kSpinLoad = inject::register_site(
+    "mcs-lock", "lock: locked spin load", MemoryOrder::acquire,
+    inject::OpKind::kLoad);
+const inject::SiteId kNextLoad = inject::register_site(
+    "mcs-lock", "unlock: next load", MemoryOrder::acquire, inject::OpKind::kLoad);
+const inject::SiteId kTailCas = inject::register_site(
+    "mcs-lock", "unlock: tail uninstall CAS", MemoryOrder::release,
+    inject::OpKind::kRmw);
+const inject::SiteId kHandoff = inject::register_site(
+    "mcs-lock", "unlock: successor locked store", MemoryOrder::release,
+    inject::OpKind::kStore);
+}  // namespace
+
+const spec::Specification& McsLock::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("McsLock");
+    sp->state<LockSpecState>();
+    sp->method("lock")
+        .pre([](Ctx& c) { return !c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = true; });
+    sp->method("unlock")
+        .pre([](Ctx& c) { return c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = false; });
+    return sp;
+  }();
+  return *s;
+}
+
+McsLock::McsLock() : tail_(nullptr, "mcs.tail"), obj_(specification()) {}
+
+void McsLock::lock(QNode* me) {
+  spec::Method m(obj_, "lock");
+  me->next.store(nullptr, MemoryOrder::relaxed);
+  me->locked.store(1, MemoryOrder::relaxed);
+  QNode* prev = tail_.exchange(me, inject::order(kTailXchg));
+  // @PotentialOP(exchange): the exchange orders the call iff uncontended.
+  m.potential_op(kOpExchange);
+  if (prev == nullptr) {
+    m.op_check(kOpExchange);  // uncontended: the exchange was the OP
+    return;
+  }
+  prev->next.store(me, inject::order(kLinkStore));
+  for (;;) {
+    int locked = me->locked.load(inject::order(kSpinLoad));
+    m.op_clear_define();  // contended: last spin load is the OP
+    if (locked == 0) break;
+    mc::yield();
+  }
+}
+
+void McsLock::unlock(QNode* me) {
+  spec::Method m(obj_, "unlock");
+  QNode* next = me->next.load(inject::order(kNextLoad));
+  if (next == nullptr) {
+    QNode* expected = me;
+    if (tail_.compare_exchange_strong(expected, nullptr,
+                                      inject::order(kTailCas),
+                                      MemoryOrder::relaxed)) {
+      m.op_define();  // no successor: the uninstalling CAS is the OP
+      return;
+    }
+    // A successor is enqueueing: wait for the link.
+    for (;;) {
+      next = me->next.load(inject::order(kNextLoad));
+      if (next != nullptr) break;
+      mc::yield();
+    }
+  }
+  next->locked.store(0, inject::order(kHandoff));
+  m.op_define();  // hand-off store is the OP
+}
+
+void mcs_lock_test_2t(mc::Exec& x) {
+  auto* l = x.make<McsLock>();
+  auto body = [&x, l] {
+    auto* node = x.make<McsLock::QNode>();
+    l->lock(node);
+    l->unlock(node);
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+}
+
+void mcs_lock_test_3t(mc::Exec& x) {
+  auto* l = x.make<McsLock>();
+  auto body = [&x, l] {
+    auto* node = x.make<McsLock::QNode>();
+    l->lock(node);
+    l->unlock(node);
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  int t3 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+  x.join(t3);
+}
+
+}  // namespace cds::ds

@@ -1,0 +1,42 @@
+// MCS queue lock (paper Section 6): contenders enqueue a per-acquisition
+// qnode with an atomic exchange on the tail; each waiter spins on its own
+// node's flag, and the releaser hands the lock to its successor.
+//
+// The ordering-point annotations showcase PotentialOP/OPCheck: the tail
+// exchange is the ordering point only on the uncontended path; on the
+// contended path it is the final spin load of the flag.
+#ifndef CDS_DS_MCS_LOCK_H
+#define CDS_DS_MCS_LOCK_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class McsLock {
+ public:
+  McsLock();
+
+  struct QNode {
+    QNode() : next(nullptr, "mcs.qnode.next"), locked(0, "mcs.qnode.locked") {}
+    mc::Atomic<QNode*> next;
+    mc::Atomic<int> locked;  // 1 = wait, 0 = go
+  };
+
+  void lock(QNode* me);
+  void unlock(QNode* me);
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<QNode*> tail_;
+  spec::Object obj_;
+};
+
+void mcs_lock_test_2t(mc::Exec& x);
+void mcs_lock_test_3t(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_MCS_LOCK_H

@@ -1,0 +1,53 @@
+// Michael & Scott non-blocking queue (paper Section 6, from the CDSChecker
+// benchmark suite), with the lagging-tail helping protocol.
+//
+// Known bugs (Section 6.4.1): AutoMO found two memory-order bugs in the
+// C11 port — weaker-than-necessary parameters that let a dequeue
+// spuriously return empty or break FIFO order. `Variant` reproduces them:
+//   kBugEnq — the enqueue's publishing CAS on next is relaxed, so the
+//             dequeuer does not synchronize with the enqueuer.
+//   kBugDeq — the dequeue's load of next is relaxed, so the dequeuer can
+//             miss the publication it acts on.
+#ifndef CDS_DS_MSQUEUE_H
+#define CDS_DS_MSQUEUE_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class MSQueue {
+ public:
+  enum class Variant { kCorrect, kBugEnq, kBugDeq };
+
+  explicit MSQueue(Variant v = Variant::kCorrect);
+
+  void enq(int v);
+  int deq();  // -1 when (observed) empty
+
+  static const spec::Specification& specification();
+
+ private:
+  struct Node {
+    Node() : data(0, "msq.data"), next(nullptr, "msq.next") {}
+    mc::Atomic<int> data;
+    mc::Atomic<Node*> next;
+  };
+
+  Variant variant_;
+  mc::Atomic<Node*> head_;
+  mc::Atomic<Node*> tail_;
+  spec::Object obj_;
+};
+
+void msqueue_test_1p1c(mc::Exec& x);
+void msqueue_test_2p1c(mc::Exec& x);
+void msqueue_test_1p2c(mc::Exec& x);
+void msqueue_test_deq_empty(mc::Exec& x);
+// Same drivers against a buggy variant (known-bug experiments).
+mc::TestFn msqueue_buggy_test(MSQueue::Variant v);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_MSQUEUE_H

@@ -1,0 +1,89 @@
+#include "ds/peterson_lock.h"
+
+#include "ds/ticket_lock.h"  // LockSpecState
+#include "inject/inject.h"
+#include "mc/var.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+
+namespace {
+const inject::SiteId kFlagStore = inject::register_site(
+    "peterson-lock", "lock: flag[me] store", MemoryOrder::seq_cst,
+    inject::OpKind::kStore);
+const inject::SiteId kTurnStore = inject::register_site(
+    "peterson-lock", "lock: turn store", MemoryOrder::seq_cst,
+    inject::OpKind::kStore);
+const inject::SiteId kFlagLoad = inject::register_site(
+    "peterson-lock", "lock: flag[other] load", MemoryOrder::seq_cst,
+    inject::OpKind::kLoad);
+const inject::SiteId kTurnLoad = inject::register_site(
+    "peterson-lock", "lock: turn load", MemoryOrder::seq_cst,
+    inject::OpKind::kLoad);
+const inject::SiteId kUnlockStore = inject::register_site(
+    "peterson-lock", "unlock: flag[me] store", MemoryOrder::seq_cst,
+    inject::OpKind::kStore);
+}  // namespace
+
+const spec::Specification& PetersonLock::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("PetersonLock");
+    sp->state<LockSpecState>();
+    sp->method("lock")
+        .pre([](Ctx& c) { return !c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = true; });
+    sp->method("unlock")
+        .pre([](Ctx& c) { return c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = false; });
+    return sp;
+  }();
+  return *s;
+}
+
+PetersonLock::PetersonLock()
+    : flag_{{0, "peterson.flag0"}, {0, "peterson.flag1"}},
+      turn_(0, "peterson.turn"),
+      obj_(specification()) {}
+
+void PetersonLock::lock(int me) {
+  spec::Method m(obj_, "lock", {me});
+  int other = 1 - me;
+  flag_[me].store(1, inject::order(kFlagStore));
+  turn_.store(other, inject::order(kTurnStore));
+  for (;;) {
+    int f = flag_[other].load(inject::order(kFlagLoad));
+    int t = turn_.load(inject::order(kTurnLoad));
+    m.op_clear_define();  // the last observation decides entry
+    if (f == 0 || t == me) break;
+    mc::yield();
+  }
+}
+
+void PetersonLock::unlock(int me) {
+  spec::Method m(obj_, "unlock", {me});
+  flag_[me].store(0, inject::order(kUnlockStore));
+  m.op_define();
+}
+
+void peterson_test(mc::Exec& x) {
+  auto* l = x.make<PetersonLock>();
+  // A plain protected counter: mutual-exclusion failures surface both as
+  // spec violations (lock() while held) and as data races.
+  auto* counter = x.make<mc::Var<int>>(0, "peterson.counter");
+  int t1 = x.spawn([l, counter] {
+    l->lock(0);
+    counter->write(counter->read() + 1);
+    l->unlock(0);
+  });
+  int t2 = x.spawn([l, counter] {
+    l->lock(1);
+    counter->write(counter->read() + 1);
+    l->unlock(1);
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+}  // namespace cds::ds

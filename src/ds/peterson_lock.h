@@ -1,0 +1,34 @@
+// Peterson's 2-thread mutual-exclusion algorithm in C11: the textbook
+// example of an algorithm that is *only* correct with seq_cst — the
+// store-buffering pattern between `flag[me]` and `flag[other]` breaks under
+// anything weaker, which the injection experiment demonstrates (extra
+// benchmark; not a Figure-7 row).
+#ifndef CDS_DS_PETERSON_LOCK_H
+#define CDS_DS_PETERSON_LOCK_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class PetersonLock {
+ public:
+  PetersonLock();
+
+  void lock(int me);    // me in {0, 1}
+  void unlock(int me);
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<int> flag_[2];
+  mc::Atomic<int> turn_;
+  spec::Object obj_;
+};
+
+void peterson_test(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_PETERSON_LOCK_H

@@ -1,0 +1,36 @@
+// The C/C++11 atomic register accessed by relaxed operations
+// (paper Section 2.2): the simplest data structure whose correct behavior
+// is irreducibly non-deterministic. A read call may return the value of
+// (1) the most recent write in one of its justifying subhistories, or
+// (2) any write call concurrent with it — but never a value older than a
+// write that happens-before it.
+#ifndef CDS_DS_REGISTER_H
+#define CDS_DS_REGISTER_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class RelaxedRegister {
+ public:
+  RelaxedRegister();
+
+  void write(int v);
+  int read();
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<int> cell_;
+  spec::Object obj_;
+};
+
+void register_test_wr(mc::Exec& x);        // one writer, one reader
+void register_test_two_writers(mc::Exec& x);
+void register_test_hb_chain(mc::Exec& x);  // write published via join
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_REGISTER_H

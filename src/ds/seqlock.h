@@ -1,0 +1,38 @@
+// Seqlock (ported for AutoMO; paper Section 6): writers bump a sequence
+// counter to odd, update the data words, and bump back to even; readers
+// snapshot the counter, read the data, and retry when the counter moved or
+// was odd. Reads must never observe a torn (mixed-version) pair.
+#ifndef CDS_DS_SEQLOCK_H
+#define CDS_DS_SEQLOCK_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class SeqLock {
+ public:
+  SeqLock();
+
+  // Writes the pair (v, v) — readers check both words agree.
+  void write(int v);
+  // Returns the snapshotted value.
+  int read();
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<unsigned> seq_;
+  mc::Atomic<int> data1_;
+  mc::Atomic<int> data2_;
+  spec::Object obj_;
+};
+
+void seqlock_test_1w1r(mc::Exec& x);
+void seqlock_test_2w(mc::Exec& x);
+void seqlock_test_2w1r(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_SEQLOCK_H

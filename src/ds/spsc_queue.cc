@@ -1,0 +1,115 @@
+#include "ds/spsc_queue.h"
+
+#include "inject/inject.h"
+#include "spec/seqstate.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+using spec::IntList;
+
+namespace {
+const inject::SiteId kPublish = inject::register_site(
+    "spsc-queue", "enq: next publish store", MemoryOrder::release,
+    inject::OpKind::kStore);
+const inject::SiteId kConsume = inject::register_site(
+    "spsc-queue", "deq: next load", MemoryOrder::acquire, inject::OpKind::kLoad);
+}  // namespace
+
+const spec::Specification& SpscQueue::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("SpscQueue");
+    sp->state<IntList>();
+    sp->method("enq").side_effect(
+        [](Ctx& c) { c.st<IntList>().push_back(c.arg(0)); });
+    sp->method("deq")
+        .side_effect([](Ctx& c) {
+          IntList& q = c.st<IntList>();
+          c.s_ret = q.empty() ? -1 : q.front();
+          if (c.s_ret != -1 && c.c_ret() != -1) q.pop_front();
+        })
+        .post([](Ctx& c) { return c.c_ret() == -1 || c.c_ret() == c.s_ret; })
+        .justifying_post([](Ctx& c) {
+          if (c.c_ret() != -1) return true;
+          const IntList& q = c.st<IntList>();
+          if (q.empty()) return true;
+          // A deq may observe empty despite hb-ordered enqueues when
+          // concurrent dequeues drain every element it missed.
+          for (std::int64_t v : q) {
+            bool claimed = false;
+            for (const spec::CallRecord* d : c.concurrent()) {
+              if (d->spec->method_at(d->method).name() == "deq" &&
+                  d->c_ret == v) {
+                claimed = true;
+                break;
+              }
+            }
+            if (!claimed) return false;
+          }
+          return true;
+        });
+    return sp;
+  }();
+  return *s;
+}
+
+SpscQueue::SpscQueue()
+    : tail_("spsc.tail"), head_("spsc.head"), obj_(specification()) {
+  Node* dummy = mc::alloc<Node>();
+  tail_.write(dummy);
+  head_.write(dummy);
+}
+
+void SpscQueue::enq(int v) {
+  spec::Method m(obj_, "enq", {v});
+  Node* n = mc::alloc<Node>();
+  n->data.store(v, MemoryOrder::relaxed);
+  Node* t = tail_.read();
+  t->next.store(n, inject::order(kPublish));
+  m.op_define();  // the publishing store orders the enq call
+  tail_.write(n);
+}
+
+int SpscQueue::deq() {
+  spec::Method m(obj_, "deq");
+  Node* h = head_.read();
+  Node* n = h->next.load(inject::order(kConsume));
+  m.op_define();  // the consuming load orders the deq call
+  if (n == nullptr) return static_cast<int>(m.ret(-1));
+  head_.write(n);
+  return static_cast<int>(m.ret(n->data.load(MemoryOrder::relaxed)));
+}
+
+void spsc_test_1p1c(mc::Exec& x) {
+  auto* q = x.make<SpscQueue>();
+  int t1 = x.spawn([q] {
+    q->enq(1);
+    q->enq(2);
+  });
+  int t2 = x.spawn([q] {
+    (void)q->deq();
+    (void)q->deq();
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+void spsc_test_burst(mc::Exec& x) {
+  auto* q = x.make<SpscQueue>();
+  int t1 = x.spawn([q] {
+    q->enq(10);
+    q->enq(20);
+    q->enq(30);
+  });
+  int t2 = x.spawn([q] {
+    int got = 0;
+    for (int i = 0; i < 4 && got < 3; ++i) {
+      if (q->deq() != -1) ++got;
+    }
+  });
+  x.join(t1);
+  x.join(t2);
+}
+
+}  // namespace cds::ds

@@ -1,0 +1,43 @@
+// Single-producer single-consumer linked queue (paper Section 6): the
+// producer owns the tail pointer, the consumer owns the head pointer, and
+// the only synchronization is the release store / acquire load of each
+// node's next field. head/tail are plain variables — the built-in race
+// detector enforces the SPSC usage discipline.
+#ifndef CDS_DS_SPSC_QUEUE_H
+#define CDS_DS_SPSC_QUEUE_H
+
+#include "mc/atomic.h"
+#include "mc/var.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class SpscQueue {
+ public:
+  SpscQueue();
+
+  void enq(int v);
+  // -1 when the queue is (observed) empty.
+  int deq();
+
+  static const spec::Specification& specification();
+
+ private:
+  struct Node {
+    Node() : data("spsc.data"), next(nullptr, "spsc.next") {}
+    mc::Atomic<int> data;
+    mc::Atomic<Node*> next;
+  };
+
+  mc::Var<Node*> tail_;  // producer-owned
+  mc::Var<Node*> head_;  // consumer-owned
+  spec::Object obj_;
+};
+
+void spsc_test_1p1c(mc::Exec& x);
+void spsc_test_burst(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_SPSC_QUEUE_H

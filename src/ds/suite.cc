@@ -1,0 +1,105 @@
+#include "ds/suite.h"
+
+#include "ds/blocking_queue.h"
+#include "ds/chaselev_deque.h"
+#include "ds/concurrent_hashmap.h"
+#include "ds/lamport_queue.h"
+#include "ds/linux_rwlock.h"
+#include "ds/lockfree_hashtable.h"
+#include "ds/mcs_lock.h"
+#include "ds/mpmc_queue.h"
+#include "ds/msqueue.h"
+#include "ds/peterson_lock.h"
+#include "ds/rcu.h"
+#include "ds/register.h"
+#include "ds/seqlock.h"
+#include "ds/spsc_queue.h"
+#include "ds/ticket_lock.h"
+#include "ds/ttas_lock.h"
+#include "harness/runner.h"
+
+namespace cds::ds {
+
+void register_all_benchmarks() {
+  using harness::Benchmark;
+  using harness::register_benchmark;
+
+  // The ten rows of the paper's Figure 7 / Figure 8, in paper order.
+  register_benchmark(Benchmark{
+      "chase-lev-deque",
+      "Chase-Lev Deque",
+      &ChaseLevDeque::specification(),
+      {chaselev_test_paper, chaselev_test_steal_race, chaselev_test_resize}});
+  register_benchmark(Benchmark{"spsc-queue",
+                               "SPSC Queue",
+                               &SpscQueue::specification(),
+                               {spsc_test_1p1c, spsc_test_burst}});
+  register_benchmark(Benchmark{
+      "rcu", "RCU", &Rcu::specification(),
+      {rcu_test_1w1r, rcu_test_1w2r, rcu_test_2w}});
+  register_benchmark(Benchmark{"lockfree-hashtable",
+                               "Lockfree Hashtable",
+                               &LockfreeHashtable::specification(),
+                               {lfht_test_2t, lfht_test_same_key}});
+  register_benchmark(Benchmark{"mcs-lock",
+                               "MCS Lock",
+                               &McsLock::specification(),
+                               {mcs_lock_test_2t, mcs_lock_test_3t}});
+  register_benchmark(Benchmark{
+      "mpmc-queue",
+      "MPMC Queue",
+      &MpmcQueue::specification(),
+      {mpmc_test_1p1c, mpmc_test_wrap, mpmc_test_2p1c, mpmc_test_2p2c}});
+  register_benchmark(Benchmark{
+      "ms-queue",
+      "M&S Queue",
+      &MSQueue::specification(),
+      {msqueue_test_1p1c, msqueue_test_2p1c, msqueue_test_1p2c,
+       msqueue_test_deq_empty}});
+  register_benchmark(Benchmark{"linux-rwlock",
+                               "Linux RW Lock",
+                               &LinuxRwLock::specification(),
+                               {rwlock_test_rw, rwlock_test_2w,
+                                rwlock_test_trylock,
+                                rwlock_test_racing_trylocks,
+                                rwlock_test_3t_mixed}});
+  register_benchmark(Benchmark{"seqlock",
+                               "Seqlock",
+                               &SeqLock::specification(),
+                               {seqlock_test_1w1r, seqlock_test_2w}});
+  register_benchmark(Benchmark{"ticket-lock",
+                               "Ticket Lock",
+                               &TicketLock::specification(),
+                               {ticket_lock_test_2t, ticket_lock_test_3t}});
+
+  // Expressiveness extras (Sections 2 and 6.1; not Figure 7/8 rows).
+  register_benchmark(Benchmark{
+      "blocking-queue",
+      "Blocking Queue (Fig. 2)",
+      &BlockingQueue::specification(),
+      {blocking_queue_test_seq, blocking_queue_test_2t,
+       blocking_queue_test_race_deq, blocking_queue_test_fig3}});
+  register_benchmark(Benchmark{
+      "relaxed-register",
+      "Relaxed Register (Sec. 2.2)",
+      &RelaxedRegister::specification(),
+      {register_test_wr, register_test_two_writers, register_test_hb_chain}});
+  register_benchmark(Benchmark{"ttas-lock",
+                               "TTAS Lock",
+                               &TtasLock::specification(),
+                               {ttas_test_2t, ttas_test_3t}});
+  register_benchmark(Benchmark{"peterson-lock",
+                               "Peterson Lock",
+                               &PetersonLock::specification(),
+                               {peterson_test}});
+  register_benchmark(Benchmark{"lamport-queue",
+                               "Lamport SPSC Ring",
+                               &LamportQueue::specification(),
+                               {lamport_test_1p1c, lamport_test_full}});
+  register_benchmark(Benchmark{"concurrent-hashmap",
+                               "Concurrent HashMap (Sec. 6.1)",
+                               &ConcurrentHashMap::specification(),
+                               {chm_test_put_get, chm_test_two_writers}});
+}
+
+}  // namespace cds::ds

@@ -1,0 +1,12 @@
+// Registers the paper's Section 6 benchmark suite (the ten Figure 7/8 rows
+// plus the expressiveness extras) with the harness. Idempotent.
+#ifndef CDS_DS_SUITE_H
+#define CDS_DS_SUITE_H
+
+namespace cds::ds {
+
+void register_all_benchmarks();
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_SUITE_H

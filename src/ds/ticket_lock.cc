@@ -1,0 +1,91 @@
+#include "ds/ticket_lock.h"
+
+#include "inject/inject.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+
+namespace {
+const inject::SiteId kServeLoad = inject::register_site(
+    "ticket-lock", "lock: nowServing load", MemoryOrder::acquire,
+    inject::OpKind::kLoad);
+const inject::SiteId kGrabTicket = inject::register_site(
+    "ticket-lock", "lock: curTicket fetch_add", MemoryOrder::relaxed,
+    inject::OpKind::kRmw);  // already relaxed: not injectable (paper: 2 injections)
+const inject::SiteId kServeStore = inject::register_site(
+    "ticket-lock", "unlock: nowServing store", MemoryOrder::release,
+    inject::OpKind::kStore);
+}  // namespace
+
+const spec::Specification& TicketLock::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("TicketLock");
+    sp->state<LockSpecState>();
+    sp->method("lock")
+        .pre([](Ctx& c) { return !c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = true; });
+    sp->method("unlock")
+        .pre([](Ctx& c) { return c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = false; });
+    return sp;
+  }();
+  return *s;
+}
+
+TicketLock::TicketLock()
+    : cur_ticket_(0u, "ticket.cur"),
+      now_serving_(0u, "ticket.serving"),
+      obj_(specification()) {}
+
+void TicketLock::lock() {
+  spec::Method m(obj_, "lock");
+  unsigned ticket = cur_ticket_.fetch_add(1u, inject::order(kGrabTicket));
+  for (;;) {
+    unsigned serving = now_serving_.load(inject::order(kServeLoad));
+    m.op_clear_define();  // the load from the last iteration orders the call
+    if (serving == ticket) break;
+    mc::yield();
+  }
+}
+
+void TicketLock::unlock() {
+  spec::Method m(obj_, "unlock");
+  unsigned s = now_serving_.load(MemoryOrder::relaxed);  // owned while held
+  now_serving_.store(s + 1u, inject::order(kServeStore));
+  m.op_define();
+}
+
+void ticket_lock_test_2t(mc::Exec& x) {
+  auto* l = x.make<TicketLock>();
+  auto body = [l] {
+    l->lock();
+    l->unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+}
+
+void ticket_lock_test_3t(mc::Exec& x) {
+  auto* l = x.make<TicketLock>();
+  auto body = [l] {
+    l->lock();
+    l->unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  int t3 = x.spawn([l] {
+    l->lock();
+    l->unlock();
+    l->lock();
+    l->unlock();
+  });
+  x.join(t1);
+  x.join(t2);
+  x.join(t3);
+}
+
+}  // namespace cds::ds

@@ -1,0 +1,41 @@
+// Ticket lock (Reed & Kanodia; paper Section 6.1): curTicket is grabbed
+// with a *relaxed* fetch_add — the lock's synchronization is established
+// entirely on the nowServing variable, which is why the ordering relation
+// is extracted from nowServing's release store / acquire load ordering
+// points rather than from the ticket counter.
+#ifndef CDS_DS_TICKET_LOCK_H
+#define CDS_DS_TICKET_LOCK_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class TicketLock {
+ public:
+  TicketLock();
+
+  void lock();
+  void unlock();
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<unsigned> cur_ticket_;
+  mc::Atomic<unsigned> now_serving_;
+  spec::Object obj_;
+};
+
+// Shared sequential state used by every lock benchmark's specification:
+// lock() requires the lock free, unlock() requires it held.
+struct LockSpecState {
+  bool held = false;
+};
+
+void ticket_lock_test_2t(mc::Exec& x);
+void ticket_lock_test_3t(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_TICKET_LOCK_H

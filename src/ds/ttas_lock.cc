@@ -1,0 +1,83 @@
+#include "ds/ttas_lock.h"
+
+#include "ds/ticket_lock.h"  // LockSpecState
+#include "inject/inject.h"
+
+namespace cds::ds {
+
+using mc::MemoryOrder;
+using spec::Ctx;
+
+namespace {
+const inject::SiteId kAcquireXchg = inject::register_site(
+    "ttas-lock", "lock: exchange", MemoryOrder::acquire, inject::OpKind::kRmw);
+const inject::SiteId kSpinLoad = inject::register_site(
+    "ttas-lock", "lock: test load", MemoryOrder::relaxed, inject::OpKind::kLoad);
+const inject::SiteId kReleaseStore = inject::register_site(
+    "ttas-lock", "unlock: release store", MemoryOrder::release,
+    inject::OpKind::kStore);
+}  // namespace
+
+const spec::Specification& TtasLock::specification() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("TtasLock");
+    sp->state<LockSpecState>();
+    sp->method("lock")
+        .pre([](Ctx& c) { return !c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = true; });
+    sp->method("unlock")
+        .pre([](Ctx& c) { return c.st<LockSpecState>().held; })
+        .side_effect([](Ctx& c) { c.st<LockSpecState>().held = false; });
+    return sp;
+  }();
+  return *s;
+}
+
+TtasLock::TtasLock() : locked_(0, "ttas.locked"), obj_(specification()) {}
+
+void TtasLock::lock() {
+  spec::Method m(obj_, "lock");
+  for (;;) {
+    // Test before test-and-set: spin read-only while held.
+    while (locked_.load(inject::order(kSpinLoad)) != 0) mc::yield();
+    if (locked_.exchange(1, inject::order(kAcquireXchg)) == 0) {
+      m.op_clear_define();  // the winning exchange orders the call
+      return;
+    }
+    mc::yield();
+  }
+}
+
+void TtasLock::unlock() {
+  spec::Method m(obj_, "unlock");
+  locked_.store(0, inject::order(kReleaseStore));
+  m.op_define();
+}
+
+void ttas_test_2t(mc::Exec& x) {
+  auto* l = x.make<TtasLock>();
+  auto body = [l] {
+    l->lock();
+    l->unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+}
+
+void ttas_test_3t(mc::Exec& x) {
+  auto* l = x.make<TtasLock>();
+  auto body = [l] {
+    l->lock();
+    l->unlock();
+  };
+  int t1 = x.spawn(body);
+  int t2 = x.spawn(body);
+  int t3 = x.spawn(body);
+  x.join(t1);
+  x.join(t2);
+  x.join(t3);
+}
+
+}  // namespace cds::ds

@@ -1,0 +1,32 @@
+// Test-and-test-and-set spinlock: the contention-friendly TAS variant that
+// spins on a plain load before attempting the RMW. A fourth lock for the
+// benchmark family (extra; not a Figure-7 row).
+#ifndef CDS_DS_TTAS_LOCK_H
+#define CDS_DS_TTAS_LOCK_H
+
+#include "mc/atomic.h"
+#include "spec/annotations.h"
+#include "spec/specification.h"
+
+namespace cds::ds {
+
+class TtasLock {
+ public:
+  TtasLock();
+
+  void lock();
+  void unlock();
+
+  static const spec::Specification& specification();
+
+ private:
+  mc::Atomic<int> locked_;
+  spec::Object obj_;
+};
+
+void ttas_test_2t(mc::Exec& x);
+void ttas_test_3t(mc::Exec& x);
+
+}  // namespace cds::ds
+
+#endif  // CDS_DS_TTAS_LOCK_H

@@ -1,0 +1,49 @@
+#include "fiber/fiber.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cds::fiber {
+
+namespace {
+// makecontext cannot portably pass pointer arguments, so the fiber being
+// started is handed to the trampoline through a file-local slot. The whole
+// checker runs on one OS thread, so this cannot race.
+Fiber* g_starting = nullptr;
+}  // namespace
+
+void Fiber::reset(std::function<void()> entry) {
+  assert(!native_);
+  if (!stack_) stack_ = std::make_unique<char[]>(kStackSize);
+  entry_ = std::move(entry);
+  started_ = false;
+  finished_ = false;
+  armed_ = true;
+  getcontext(&ctx_);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = kStackSize;
+  ctx_.uc_link = nullptr;  // fibers always switch out explicitly
+  makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  self->entry_();
+  // Entry wrappers must mark_finished() and switch back to the scheduler;
+  // falling off the end of a fiber would resume an undefined context.
+  std::fprintf(stderr, "cds::fiber: entry wrapper returned without switching out\n");
+  std::abort();
+}
+
+void Fiber::switch_to(Fiber& from) {
+  assert(armed_ && !finished_ && this != &from);
+  if (!native_ && !started_) {
+    started_ = true;
+    g_starting = this;
+  }
+  swapcontext(&from.ctx_, &ctx_);
+}
+
+}  // namespace cds::fiber

@@ -1,0 +1,72 @@
+// Cooperative fibers built on ucontext.
+//
+// The model checker needs full control over thread interleaving: every
+// modeled thread runs as a fiber that yields to the scheduler at each
+// visible operation. This mirrors CDSChecker's user-level thread library.
+// Everything runs on a single OS thread, so no locking is needed anywhere
+// in the checker.
+//
+// Protocol: the engine owns a "native" fiber wrapping the OS thread's own
+// context plus one fiber per modeled thread. All switches are
+// scheduler <-> thread; a modeled thread's entry wrapper must switch back
+// to the scheduler (after calling mark_finished()) instead of returning.
+#ifndef CDS_FIBER_FIBER_H
+#define CDS_FIBER_FIBER_H
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace cds::fiber {
+
+class Fiber {
+ public:
+  static constexpr std::size_t kStackSize = 256 * 1024;
+
+  Fiber() = default;
+  ~Fiber() = default;
+  // Not movable: glibc's ucontext_t stores an internal self-pointer
+  // (uc_mcontext.fpregs aims into the struct), so a Fiber must stay at a
+  // stable address once reset() has run. Hold fibers by unique_ptr.
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&&) = delete;
+  Fiber& operator=(Fiber&&) = delete;
+
+  // (Re)arms the fiber with an entry function. The stack is allocated once
+  // and reused across executions.
+  void reset(std::function<void()> entry);
+
+  // Switches from `from` (which must be the currently running fiber) into
+  // this fiber. Returns when some fiber later switches back into `from`.
+  void switch_to(Fiber& from);
+
+  // The entry wrapper calls this right before its final switch out.
+  void mark_finished() { finished_ = true; }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  // Wraps the calling OS thread's own context (no stack/entry of its own).
+  void init_native() {
+    native_ = true;
+    armed_ = true;
+  }
+
+ private:
+  static void trampoline();
+
+  ucontext_t ctx_{};
+  std::unique_ptr<char[]> stack_;
+  std::function<void()> entry_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool armed_ = false;
+  bool native_ = false;
+};
+
+}  // namespace cds::fiber
+
+#endif  // CDS_FIBER_FIBER_H

@@ -1,0 +1,131 @@
+#include "harness/runner.h"
+
+namespace cds::harness {
+
+namespace {
+std::vector<Benchmark>& registry() {
+  static std::vector<Benchmark> v;
+  return v;
+}
+
+bool has_kind(const std::vector<mc::Violation>& vs, mc::ViolationKind k) {
+  for (const auto& v : vs) {
+    if (v.kind == k) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool RunResult::detected_builtin() const {
+  return mc.builtin_violation_execs > 0 ||
+         has_kind(violations, mc::ViolationKind::kDataRace) ||
+         has_kind(violations, mc::ViolationKind::kUninitializedLoad) ||
+         has_kind(violations, mc::ViolationKind::kDeadlock);
+}
+
+bool RunResult::detected_admissibility() const {
+  return spec.inadmissible_execs > 0;
+}
+
+bool RunResult::detected_assertion() const {
+  return spec.assertion_violation_execs > 0 ||
+         has_kind(violations, mc::ViolationKind::kUserAssertion);
+}
+
+RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
+  mc::Engine engine(opts.engine);
+  spec::SpecChecker checker(opts.checker);
+  checker.attach(engine);
+  RunResult r;
+  r.mc = engine.explore(test);
+  r.spec = checker.stats();
+  r.violations = engine.violations();
+  r.reports = checker.reports();
+  checker.detach();
+  return r;
+}
+
+void register_benchmark(Benchmark b) {
+  for (const Benchmark& e : registry()) {
+    if (e.name == b.name) return;  // idempotent
+  }
+  registry().push_back(std::move(b));
+}
+
+const std::vector<Benchmark>& benchmarks() { return registry(); }
+
+const Benchmark* find_benchmark(const std::string& name) {
+  for (const Benchmark& b : registry()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
+  RunResult total;
+  for (const mc::TestFn& t : b.tests) {
+    RunResult r = run_with_spec(t, opts);
+    total.mc.executions += r.mc.executions;
+    total.mc.feasible += r.mc.feasible;
+    total.mc.pruned_bound += r.mc.pruned_bound;
+    total.mc.pruned_livelock += r.mc.pruned_livelock;
+    total.mc.builtin_violation_execs += r.mc.builtin_violation_execs;
+    total.mc.violations_total += r.mc.violations_total;
+    total.mc.seconds += r.mc.seconds;
+    total.mc.hit_execution_cap |= r.mc.hit_execution_cap;
+    total.spec.executions_checked += r.spec.executions_checked;
+    total.spec.inadmissible_execs += r.spec.inadmissible_execs;
+    total.spec.assertion_violation_execs += r.spec.assertion_violation_execs;
+    total.spec.histories_checked += r.spec.histories_checked;
+    total.spec.justification_checks += r.spec.justification_checks;
+    total.spec.history_cap_hit |= r.spec.history_cap_hit;
+    total.spec.r_cycle_seen |= r.spec.r_cycle_seen;
+    for (auto& v : r.violations) total.violations.push_back(std::move(v));
+    for (auto& s : r.reports) total.reports.push_back(std::move(s));
+  }
+  return total;
+}
+
+const char* to_string(Detection d) {
+  switch (d) {
+    case Detection::kNone: return "undetected";
+    case Detection::kBuiltin: return "built-in";
+    case Detection::kAdmissibility: return "admissibility";
+    case Detection::kAssertion: return "assertion";
+  }
+  return "?";
+}
+
+InjectionSummary run_injection_experiment(const Benchmark& b,
+                                          const RunOptions& opts) {
+  InjectionSummary sum;
+  sum.benchmark = b.name;
+  for (const inject::Site& site : inject::sites_for(b.name)) {
+    if (!site.injectable()) continue;
+    inject::inject(site.id);
+    RunResult r = run_benchmark(b, opts);
+    inject::clear_injection();
+
+    InjectionOutcome out;
+    out.site = site;
+    // Paper's classification priority (Figure 8 columns).
+    if (r.detected_builtin()) {
+      out.how = Detection::kBuiltin;
+      ++sum.builtin;
+    } else if (r.detected_admissibility()) {
+      out.how = Detection::kAdmissibility;
+      ++sum.admissibility;
+    } else if (r.detected_assertion()) {
+      out.how = Detection::kAssertion;
+      ++sum.assertion;
+    } else {
+      out.how = Detection::kNone;
+      ++sum.undetected;
+    }
+    ++sum.injections;
+    sum.outcomes.push_back(std::move(out));
+  }
+  return sum;
+}
+
+}  // namespace cds::harness

@@ -1,0 +1,96 @@
+// Run harness shared by tests and benchmarks: couples an Engine with a
+// SpecChecker, aggregates results, and drives the paper's injection
+// experiment (Section 6.4.2) over the registered benchmark suite.
+#ifndef CDS_HARNESS_RUNNER_H
+#define CDS_HARNESS_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "inject/inject.h"
+#include "mc/engine.h"
+#include "spec/checker.h"
+#include "spec/specification.h"
+
+namespace cds::harness {
+
+struct RunOptions {
+  mc::Config engine;
+  spec::SpecChecker::Options checker;
+};
+
+struct RunResult {
+  mc::ExplorationStats mc;
+  spec::SpecChecker::Stats spec;
+  std::vector<mc::Violation> violations;
+  std::vector<std::string> reports;
+
+  [[nodiscard]] bool detected_builtin() const;
+  [[nodiscard]] bool detected_admissibility() const;
+  [[nodiscard]] bool detected_assertion() const;
+  [[nodiscard]] bool any_detection() const {
+    return detected_builtin() || detected_admissibility() || detected_assertion();
+  }
+};
+
+// Explores `test` under the model checker with specification checking.
+RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Benchmark registry (the paper's Section 6 suite)
+// ---------------------------------------------------------------------------
+
+struct Benchmark {
+  std::string name;     // key; also the inject-site benchmark key
+  std::string display;  // paper's row label (Figure 7/8)
+  const spec::Specification* spec;
+  std::vector<mc::TestFn> tests;  // unit tests, all explored
+};
+
+void register_benchmark(Benchmark b);
+[[nodiscard]] const std::vector<Benchmark>& benchmarks();
+[[nodiscard]] const Benchmark* find_benchmark(const std::string& name);
+
+// Runs every unit test of a benchmark; sums exploration stats and merges
+// detections.
+RunResult run_benchmark(const Benchmark& b, const RunOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Injection experiment (Figure 8)
+// ---------------------------------------------------------------------------
+
+enum class Detection { kNone, kBuiltin, kAdmissibility, kAssertion };
+
+[[nodiscard]] const char* to_string(Detection d);
+
+struct InjectionOutcome {
+  inject::Site site;
+  Detection how = Detection::kNone;
+};
+
+struct InjectionSummary {
+  std::string benchmark;
+  int injections = 0;
+  int builtin = 0;
+  int admissibility = 0;
+  int assertion = 0;
+  int undetected = 0;
+  std::vector<InjectionOutcome> outcomes;
+
+  [[nodiscard]] double detection_rate() const {
+    return injections == 0
+               ? 1.0
+               : static_cast<double>(injections - undetected) / injections;
+  }
+};
+
+// Weakens each injectable site of the benchmark in turn (one per trial,
+// covering every memory-order parameter its tests exercise) and classifies
+// the detection with the paper's priority: built-in, then admissibility,
+// then assertion.
+InjectionSummary run_injection_experiment(const Benchmark& b,
+                                          const RunOptions& opts = {});
+
+}  // namespace cds::harness
+
+#endif  // CDS_HARNESS_RUNNER_H

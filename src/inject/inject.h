@@ -1,0 +1,55 @@
+// Memory-order bug-injection framework (paper Section 6.4.2).
+//
+// Every memory-order parameter in a benchmark implementation is routed
+// through a registered *site*. The injection experiment weakens one site
+// per trial to the next-weaker parameter (seq_cst -> acq_rel,
+// acq_rel -> release/acquire, acquire/release -> relaxed) and asks the
+// checker whether any unit test detects the change.
+#ifndef CDS_INJECT_INJECT_H
+#define CDS_INJECT_INJECT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/memory_order.h"
+
+namespace cds::inject {
+
+enum class OpKind : std::uint8_t { kLoad, kStore, kRmw, kFence };
+
+using SiteId = int;
+
+struct Site {
+  SiteId id;
+  std::string benchmark;
+  std::string name;
+  mc::MemoryOrder def;
+  OpKind kind;
+
+  // The next-weaker legal parameter for this operation kind; equals `def`
+  // when the site is already relaxed (not injectable).
+  [[nodiscard]] mc::MemoryOrder weakened() const;
+  [[nodiscard]] bool injectable() const { return weakened() != def; }
+};
+
+// Registers a memory-order site (call once, at namespace scope, per
+// textual occurrence of a memory-order parameter).
+SiteId register_site(const char* benchmark, const char* name,
+                     mc::MemoryOrder def, OpKind kind);
+
+// The order the site currently uses: its default, or the weakened order if
+// this site is the active injection.
+[[nodiscard]] mc::MemoryOrder order(SiteId id);
+
+// Activates the injection at `id` (one site at a time, as in the paper).
+void inject(SiteId id);
+void clear_injection();
+[[nodiscard]] SiteId active_injection();  // -1 when none
+
+[[nodiscard]] const std::vector<Site>& all_sites();
+[[nodiscard]] std::vector<Site> sites_for(const std::string& benchmark);
+
+}  // namespace cds::inject
+
+#endif  // CDS_INJECT_INJECT_H

@@ -1,0 +1,169 @@
+// Modeled std::atomic. Data structures under test are written against this
+// type exactly as they would be against <atomic>; every operation routes
+// through the engine, which explores the behaviors the C/C++11 memory model
+// allows for the chosen memory_order arguments.
+#ifndef CDS_MC_ATOMIC_H
+#define CDS_MC_ATOMIC_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "mc/engine.h"
+#include "mc/memory_order.h"
+
+namespace cds::mc {
+
+namespace detail {
+
+template <typename T>
+constexpr bool kAtomicable =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(std::uint64_t);
+
+template <typename T>
+std::uint64_t to_u64(T v) {
+  static_assert(kAtomicable<T>);
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T from_u64(std::uint64_t v) {
+  static_assert(kAtomicable<T>);
+  T out{};
+  std::memcpy(&out, &v, sizeof(T));
+  return out;
+}
+
+}  // namespace detail
+
+template <typename T>
+class Atomic {
+ public:
+  // Default construction leaves the location uninitialized: a racing load
+  // that observes the pre-init value triggers the built-in
+  // uninitialized-load check, exactly as in CDSChecker.
+  explicit Atomic(const char* name = "atomic")
+      : loc_(Engine::current()->new_location(name, /*initialized=*/false, 0)) {}
+
+  // Value construction models atomic_init / non-atomic initialization.
+  Atomic(T init, const char* name = "atomic")
+      : loc_(Engine::current()->new_location(name, /*initialized=*/true,
+                                             detail::to_u64(init))) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  // Orders default to seq_cst, mirroring std::atomic.
+  [[nodiscard]] T load(MemoryOrder o = MemoryOrder::seq_cst) const {
+    return detail::from_u64<T>(Engine::current()->atomic_load(loc_, o));
+  }
+
+  void store(T v, MemoryOrder o = MemoryOrder::seq_cst) {
+    Engine::current()->atomic_store(loc_, detail::to_u64(v), o);
+  }
+
+  // Late (non-atomic) initialization, for fields whose init is published by
+  // a later release operation — models atomic_init after construction.
+  void init(T v) {
+    Engine::current()->atomic_store(loc_, detail::to_u64(v), MemoryOrder::relaxed);
+  }
+
+  T exchange(T v, MemoryOrder o) {
+    return detail::from_u64<T>(
+        Engine::current()->atomic_exchange(loc_, detail::to_u64(v), o));
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, MemoryOrder success,
+                               MemoryOrder failure) {
+    std::uint64_t e = detail::to_u64(expected);
+    bool ok = Engine::current()->atomic_cas(loc_, e, detail::to_u64(desired),
+                                            success, failure);
+    if (!ok) expected = detail::from_u64<T>(e);
+    return ok;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, MemoryOrder o) {
+    return compare_exchange_strong(expected, desired, o, for_load(o));
+  }
+
+  // Modeled as strong: the checker explores failure through genuine
+  // stale-value reads rather than spurious hardware failure (CDSChecker
+  // does the same); algorithms correct with weak CAS remain correct.
+  bool compare_exchange_weak(T& expected, T desired, MemoryOrder success,
+                             MemoryOrder failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  T fetch_add(T v, MemoryOrder o)
+    requires std::is_integral_v<T>
+  {
+    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+        loc_, o,
+        [](std::uint64_t a, std::uint64_t b) {
+          return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) +
+                                               detail::from_u64<T>(b)));
+        },
+        detail::to_u64(v)));
+  }
+
+  T fetch_sub(T v, MemoryOrder o)
+    requires std::is_integral_v<T>
+  {
+    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+        loc_, o,
+        [](std::uint64_t a, std::uint64_t b) {
+          return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) -
+                                               detail::from_u64<T>(b)));
+        },
+        detail::to_u64(v)));
+  }
+
+  T fetch_or(T v, MemoryOrder o)
+    requires std::is_integral_v<T>
+  {
+    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+        loc_, o,
+        [](std::uint64_t a, std::uint64_t b) {
+          return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) |
+                                               detail::from_u64<T>(b)));
+        },
+        detail::to_u64(v)));
+  }
+
+  T fetch_xor(T v, MemoryOrder o)
+    requires std::is_integral_v<T>
+  {
+    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+        loc_, o,
+        [](std::uint64_t a, std::uint64_t b) {
+          return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) ^
+                                               detail::from_u64<T>(b)));
+        },
+        detail::to_u64(v)));
+  }
+
+  T fetch_and(T v, MemoryOrder o)
+    requires std::is_integral_v<T>
+  {
+    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+        loc_, o,
+        [](std::uint64_t a, std::uint64_t b) {
+          return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) &
+                                               detail::from_u64<T>(b)));
+        },
+        detail::to_u64(v)));
+  }
+
+ private:
+  std::uint32_t loc_;
+};
+
+inline void thread_fence(MemoryOrder o) {
+  Engine::current()->atomic_thread_fence(o);
+}
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_ATOMIC_H

@@ -1,0 +1,51 @@
+// Exploration configuration.
+#ifndef CDS_MC_CONFIG_H
+#define CDS_MC_CONFIG_H
+
+#include <cstdint>
+
+namespace cds::mc {
+
+struct Config {
+  // Hard cap on modeled threads per execution (including the test's root
+  // thread).
+  int max_threads = 32;
+
+  // How many times per execution a single thread may choose to read a
+  // message older than the newest eligible one. This is the operational
+  // analogue of CDSChecker's memory-liveness fairness bound: it keeps
+  // spin loops that keep re-reading stale values from making the DFS tree
+  // infinite while preserving bounded-staleness behaviors.
+  std::uint32_t stale_read_bound = 3;
+
+  // Per-execution bound on visible operations; executions that exceed it
+  // are counted as explored but infeasible (pruned).
+  std::uint64_t max_steps = 20000;
+
+  // Stop exploring after this many executions (0 = exhaustive).
+  std::uint64_t max_executions = 0;
+
+  // Keep at most this many violation records per exploration.
+  std::uint32_t max_recorded_violations = 16;
+
+  // Stop the whole exploration at the first violation (built-in or
+  // spec-level) instead of continuing to enumerate.
+  bool stop_on_first_violation = false;
+
+  // Record a compact per-execution event trace (used in diagnostics).
+  bool collect_trace = true;
+
+  // Sleep-set partial-order reduction (sound; prunes redundant
+  // interleavings). Disable only for ablation measurements.
+  bool enable_sleep_sets = true;
+
+  // The paper's Section 2 "Strengthen the Atomics" alternative: coerce
+  // every atomic operation to seq_cst. Under this mode the relaxed
+  // behaviors disappear (and classic linearizability applies), at the
+  // modeled cost the paper's developers avoid paying.
+  bool strengthen_to_sc = false;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_CONFIG_H

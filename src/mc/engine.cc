@@ -1,0 +1,790 @@
+#include "mc/engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace cds::mc {
+
+namespace {
+Engine* g_engine = nullptr;
+
+[[noreturn]] void fatal(const char* msg) {
+  std::fprintf(stderr, "cds::mc fatal: %s\n", msg);
+  std::abort();
+}
+}  // namespace
+
+const char* to_string(TraceEvent::Kind k) {
+  using K = TraceEvent::Kind;
+  switch (k) {
+    case K::kLoad: return "load";
+    case K::kStore: return "store";
+    case K::kRmw: return "rmw";
+    case K::kCasFail: return "cas-fail";
+    case K::kFence: return "fence";
+    case K::kSpawn: return "spawn";
+    case K::kJoin: return "join";
+    case K::kYield: return "yield";
+    case K::kLock: return "lock";
+    case K::kUnlock: return "unlock";
+    case K::kThreadEnd: return "thread-end";
+  }
+  return "?";
+}
+
+Engine* Engine::current() { return g_engine; }
+
+Engine::Engine(Config cfg) : cfg_(cfg) {
+  sched_fiber_.init_native();
+  threads_.resize(static_cast<std::size_t>(cfg_.max_threads));
+  for (Thread& t : threads_) t.fib = std::make_unique<fiber::Fiber>();
+}
+
+Engine::~Engine() = default;
+
+const ThreadMMState& Engine::mm(int tid) const {
+  assert(tid >= 0 && tid < spawned_);
+  return threads_[static_cast<std::size_t>(tid)].mm;
+}
+
+const char* Engine::location_name(std::uint32_t loc) const {
+  return loc < locs_.size() ? locs_[loc].name : "?";
+}
+
+void Engine::report_violation(ViolationKind k, std::string detail) {
+  ++violations_total_;
+  bool builtin = k == ViolationKind::kDataRace ||
+                 k == ViolationKind::kUninitializedLoad ||
+                 k == ViolationKind::kDeadlock;
+  if (builtin) had_builtin_ = true;
+  if (violations_.size() < cfg_.max_recorded_violations) {
+    violations_.push_back(Violation{k, std::move(detail), exec_index_});
+  }
+}
+
+void Engine::record(TraceEvent::Kind k, MemoryOrder o, std::uint32_t loc,
+                    std::uint64_t value) {
+  if (!cfg_.collect_trace) return;
+  trace_.push_back(TraceEvent{k, static_cast<std::int16_t>(current_), o, loc, value});
+}
+
+std::string Engine::format_trace() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : trace_) {
+    os << "  T" << e.thread << ": " << to_string(e.kind);
+    if (e.loc != TraceEvent::kNoLoc) os << ' ' << location_name(e.loc);
+    switch (e.kind) {
+      case TraceEvent::Kind::kLoad:
+      case TraceEvent::Kind::kStore:
+      case TraceEvent::Kind::kRmw:
+      case TraceEvent::Kind::kCasFail:
+        os << " = " << static_cast<std::int64_t>(e.value) << " ["
+           << to_string(e.order) << ']';
+        break;
+      case TraceEvent::Kind::kSpawn:
+      case TraceEvent::Kind::kJoin:
+        os << " T" << e.value;
+        break;
+      case TraceEvent::Kind::kFence:
+        os << " [" << to_string(e.order) << ']';
+        break;
+      default:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Exploration loop
+// ---------------------------------------------------------------------------
+
+ExplorationStats Engine::explore(const TestFn& test) {
+  if (g_engine != nullptr) fatal("nested Engine::explore on one OS thread");
+  g_engine = this;
+  trail_.reset_all();
+  violations_.clear();
+  violations_total_ = 0;
+  ExplorationStats stats;
+  auto t0 = std::chrono::steady_clock::now();
+
+  for (;;) {
+    exec_index_ = stats.executions;
+    std::uint64_t violations_before = violations_total_;
+    run_one(test);
+    ++stats.executions;
+
+    bool keep_going = true;
+    switch (outcome_) {
+      case Outcome::kComplete:
+        ++stats.feasible;
+        if (listener_ != nullptr) keep_going = listener_->on_execution_complete(*this);
+        break;
+      case Outcome::kBuiltinViolation:
+        ++stats.feasible;  // CDSChecker counts buggy executions as explored
+        ++stats.builtin_violation_execs;
+        break;
+      case Outcome::kPrunedBound:
+        ++stats.pruned_bound;
+        break;
+      case Outcome::kPrunedLivelock:
+        ++stats.pruned_livelock;
+        break;
+      case Outcome::kPrunedRedundant:
+        ++stats.pruned_redundant;
+        break;
+      case Outcome::kRunning:
+        fatal("execution ended while still running");
+    }
+
+    if (cfg_.stop_on_first_violation && violations_total_ > violations_before) {
+      stats.stopped_early = true;
+      break;
+    }
+    if (!keep_going) {
+      stats.stopped_early = true;
+      break;
+    }
+    if (cfg_.max_executions != 0 && stats.executions >= cfg_.max_executions) {
+      stats.hit_execution_cap = !trail_.raw().empty();
+      break;
+    }
+    if (!trail_.advance()) break;
+  }
+
+  stats.violations_total = violations_total_;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  g_engine = nullptr;
+  return stats;
+}
+
+void Engine::replay(const std::vector<Choice>& saved, const TestFn& test) {
+  if (g_engine != nullptr) fatal("replay during an active exploration");
+  g_engine = this;
+  trail_.restore(saved);
+  run_one(test);
+  g_engine = nullptr;
+}
+
+void Engine::reset_execution_state() {
+  locs_.clear();
+  sc_view_.clear();
+  sc_counter_ = 0;
+  for (int i = 0; i < spawned_; ++i) {
+    Thread& t = threads_[static_cast<std::size_t>(i)];
+    t.status = ThreadStatus::kAbsent;
+    t.body = nullptr;
+    t.waiting_join = -1;
+    t.waiting_mutex = nullptr;
+  }
+  spawned_ = 0;
+  current_ = -1;
+  steps_ = 0;
+  outcome_ = Outcome::kRunning;
+  had_builtin_ = false;
+  abandoned_ = false;
+  trace_.clear();
+  sleep_.clear();
+  arena_.reset();
+  trail_.begin_execution();
+}
+
+void Engine::run_one(const TestFn& test) {
+  reset_execution_state();
+  if (listener_ != nullptr) listener_->on_execution_begin(*this);
+
+  Thread& root = threads_[0];
+  root.body = [this, &test]() {
+    Exec x(*this);
+    test(x);
+  };
+  root.mm.reset();
+  root.pending = PendingOp{};
+  root.status = ThreadStatus::kRunnable;
+  root.fib->reset([this]() {
+    threads_[0].body();
+    thread_exit();
+  });
+  spawned_ = 1;
+
+  for (;;) {
+    int enabled[64];
+    int n = 0;
+    bool any_yielded = false;
+    bool any_blocked = false;
+    for (int i = 0; i < spawned_; ++i) {
+      switch (threads_[static_cast<std::size_t>(i)].status) {
+        case ThreadStatus::kRunnable:
+          if (n < 64) enabled[n++] = i;
+          break;
+        case ThreadStatus::kYielded:
+          any_yielded = true;
+          break;
+        case ThreadStatus::kBlockedJoin:
+        case ThreadStatus::kBlockedMutex:
+          any_blocked = true;
+          break;
+        case ThreadStatus::kDone:
+        case ThreadStatus::kAbsent:
+          break;
+      }
+    }
+
+    if (n == 0) {
+      if (!any_yielded && !any_blocked) {
+        outcome_ = Outcome::kComplete;
+      } else if (any_yielded) {
+        // Only spinners (and threads waiting on them) remain: an unfair
+        // execution a sibling branch explores fairly. Prune.
+        outcome_ = Outcome::kPrunedLivelock;
+      } else {
+        report_violation(ViolationKind::kDeadlock,
+                         "all live threads are blocked");
+        outcome_ = Outcome::kBuiltinViolation;
+      }
+      break;
+    }
+
+    if (++steps_ > cfg_.max_steps) {
+      outcome_ = Outcome::kPrunedBound;
+      break;
+    }
+
+    // Two sound reductions govern the schedule choice:
+    //  1. Invisible transitions: a thread parked at a thread-local
+    //     (internal) operation always goes first without branching — such
+    //     operations commute with every operation of every other thread,
+    //     now and in the future.
+    //  2. Sleep sets: once a thread's alternative has been fully explored
+    //     at this choice point, siblings run with that thread asleep until
+    //     a conflicting operation executes; if every runnable thread is
+    //     asleep, the remainder of this execution is covered by an
+    //     already-explored branch and is pruned as redundant.
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      const PendingOp& p = threads_[static_cast<std::size_t>(enabled[i])].pending;
+      if (p.cls == PendingOp::Class::kInternal) {
+        pick = enabled[i];
+        break;
+      }
+    }
+    if (pick < 0) {
+      int cands[64];
+      int nc = 0;
+      for (int i = 0; i < n; ++i) {
+        bool asleep = false;
+        if (cfg_.enable_sleep_sets) {
+          for (const SleepEntry& e : sleep_) {
+            if (e.tid == enabled[i]) {
+              asleep = true;
+              break;
+            }
+          }
+        }
+        if (!asleep) cands[nc++] = enabled[i];
+      }
+      if (nc == 0) {
+        outcome_ = Outcome::kPrunedRedundant;
+        break;
+      }
+      std::uint32_t k = trail_.choose(ChoiceKind::kSchedule,
+                                      static_cast<std::uint32_t>(nc));
+      pick = cands[k];
+      if (cfg_.enable_sleep_sets) {
+        for (std::uint32_t i = 0; i < k; ++i) {
+          sleep_.push_back(SleepEntry{
+              cands[i], threads_[static_cast<std::size_t>(cands[i])].pending});
+        }
+      }
+    }
+    // Executing `pick`'s operation wakes every sleeper it conflicts with.
+    {
+      const PendingOp& ex = threads_[static_cast<std::size_t>(pick)].pending;
+      std::erase_if(sleep_, [&](const SleepEntry& e) {
+        return e.tid == pick || conflicts(e.op, ex);
+      });
+    }
+    current_ = pick;
+    threads_[static_cast<std::size_t>(pick)].fib->switch_to(sched_fiber_);
+
+    if (abandoned_) {
+      outcome_ = Outcome::kBuiltinViolation;
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling primitives (called on modeled-thread fibers)
+// ---------------------------------------------------------------------------
+
+bool Engine::conflicts(const PendingOp& a, const PendingOp& b) {
+  using C = PendingOp::Class;
+  if (a.cls == C::kInternal || b.cls == C::kInternal) return false;
+  if (a.cls == C::kMutex || b.cls == C::kMutex) {
+    return a.cls == C::kMutex && b.cls == C::kMutex && a.mutex == b.mutex;
+  }
+  if (a.cls == C::kScFence || b.cls == C::kScFence) return true;
+  return a.loc == b.loc && (a.cls == C::kWrite || b.cls == C::kWrite);
+}
+
+void Engine::park(PendingOp op) {
+  cur().pending = op;
+  switch_to_scheduler();
+}
+
+void Engine::switch_to_scheduler() {
+  sched_fiber_.switch_to(*threads_[static_cast<std::size_t>(current_)].fib);
+}
+
+void Engine::block(ThreadStatus why) {
+  cur().status = why;
+  switch_to_scheduler();
+}
+
+void Engine::abandon_execution() {
+  abandoned_ = true;
+  switch_to_scheduler();
+  fatal("abandoned fiber was resumed");
+}
+
+void Engine::thread_exit() {
+  int tid = current_;
+  Thread& t = cur();
+  // A final event so the join edge covers every plain access the thread
+  // performed after its last visible operation (race-detector epochs are
+  // pos+1-based).
+  bump_event(tid);
+  t.status = ThreadStatus::kDone;
+  record(TraceEvent::Kind::kThreadEnd, MemoryOrder::relaxed, TraceEvent::kNoLoc, 0);
+  for (int i = 0; i < spawned_; ++i) {
+    Thread& u = threads_[static_cast<std::size_t>(i)];
+    if (u.status == ThreadStatus::kBlockedJoin && u.waiting_join == tid) {
+      u.status = ThreadStatus::kRunnable;
+    }
+  }
+  t.fib->mark_finished();
+  switch_to_scheduler();
+  fatal("finished fiber was resumed");
+}
+
+void Engine::bump_event(int tid) {
+  ThreadMMState& t = threads_[static_cast<std::size_t>(tid)].mm;
+  ++t.pos;
+  t.cur.vc.set(static_cast<std::size_t>(tid), t.pos);
+}
+
+void Engine::wake_yielded(int except) {
+  for (int i = 0; i < spawned_; ++i) {
+    if (i == except) continue;
+    Thread& u = threads_[static_cast<std::size_t>(i)];
+    if (u.status == ThreadStatus::kYielded) u.status = ThreadStatus::kRunnable;
+  }
+}
+
+int Engine::spawn_thread(std::function<void()> body) {
+  park(PendingOp{});
+  int parent = current_;
+  if (spawned_ >= cfg_.max_threads) fatal("too many modeled threads");
+  int tid = spawned_++;
+  Thread& th = threads_[static_cast<std::size_t>(tid)];
+  th.body = std::move(body);
+  th.mm.reset();
+  th.waiting_join = -1;
+  th.waiting_mutex = nullptr;
+  // A fresh thread runs setup code until its first park: internal class
+  // (also clears the previous execution's stale pending op, which would
+  // otherwise make replays diverge).
+  th.pending = PendingOp{};
+  bump_event(parent);
+  th.mm.cur = threads_[static_cast<std::size_t>(parent)].mm.cur;  // hb: spawn edge
+  th.status = ThreadStatus::kRunnable;
+  th.fib->reset([this, tid]() {
+    threads_[static_cast<std::size_t>(tid)].body();
+    thread_exit();
+  });
+  threads_[static_cast<std::size_t>(parent)].mm.last_sc_index = 0;
+  record(TraceEvent::Kind::kSpawn, MemoryOrder::relaxed, TraceEvent::kNoLoc,
+         static_cast<std::uint64_t>(tid));
+  return tid;
+}
+
+void Engine::join_thread(int tid) {
+  park(PendingOp{});
+  assert(tid >= 0 && tid < spawned_ && tid != current_);
+  Thread& target = threads_[static_cast<std::size_t>(tid)];
+  while (target.status != ThreadStatus::kDone) {
+    cur().waiting_join = tid;
+    block(ThreadStatus::kBlockedJoin);
+  }
+  cur().waiting_join = -1;
+  bump_event(current_);
+  cur_mm().cur.join(target.mm.cur);  // hb: join edge
+  cur_mm().last_sc_index = 0;
+  record(TraceEvent::Kind::kJoin, MemoryOrder::relaxed, TraceEvent::kNoLoc,
+         static_cast<std::uint64_t>(tid));
+}
+
+void Engine::yield_thread() {
+  park(PendingOp{});
+  record(TraceEvent::Kind::kYield, MemoryOrder::relaxed, TraceEvent::kNoLoc, 0);
+  cur().status = ThreadStatus::kYielded;
+  switch_to_scheduler();
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations
+// ---------------------------------------------------------------------------
+
+std::uint32_t Engine::new_location(const char* name, bool initialized,
+                                   std::uint64_t init_value) {
+  if (g_engine != this || current_ < 0) {
+    fatal("Atomic/Var constructed outside a modeled execution");
+  }
+  auto id = static_cast<std::uint32_t>(locs_.size());
+  locs_.emplace_back(name);
+  Message init;
+  init.value = init_value;
+  init.timestamp = 0;
+  init.writer = -1;
+  init.uninit = !initialized;
+  locs_.back().history.push_back(std::move(init));
+  return id;
+}
+
+void Engine::apply_read_sync(ThreadMMState& t, const Message& m, MemoryOrder o) {
+  if (is_acquire(o)) {
+    t.cur.join(m.sync);
+  } else {
+    // A later acquire fence turns this relaxed read into synchronization.
+    t.acq_pending.join(m.sync);
+  }
+}
+
+std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
+                                std::uint64_t exclude_value, bool use_exclude,
+                                bool* has_option) {
+  Location& L = locs_[loc];
+  ThreadMMState& t = cur_mm();
+  std::uint32_t floor = t.cur.view.get(loc);
+  if (is_seq_cst(o)) {
+    floor = std::max(floor, L.sc_write_floor);
+    floor = std::max(floor, L.sc_read_floor);
+  }
+  std::uint32_t hi = L.last_ts();
+  assert(floor <= hi);
+  bool budget = t.stale_reads < cfg_.stale_read_bound;
+
+  std::uint32_t cands[128];
+  std::uint32_t n = 0;
+  for (std::uint32_t i = hi;; --i) {
+    const Message& m = L.history[i];
+    bool stale = i != hi;
+    bool excluded = use_exclude && m.value == exclude_value;
+    if (!excluded && (!stale || budget) && n < 128) cands[n++] = i;
+    if (i == floor) break;
+  }
+
+  if (n == 0) {
+    *has_option = false;
+    return 0;
+  }
+  std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, n);
+  std::uint32_t idx = cands[k];
+  if (idx != hi) ++t.stale_reads;
+  *has_option = true;
+  return idx;
+}
+
+std::uint64_t Engine::atomic_load(std::uint32_t loc, MemoryOrder o) {
+  if (cfg_.strengthen_to_sc) o = MemoryOrder::seq_cst;
+  park(PendingOp{PendingOp::Class::kRead, loc, nullptr});
+  bool has = false;
+  std::uint32_t idx = pick_read(loc, o, 0, false, &has);
+  assert(has);
+  Location& L = locs_[loc];
+  const Message& m = L.history[idx];
+  ThreadMMState& t = cur_mm();
+  if (m.uninit) {
+    report_violation(ViolationKind::kUninitializedLoad,
+                     std::string("load of '") + L.name +
+                         "' observes uninitialized value");
+    abandon_execution();
+  }
+  bump_event(current_);
+  t.cur.view.raise(loc, idx);
+  apply_read_sync(t, m, o);
+  if (is_seq_cst(o)) {
+    L.sc_read_floor = std::max(L.sc_read_floor, idx);
+    t.last_sc_index = next_sc_index();
+  } else {
+    t.last_sc_index = 0;
+  }
+  record(TraceEvent::Kind::kLoad, o, loc, m.value);
+  return m.value;
+}
+
+void Engine::append_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o,
+                          bool is_rmw) {
+  Location& L = locs_[loc];
+  ThreadMMState& t = cur_mm();
+  int tid = current_;
+
+  bump_event(tid);
+  auto ts = static_cast<std::uint32_t>(L.history.size());
+  t.cur.view.set(loc, ts);
+
+  // C++11 release-sequence contiguity: a non-RMW store by thread T breaks
+  // every live release sequence not headed by T.
+  if (!is_rmw) {
+    std::erase_if(L.rs_heads,
+                  [tid](const ReleaseSeqHead& h) { return h.thread != tid; });
+  }
+
+  Message m;
+  m.value = v;
+  m.timestamp = ts;
+  m.writer = tid;
+  m.writer_pos = t.pos;
+
+  support::Timestamps base;
+  bool heads_own = false;
+  if (is_release(o)) {
+    base = t.cur;
+    heads_own = true;
+  } else if (t.has_rel_fence) {
+    base = t.rel_fence;  // fence-promoted (hypothetical) release sequence
+    heads_own = true;
+  }
+  m.sync = base;
+  for (const ReleaseSeqHead& h : L.rs_heads) m.sync.join(h.sync);
+
+  if (is_seq_cst(o)) {
+    L.sc_write_floor = ts;
+    sc_view_.raise(loc, ts);
+    m.sc_index = next_sc_index();
+    t.last_sc_index = m.sc_index;
+  } else {
+    t.last_sc_index = 0;
+  }
+
+  L.history.push_back(std::move(m));
+  if (heads_own) L.rs_heads.push_back(ReleaseSeqHead{tid, std::move(base)});
+  wake_yielded(tid);
+}
+
+void Engine::atomic_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o) {
+  if (cfg_.strengthen_to_sc) o = MemoryOrder::seq_cst;
+  park(PendingOp{PendingOp::Class::kWrite, loc, nullptr});
+  append_store(loc, v, o, /*is_rmw=*/false);
+  record(TraceEvent::Kind::kStore, o, loc, v);
+}
+
+std::uint64_t Engine::atomic_rmw(std::uint32_t loc, MemoryOrder o,
+                                 std::uint64_t (*op)(std::uint64_t, std::uint64_t),
+                                 std::uint64_t operand) {
+  if (cfg_.strengthen_to_sc) o = MemoryOrder::seq_cst;
+  park(PendingOp{PendingOp::Class::kWrite, loc, nullptr});
+  Location& L = locs_[loc];
+  // RMW atomicity: the write is mo-adjacent to the read, so under
+  // append-order mo an RMW always reads the latest message.
+  const Message& tail = L.latest();
+  if (tail.uninit) {
+    report_violation(ViolationKind::kUninitializedLoad,
+                     std::string("rmw on uninitialized '") + L.name + "'");
+    abandon_execution();
+  }
+  std::uint64_t old = tail.value;
+  ThreadMMState& t = cur_mm();
+  apply_read_sync(t, tail, o);
+  t.cur.view.raise(loc, tail.timestamp);
+  append_store(loc, op(old, operand), o, /*is_rmw=*/true);
+  record(TraceEvent::Kind::kRmw, o, loc, old);
+  return old;
+}
+
+std::uint64_t Engine::atomic_exchange(std::uint32_t loc, std::uint64_t v,
+                                      MemoryOrder o) {
+  return atomic_rmw(
+      loc, o, [](std::uint64_t, std::uint64_t nv) { return nv; }, v);
+}
+
+bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
+                        std::uint64_t desired, MemoryOrder success,
+                        MemoryOrder failure) {
+  if (cfg_.strengthen_to_sc) {
+    success = MemoryOrder::seq_cst;
+    failure = MemoryOrder::seq_cst;
+  }
+  park(PendingOp{PendingOp::Class::kWrite, loc, nullptr});
+  Location& L = locs_[loc];
+  ThreadMMState& t = cur_mm();
+  const bool can_succeed = !L.latest().uninit && L.latest().value == expected;
+  const bool tail_uninit = L.latest().uninit;
+
+  // Failure candidates: any coherence-eligible message whose value differs
+  // from `expected` (a failed CAS is just an atomic load).
+  std::uint32_t floor = t.cur.view.get(loc);
+  if (is_seq_cst(failure)) {
+    floor = std::max(floor, L.sc_write_floor);
+    floor = std::max(floor, L.sc_read_floor);
+  }
+  std::uint32_t hi = L.last_ts();
+  bool budget = t.stale_reads < cfg_.stale_read_bound;
+  std::uint32_t fails[128];
+  std::uint32_t nf = 0;
+  for (std::uint32_t i = hi;; --i) {
+    const Message& m = L.history[i];
+    bool stale = i != hi;
+    if (m.value != expected && (!stale || budget) && nf < 128) fails[nf++] = i;
+    if (i == floor) break;
+  }
+
+  std::uint32_t total = (can_succeed ? 1u : 0u) + nf;
+  if (total == 0) {
+    // Tail holds `expected` but is uninitialized, or no candidate at all.
+    report_violation(ViolationKind::kUninitializedLoad,
+                     std::string("cas on uninitialized '") + L.name + "'");
+    abandon_execution();
+  }
+  std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, total);
+
+  if (can_succeed && k == 0) {
+    const Message& tail = L.latest();
+    apply_read_sync(t, tail, success);
+    t.cur.view.raise(loc, tail.timestamp);
+    append_store(loc, desired, success, /*is_rmw=*/true);
+    record(TraceEvent::Kind::kRmw, success, loc, desired);
+    return true;
+  }
+
+  std::uint32_t idx = fails[can_succeed ? k - 1 : k];
+  const Message& m = L.history[idx];
+  if (m.uninit || tail_uninit) {
+    report_violation(ViolationKind::kUninitializedLoad,
+                     std::string("cas-fail load of uninitialized '") + L.name + "'");
+    abandon_execution();
+  }
+  if (idx != hi) ++t.stale_reads;
+  bump_event(current_);
+  t.cur.view.raise(loc, idx);
+  apply_read_sync(t, m, failure);
+  if (is_seq_cst(failure)) {
+    L.sc_read_floor = std::max(L.sc_read_floor, idx);
+    t.last_sc_index = next_sc_index();
+  } else {
+    t.last_sc_index = 0;
+  }
+  expected = m.value;
+  record(TraceEvent::Kind::kCasFail, failure, loc, m.value);
+  return false;
+}
+
+void Engine::atomic_thread_fence(MemoryOrder o) {
+  if (cfg_.strengthen_to_sc) o = MemoryOrder::seq_cst;
+  park(PendingOp{is_seq_cst(o) ? PendingOp::Class::kScFence
+                               : PendingOp::Class::kInternal,
+                 0, nullptr});
+  ThreadMMState& t = cur_mm();
+  bump_event(current_);
+  if (is_acquire(o)) {
+    t.cur.join(t.acq_pending);
+    t.acq_pending.clear();
+  }
+  if (is_seq_cst(o)) {
+    // Coherence propagation along the total SC order; hb still requires
+    // the fence-release/fence-acquire pairing below.
+    t.cur.view.join(sc_view_);
+    sc_view_.join(t.cur.view);
+    t.last_sc_index = next_sc_index();
+  } else {
+    t.last_sc_index = 0;
+  }
+  if (is_release(o)) {
+    t.rel_fence = t.cur;
+    t.has_rel_fence = true;
+  }
+  record(TraceEvent::Kind::kFence, o, TraceEvent::kNoLoc, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Plain accesses (race detection) and mutexes
+// ---------------------------------------------------------------------------
+
+void Engine::plain_read(RaceShadow& s) {
+  ThreadMMState& t = cur_mm();
+  int tid = current_;
+  if (s.w_thread >= 0 && s.w_thread != tid &&
+      t.cur.vc.get(static_cast<std::size_t>(s.w_thread)) < s.w_pos) {
+    report_violation(ViolationKind::kDataRace,
+                     std::string("read of '") + s.name + "' by T" +
+                         std::to_string(tid) + " races with write by T" +
+                         std::to_string(s.w_thread));
+    abandon_execution();
+  }
+  s.reads.raise(static_cast<std::size_t>(tid), t.pos + 1);
+}
+
+void Engine::plain_write(RaceShadow& s) {
+  ThreadMMState& t = cur_mm();
+  int tid = current_;
+  if (s.w_thread >= 0 && s.w_thread != tid &&
+      t.cur.vc.get(static_cast<std::size_t>(s.w_thread)) < s.w_pos) {
+    report_violation(ViolationKind::kDataRace,
+                     std::string("write of '") + s.name + "' by T" +
+                         std::to_string(tid) + " races with write by T" +
+                         std::to_string(s.w_thread));
+    abandon_execution();
+  }
+  for (std::size_t u = 0; u < s.reads.stored_size(); ++u) {
+    if (static_cast<int>(u) == tid) continue;
+    if (s.reads.get(u) > t.cur.vc.get(u)) {
+      report_violation(ViolationKind::kDataRace,
+                       std::string("write of '") + s.name + "' by T" +
+                           std::to_string(tid) + " races with read by T" +
+                           std::to_string(u));
+      abandon_execution();
+    }
+  }
+  s.w_thread = tid;
+  s.w_pos = t.pos + 1;
+  s.reads.clear();
+}
+
+void Engine::mutex_lock(MutexState& m) {
+  park(PendingOp{PendingOp::Class::kMutex, 0, &m});
+  while (m.holder != -1) {
+    cur().waiting_mutex = &m;
+    block(ThreadStatus::kBlockedMutex);
+    cur().waiting_mutex = nullptr;
+  }
+  m.holder = current_;
+  bump_event(current_);
+  cur_mm().cur.join(m.release_ts);  // sw: previous unlock -> this lock
+  cur_mm().last_sc_index = 0;
+  record(TraceEvent::Kind::kLock, MemoryOrder::acquire, TraceEvent::kNoLoc, 0);
+}
+
+void Engine::mutex_unlock(MutexState& m) {
+  park(PendingOp{PendingOp::Class::kMutex, 0, &m});
+  if (m.holder != current_) fatal("mutex unlocked by non-owner");
+  bump_event(current_);
+  m.release_ts = cur_mm().cur;
+  m.holder = -1;
+  cur_mm().last_sc_index = 0;
+  for (int i = 0; i < spawned_; ++i) {
+    Thread& u = threads_[static_cast<std::size_t>(i)];
+    if (u.status == ThreadStatus::kBlockedMutex && u.waiting_mutex == &m) {
+      u.status = ThreadStatus::kRunnable;
+    }
+  }
+  wake_yielded(current_);
+  record(TraceEvent::Kind::kUnlock, MemoryOrder::release, TraceEvent::kNoLoc, 0);
+}
+
+}  // namespace cds::mc

@@ -1,0 +1,311 @@
+// The exploration engine: an exhaustive, stateless model checker for the
+// C/C++11 memory model (the CDSChecker-equivalent substrate of the paper).
+//
+// A test body is a function over an Exec facade; it constructs the data
+// structure under test, spawns modeled threads, and joins them. The engine
+// re-runs the body once per explored execution, enumerating by DFS:
+//   - the schedule: which enabled thread performs each visible operation,
+//   - reads-from: which coherence-eligible message each atomic load reads.
+// Per-thread views make stale reads, release/acquire synchronization,
+// release sequences, fences, RMW atomicity, and SC constraints behave as
+// the C/C++11 model allows (see DESIGN.md for the exact operational rules
+// and their deviations).
+#ifndef CDS_MC_ENGINE_H
+#define CDS_MC_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fiber/fiber.h"
+#include "mc/config.h"
+#include "mc/location.h"
+#include "mc/memory_order.h"
+#include "mc/thread_state.h"
+#include "mc/trail.h"
+#include "mc/violation.h"
+#include "support/arena.h"
+#include "support/vector_clock.h"
+
+namespace cds::mc {
+
+class Engine;
+class Exec;
+
+// Hook for the specification layer (and tests) into the exploration loop.
+class ExecutionListener {
+ public:
+  virtual ~ExecutionListener() = default;
+  virtual void on_execution_begin(Engine&) {}
+  // Called for every feasible execution that completed without a built-in
+  // violation. Return false to stop exploring.
+  virtual bool on_execution_complete(Engine&) { return true; }
+};
+
+struct ExplorationStats {
+  std::uint64_t executions = 0;        // total explored
+  std::uint64_t feasible = 0;          // completed (checkable) executions
+  std::uint64_t pruned_bound = 0;      // hit the step bound
+  std::uint64_t pruned_livelock = 0;   // only yielded spinners remained
+  std::uint64_t pruned_redundant = 0;  // sleep-set: prefix covered elsewhere
+  std::uint64_t builtin_violation_execs = 0;
+  std::uint64_t violations_total = 0;  // built-in + spec-layer reports
+  bool hit_execution_cap = false;
+  bool stopped_early = false;
+  double seconds = 0.0;
+};
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kLoad, kStore, kRmw, kCasFail, kFence,
+    kSpawn, kJoin, kYield, kLock, kUnlock, kThreadEnd,
+  };
+  static constexpr std::uint32_t kNoLoc = 0xffffffffu;
+
+  Kind kind;
+  std::int16_t thread;
+  MemoryOrder order;
+  std::uint32_t loc;
+  std::uint64_t value;
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind k);
+
+// Shadow state for a plain (non-atomic) shared variable; drives the
+// FastTrack-style built-in race detector.
+struct RaceShadow {
+  std::int32_t w_thread = -1;
+  std::uint32_t w_pos = 0;
+  support::VectorClock reads;
+  const char* name = "var";
+};
+
+// Scheduler-aware mutex state (see mc/sync.h for the user-facing wrapper).
+struct MutexState {
+  std::int32_t holder = -1;
+  support::Timestamps release_ts;
+  const char* name = "mutex";
+};
+
+using TestFn = std::function<void(Exec&)>;
+
+class Engine {
+ public:
+  explicit Engine(Config cfg = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Exhaustively explores `test`. Reentrant per Engine object (stats are
+  // per call); not safe to run two Engines on one OS thread concurrently.
+  ExplorationStats explore(const TestFn& test);
+
+  void set_listener(ExecutionListener* l) { listener_ = l; }
+
+  // --- introspection (valid while an execution is live or being checked) --
+  [[nodiscard]] int current_thread() const { return current_; }
+  [[nodiscard]] int thread_count() const { return spawned_; }
+  [[nodiscard]] const ThreadMMState& mm(int tid) const;
+  [[nodiscard]] std::uint64_t execution_index() const { return exec_index_; }
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const char* location_name(std::uint32_t loc) const;
+
+  // Reporting channel shared by built-in checks and the spec layer.
+  void report_violation(ViolationKind k, std::string detail);
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t violations_total() const { return violations_total_; }
+  [[nodiscard]] bool execution_has_builtin_violation() const { return had_builtin_; }
+
+  // Renders the current execution's event trace (diagnostics).
+  [[nodiscard]] std::string format_trace() const;
+
+  // Snapshot of the current execution's choice sequence; feed it back to
+  // replay() to re-run exactly this execution (e.g. to re-examine a
+  // violation with richer tracing).
+  [[nodiscard]] std::vector<Choice> current_trail() const { return trail_.raw(); }
+  void replay(const std::vector<Choice>& saved, const TestFn& test);
+
+  // --- modeled-code API (called from inside test fibers) ---------------
+  // Engine driving the calling fiber; null outside explore().
+  static Engine* current();
+
+  std::uint32_t new_location(const char* name, bool initialized,
+                             std::uint64_t init_value);
+  std::uint64_t atomic_load(std::uint32_t loc, MemoryOrder o);
+  void atomic_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o);
+  // Generic RMW: new_value = op(old_value, operand); returns old value.
+  std::uint64_t atomic_rmw(std::uint32_t loc, MemoryOrder o,
+                           std::uint64_t (*op)(std::uint64_t, std::uint64_t),
+                           std::uint64_t operand);
+  bool atomic_cas(std::uint32_t loc, std::uint64_t& expected,
+                  std::uint64_t desired, MemoryOrder success,
+                  MemoryOrder failure);
+  std::uint64_t atomic_exchange(std::uint32_t loc, std::uint64_t v, MemoryOrder o);
+  void atomic_thread_fence(MemoryOrder o);
+
+  void plain_read(RaceShadow& s);
+  void plain_write(RaceShadow& s);
+
+  void mutex_lock(MutexState& m);
+  void mutex_unlock(MutexState& m);
+
+  int spawn_thread(std::function<void()> body);
+  void join_thread(int tid);
+  void yield_thread();
+
+  support::Arena& arena() { return arena_; }
+
+ private:
+  // What a parked thread is about to do; drives the independence-based
+  // schedule reduction (two pending operations that commute need no
+  // schedule branch — see run_one()).
+  struct PendingOp {
+    enum class Class : std::uint8_t {
+      kInternal,  // spawn/join/yield/acq-rel fence: thread-local effect
+      kRead,      // atomic load (incl. failed-CAS read)
+      kWrite,     // store / rmw / cas
+      kScFence,   // conflicts with every memory op (global SC view)
+      kMutex,     // lock/unlock on a specific mutex
+    };
+    Class cls = Class::kInternal;
+    std::uint32_t loc = 0;
+    const MutexState* mutex = nullptr;
+  };
+
+  struct Thread {
+    std::unique_ptr<fiber::Fiber> fib;
+    ThreadMMState mm;
+    ThreadStatus status = ThreadStatus::kAbsent;
+    int waiting_join = -1;
+    const MutexState* waiting_mutex = nullptr;
+    std::function<void()> body;
+    PendingOp pending;
+  };
+
+  // Sleep-set reduction (Godefroid): after a schedule alternative's subtree
+  // is explored, that thread sleeps for the sibling subtrees until some
+  // dependent (conflicting) operation executes. Prunes redundant
+  // interleavings without losing behaviors.
+  struct SleepEntry {
+    int tid;
+    PendingOp op;
+  };
+
+  // True iff the two pending operations do not commute (executing them in
+  // either order can differ): same-location with a write, same mutex, or
+  // an SC fence against any memory operation.
+  static bool conflicts(const PendingOp& a, const PendingOp& b);
+
+  void run_one(const TestFn& test);
+  void reset_execution_state();
+  // Parks the calling fiber at a visible-operation boundary, declaring the
+  // operation it is about to perform; returns when the scheduler picks
+  // this thread again.
+  void park(PendingOp op);
+  void block(ThreadStatus why);
+  void switch_to_scheduler();
+  void abandon_execution();
+  void thread_exit();
+  Thread& cur() { return threads_[static_cast<std::size_t>(current_)]; }
+  ThreadMMState& cur_mm() { return cur().mm; }
+  void bump_event(int tid);
+  void wake_yielded(int except);
+  void apply_read_sync(ThreadMMState& t, const Message& m, MemoryOrder o);
+  // Appends a store message; shared by store/rmw/cas-success paths.
+  // `read_from` is the message an RMW read (nullptr for plain stores).
+  void append_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o,
+                    bool is_rmw);
+  // Resolves which message a load observes (choice point); returns its
+  // timestamp index. `exclude_value`/`use_exclude` implement failed-CAS
+  // reads, which may only observe messages with value != expected.
+  std::uint32_t pick_read(std::uint32_t loc, MemoryOrder o,
+                          std::uint64_t exclude_value, bool use_exclude,
+                          bool* has_option);
+  std::uint32_t next_sc_index() { return ++sc_counter_; }
+  void record(TraceEvent::Kind k, MemoryOrder o, std::uint32_t loc,
+              std::uint64_t value);
+
+  enum class Outcome : std::uint8_t {
+    kRunning, kComplete, kPrunedBound, kPrunedLivelock, kPrunedRedundant,
+    kBuiltinViolation,
+  };
+
+  Config cfg_;
+  ExecutionListener* listener_ = nullptr;
+
+  fiber::Fiber sched_fiber_;
+  std::vector<Thread> threads_;
+  int spawned_ = 0;
+  int current_ = -1;
+
+  std::vector<Location> locs_;
+  support::View sc_view_;      // coherence propagated through seq_cst fences
+  std::uint32_t sc_counter_ = 0;
+
+  Trail trail_;
+  std::vector<SleepEntry> sleep_;
+  support::Arena arena_;
+  std::vector<TraceEvent> trace_;
+
+  std::uint64_t exec_index_ = 0;
+  std::uint64_t steps_ = 0;
+  Outcome outcome_ = Outcome::kRunning;
+  bool had_builtin_ = false;
+  bool abandoned_ = false;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violations_total_ = 0;
+};
+
+// Facade handed to test bodies.
+class Exec {
+ public:
+  explicit Exec(Engine& e) : e_(e) {}
+
+  // Spawns a modeled thread; returns its id.
+  int spawn(std::function<void()> body) { return e_.spawn_thread(std::move(body)); }
+  void join(int tid) { e_.join_thread(tid); }
+  // Spin-loop annotation (CDSChecker's thrd_yield): deprioritizes the
+  // calling thread until another thread performs a store.
+  void yield() { e_.yield_thread(); }
+
+  // Per-execution allocation; memory is recycled between executions, no
+  // destructors run. Use for nodes the structure never frees.
+  template <typename T, typename... A>
+  T* make(A&&... a) {
+    return e_.arena().make<T>(static_cast<A&&>(a)...);
+  }
+
+  Engine& engine() { return e_; }
+
+ private:
+  Engine& e_;
+};
+
+// Convenience wrappers for data-structure internals that do not hold an
+// Exec handle (the modeling analogue of thrd_yield / malloc in CDSChecker
+// benchmarks).
+inline void yield() { Engine::current()->yield_thread(); }
+
+// CDSChecker-style user assertion (the paper's footnote 6: assertions can
+// check properties — e.g. of aggregate methods — that the specification
+// machinery does not cover). A failure is reported as a violation for the
+// current execution; exploration continues (subject to
+// stop_on_first_violation).
+inline void model_assert(bool cond, const char* what = "model_assert") {
+  if (!cond) {
+    Engine::current()->report_violation(ViolationKind::kUserAssertion, what);
+  }
+}
+
+template <typename T, typename... A>
+T* alloc(A&&... a) {
+  return Engine::current()->arena().make<T>(static_cast<A&&>(a)...);
+}
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_ENGINE_H

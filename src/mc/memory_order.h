@@ -1,0 +1,74 @@
+// Memory orders of the C/C++11 model as explored by the checker.
+//
+// `consume` is intentionally absent: like CDSChecker's benchmarks, we treat
+// would-be consume loads as acquire (the strengthening every compiler
+// performs).
+#ifndef CDS_MC_MEMORY_ORDER_H
+#define CDS_MC_MEMORY_ORDER_H
+
+#include <cstdint>
+
+namespace cds::mc {
+
+enum class MemoryOrder : std::uint8_t {
+  relaxed = 0,
+  acquire = 1,
+  release = 2,
+  acq_rel = 3,
+  seq_cst = 4,
+};
+
+[[nodiscard]] constexpr bool is_acquire(MemoryOrder o) {
+  return o == MemoryOrder::acquire || o == MemoryOrder::acq_rel ||
+         o == MemoryOrder::seq_cst;
+}
+
+[[nodiscard]] constexpr bool is_release(MemoryOrder o) {
+  return o == MemoryOrder::release || o == MemoryOrder::acq_rel ||
+         o == MemoryOrder::seq_cst;
+}
+
+[[nodiscard]] constexpr bool is_seq_cst(MemoryOrder o) {
+  return o == MemoryOrder::seq_cst;
+}
+
+[[nodiscard]] constexpr const char* to_string(MemoryOrder o) {
+  switch (o) {
+    case MemoryOrder::relaxed: return "relaxed";
+    case MemoryOrder::acquire: return "acquire";
+    case MemoryOrder::release: return "release";
+    case MemoryOrder::acq_rel: return "acq_rel";
+    case MemoryOrder::seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+// The next-weaker parameter, as used by the paper's injection experiment
+// (Section 6.4.2): seq_cst -> acq_rel, acq_rel -> release/acquire,
+// acquire/release -> relaxed. For loads an acq_rel weakening means acquire,
+// for stores it means release; `for_load`/`for_store` pick the legal form.
+[[nodiscard]] constexpr MemoryOrder weaker(MemoryOrder o) {
+  switch (o) {
+    case MemoryOrder::seq_cst: return MemoryOrder::acq_rel;
+    case MemoryOrder::acq_rel: return MemoryOrder::release;
+    case MemoryOrder::release: return MemoryOrder::relaxed;
+    case MemoryOrder::acquire: return MemoryOrder::relaxed;
+    case MemoryOrder::relaxed: return MemoryOrder::relaxed;
+  }
+  return MemoryOrder::relaxed;
+}
+
+// Restrict an order to the forms a plain load / plain store accepts.
+[[nodiscard]] constexpr MemoryOrder for_load(MemoryOrder o) {
+  if (o == MemoryOrder::acq_rel || o == MemoryOrder::release) return MemoryOrder::acquire;
+  return o;
+}
+
+[[nodiscard]] constexpr MemoryOrder for_store(MemoryOrder o) {
+  if (o == MemoryOrder::acq_rel || o == MemoryOrder::acquire) return MemoryOrder::release;
+  return o;
+}
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_MEMORY_ORDER_H

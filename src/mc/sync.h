@@ -1,0 +1,38 @@
+// Modeled mutex with scheduler-aware blocking (no spin-loop state
+// explosion) and release/acquire happens-before edges between unlock and
+// the next lock. Used by lock-based benchmarks (e.g. the concurrent
+// hashmap's segments).
+#ifndef CDS_MC_SYNC_H
+#define CDS_MC_SYNC_H
+
+#include "mc/engine.h"
+
+namespace cds::mc {
+
+class Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex") { st_.name = name; }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { Engine::current()->mutex_lock(st_); }
+  void unlock() { Engine::current()->mutex_unlock(st_); }
+
+ private:
+  MutexState st_;
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_SYNC_H

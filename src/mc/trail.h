@@ -1,0 +1,81 @@
+// DFS trail over non-deterministic choice points.
+//
+// The explorer is stateless in CDSChecker's sense: every execution re-runs
+// the test body from scratch, replaying the recorded prefix of choices and
+// taking the first untried alternative at the deepest non-exhausted choice
+// point. Because executions are deterministic functions of their choice
+// sequence, replaying a prefix always reaches the same choice points with
+// the same alternative counts (checked in debug builds).
+#ifndef CDS_MC_TRAIL_H
+#define CDS_MC_TRAIL_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cds::mc {
+
+enum class ChoiceKind : std::uint8_t {
+  kSchedule,   // which enabled thread performs the next visible operation
+  kReadsFrom,  // which eligible message a load observes
+};
+
+struct Choice {
+  ChoiceKind kind;
+  std::uint16_t chosen;
+  std::uint16_t num;
+};
+
+class Trail {
+ public:
+  void reset_all() {
+    v_.clear();
+    pos_ = 0;
+  }
+
+  void begin_execution() { pos_ = 0; }
+
+  // Resolve a choice point with `num` alternatives; returns the index to
+  // take. Choice points with a single alternative are not recorded.
+  std::uint32_t choose(ChoiceKind kind, std::uint32_t num) {
+    assert(num >= 1 && num < 0x10000);
+    if (num == 1) return 0;
+    if (pos_ < v_.size()) {
+      const Choice& c = v_[pos_];
+      assert(c.kind == kind && c.num == num &&
+             "non-deterministic replay: test bodies must be pure functions "
+             "of the trail");
+      ++pos_;
+      return c.chosen;
+    }
+    v_.push_back(Choice{kind, 0, static_cast<std::uint16_t>(num)});
+    ++pos_;
+    return 0;
+  }
+
+  // Move to the next DFS leaf. Returns false when the tree is exhausted.
+  bool advance() {
+    while (!v_.empty() && v_.back().chosen + 1u >= v_.back().num) v_.pop_back();
+    if (v_.empty()) return false;
+    ++v_.back().chosen;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t depth() const { return v_.size(); }
+  [[nodiscard]] const std::vector<Choice>& raw() const { return v_; }
+
+  // Restore a previously captured trail (used to replay a violating
+  // execution for diagnostics).
+  void restore(std::vector<Choice> saved) {
+    v_ = std::move(saved);
+    pos_ = 0;
+  }
+
+ private:
+  std::vector<Choice> v_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_TRAIL_H

@@ -1,0 +1,42 @@
+// Modeled plain (non-atomic) shared variable.
+//
+// Accesses are checked by the built-in FastTrack-style race detector: two
+// conflicting accesses not ordered by happens-before are a data race (which
+// the C/C++11 standard makes undefined behavior, and which CDSChecker's
+// built-in checks report). Accesses are invisible to the scheduler — race
+// detection via clocks is schedule-insensitive.
+#ifndef CDS_MC_VAR_H
+#define CDS_MC_VAR_H
+
+#include "mc/engine.h"
+
+namespace cds::mc {
+
+template <typename T>
+class Var {
+ public:
+  explicit Var(const char* name = "var") { shadow_.name = name; }
+
+  Var(T init, const char* name = "var") : v_(init) { shadow_.name = name; }
+
+  Var(const Var&) = delete;
+  Var& operator=(const Var&) = delete;
+
+  [[nodiscard]] T read() const {
+    Engine::current()->plain_read(shadow_);
+    return v_;
+  }
+
+  void write(T v) {
+    Engine::current()->plain_write(shadow_);
+    v_ = v;
+  }
+
+ private:
+  T v_{};
+  mutable RaceShadow shadow_;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_VAR_H

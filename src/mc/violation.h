@@ -1,0 +1,40 @@
+// Violation records: CDSChecker-style built-in checks plus the spec layer's
+// reports (the spec checker files its findings through the same channel so
+// harnesses see one stream of diagnostics).
+#ifndef CDS_MC_VIOLATION_H
+#define CDS_MC_VIOLATION_H
+
+#include <string>
+
+namespace cds::mc {
+
+enum class ViolationKind {
+  kDataRace,           // unordered conflicting plain accesses
+  kUninitializedLoad,  // atomic load observes the pre-init message
+  kDeadlock,           // every live thread is blocked
+  kInadmissible,       // execution outside the spec's admissibility (warn)
+  kSpecAssertion,      // sequential-history / justification check failed
+  kUserAssertion,      // mc::model_assert failed (CDSChecker-style assert)
+};
+
+[[nodiscard]] constexpr const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kDataRace: return "data race";
+    case ViolationKind::kUninitializedLoad: return "uninitialized load";
+    case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kInadmissible: return "inadmissible execution";
+    case ViolationKind::kSpecAssertion: return "specification violation";
+    case ViolationKind::kUserAssertion: return "assertion failure";
+  }
+  return "?";
+}
+
+struct Violation {
+  ViolationKind kind;
+  std::string detail;
+  std::uint64_t execution_index = 0;  // which explored execution produced it
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_VIOLATION_H

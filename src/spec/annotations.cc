@@ -1,0 +1,144 @@
+#include "spec/annotations.h"
+
+#include <cassert>
+#include <string>
+
+#include "mc/engine.h"
+
+namespace cds::spec {
+
+namespace {
+Recorder* g_recorder = nullptr;
+}
+
+Recorder* Recorder::current() { return g_recorder; }
+void Recorder::set_current(Recorder* r) { g_recorder = r; }
+
+void Recorder::begin_execution(const void* engine_tag) {
+  engine_tag_ = engine_tag;
+  calls_.clear();
+  next_object_ = 0;
+  depth_.assign(depth_.size(), 0);
+}
+
+int Recorder::enter(int tid) {
+  if (static_cast<std::size_t>(tid) >= depth_.size()) {
+    depth_.resize(static_cast<std::size_t>(tid) + 1, 0);
+  }
+  return depth_[static_cast<std::size_t>(tid)]++;
+}
+
+void Recorder::leave(int tid) {
+  assert(static_cast<std::size_t>(tid) < depth_.size() &&
+         depth_[static_cast<std::size_t>(tid)] > 0);
+  --depth_[static_cast<std::size_t>(tid)];
+}
+
+void Recorder::commit(CallRecord rec) {
+  rec.id = static_cast<std::uint32_t>(calls_.size());
+  calls_.push_back(std::move(rec));
+}
+
+Object::Object(const Specification& s) : spec_(&s) {
+  Recorder* r = Recorder::current();
+  mc::Engine* e = mc::Engine::current();
+  if (r != nullptr && e != nullptr && r->armed_for(e)) id_ = r->new_object();
+}
+
+Method::Method(const Object& obj, const char* name,
+               std::initializer_list<std::int64_t> args)
+    : spec_(&obj.spec()) {
+  mc::Engine* e = mc::Engine::current();
+  Recorder* r = Recorder::current();
+  if (e == nullptr || r == nullptr || !r->armed_for(e)) return;
+  rec_ = r;
+  tid_ = e->current_thread();
+  // Only the outermost API method call is recorded (Section 4.3: nested
+  // API calls are internal calls).
+  int prev_depth = rec_->enter(tid_);
+  if (prev_depth > 0) return;
+  active_ = true;
+  call_.spec = spec_;
+  call_.object = obj.id();
+  call_.method = spec_->method_index(name);
+  assert(call_.method >= 0 && "method not declared in the specification");
+  call_.thread = tid_;
+  int i = 0;
+  for (std::int64_t a : args) {
+    if (i < CallRecord::kMaxArgs) call_.args[i++] = a;
+  }
+  call_.nargs = i;
+}
+
+Method::~Method() {
+  if (rec_ == nullptr) return;
+  rec_->leave(tid_);
+  if (active_) rec_->commit(std::move(call_));
+}
+
+std::int64_t Method::ret(std::int64_t v) {
+  if (active_) {
+    call_.c_ret = v;
+    call_.has_ret = true;
+  }
+  return v;
+}
+
+OPEvent Method::snapshot() const {
+  const mc::ThreadMMState& st = mc::Engine::current()->mm(tid_);
+  OPEvent ev;
+  ev.thread = tid_;
+  ev.pos = st.pos;
+  ev.vc = st.cur.vc;
+  ev.sc_index = st.last_sc_index;
+  return ev;
+}
+
+void Method::note_site(const char* kind, const std::source_location& loc) const {
+  if (spec_ == nullptr) return;
+  // One spec "line" per distinct textual annotation site.
+  const_cast<Specification*>(spec_)->note_op_site(
+      std::string(kind) + "@" + loc.file_name() + ":" + std::to_string(loc.line()));
+}
+
+void Method::op_define(std::source_location loc) {
+  note_site("op_define", loc);
+  if (!active_) return;
+  call_.ops.push_back(snapshot());
+}
+
+void Method::potential_op(int label, std::source_location loc) {
+  note_site("potential_op", loc);
+  if (!active_) return;
+  potentials_.emplace_back(label, snapshot());
+}
+
+void Method::op_check(int label, std::source_location loc) {
+  note_site("op_check", loc);
+  if (!active_) return;
+  for (auto it = potentials_.begin(); it != potentials_.end();) {
+    if (it->first == label) {
+      call_.ops.push_back(std::move(it->second));
+      it = potentials_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Method::op_clear(std::source_location loc) {
+  note_site("op_clear", loc);
+  if (!active_) return;
+  call_.ops.clear();
+  potentials_.clear();
+}
+
+void Method::op_clear_define(std::source_location loc) {
+  note_site("op_clear_define", loc);
+  if (!active_) return;
+  call_.ops.clear();
+  potentials_.clear();
+  call_.ops.push_back(snapshot());
+}
+
+}  // namespace cds::spec

@@ -1,0 +1,126 @@
+// Runtime annotation API embedded in data-structure implementations.
+//
+// This is the executable counterpart of the instrumentation the paper's
+// specification compiler inserts: method boundaries with argument/return
+// capture, and the ordering-point annotations of Figure 5 (OPDefine,
+// PotentialOP, OPCheck, OPClear, OPClearDefine).
+//
+// Usage inside a data structure:
+//
+//   int deq() {
+//     cds::spec::Method m(spec_obj_, "deq");
+//     while (true) {
+//       Node* h = head.load(acquire);
+//       Node* n = h->next.load(acquire);
+//       m.op_clear_define();                    // @OPClearDefine: true
+//       if (n == nullptr) return m.ret(-1);
+//       if (head.compare_exchange_strong(h, n, release))
+//         return m.ret(n->data);
+//     }
+//   }
+//
+// Annotations are no-ops when no SpecChecker is attached (the same source
+// runs under a plain Engine), and nested API method calls are treated as
+// internal (only the outermost call is recorded), per Section 4.3.
+#ifndef CDS_SPEC_ANNOTATIONS_H
+#define CDS_SPEC_ANNOTATIONS_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <source_location>
+#include <vector>
+
+#include "spec/call.h"
+#include "spec/specification.h"
+
+namespace cds::spec {
+
+class Recorder {
+ public:
+  // The recorder guards consult; set/cleared by SpecChecker.
+  static Recorder* current();
+  static void set_current(Recorder* r);
+
+  // Arms the recorder for one execution driven by `engine`.
+  void begin_execution(const void* engine_tag);
+  [[nodiscard]] bool armed_for(const void* engine_tag) const {
+    return engine_tag != nullptr && engine_tag == engine_tag_;
+  }
+
+  std::uint32_t new_object() { return next_object_++; }
+
+  // Per-thread API-call nesting (outermost-only recording).
+  [[nodiscard]] int enter(int tid);  // returns previous depth
+  void leave(int tid);
+
+  void commit(CallRecord rec);
+
+  [[nodiscard]] const std::vector<CallRecord>& calls() const { return calls_; }
+
+ private:
+  const void* engine_tag_ = nullptr;
+  std::vector<CallRecord> calls_;
+  std::uint32_t next_object_ = 0;
+  std::vector<int> depth_;
+};
+
+// Binds one data-structure instance to its specification. Construct inside
+// the test body (one per modeled object per execution).
+class Object {
+ public:
+  explicit Object(const Specification& s);
+
+  [[nodiscard]] const Specification& spec() const { return *spec_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  const Specification* spec_;
+  std::uint32_t id_ = 0;
+};
+
+// RAII method-boundary guard; also the handle for ordering-point
+// annotations and return-value capture.
+class Method {
+ public:
+  Method(const Object& obj, const char* name,
+         std::initializer_list<std::int64_t> args = {});
+  ~Method();
+  Method(const Method&) = delete;
+  Method& operator=(const Method&) = delete;
+
+  // Captures the concurrent return value (C_RET); returns v so call sites
+  // can write `return m.ret(v);`.
+  std::int64_t ret(std::int64_t v);
+
+  // @OPDefine: the atomic operation this thread just performed is an
+  // ordering point.
+  void op_define(std::source_location loc = std::source_location::current());
+  // @PotentialOP(label)
+  void potential_op(int label,
+                    std::source_location loc = std::source_location::current());
+  // @OPCheck(label): promote previously recorded potential ordering points
+  // with this label to real ordering points.
+  void op_check(int label,
+                std::source_location loc = std::source_location::current());
+  // @OPClear: discard all ordering points recorded so far in this call.
+  void op_clear(std::source_location loc = std::source_location::current());
+  // @OPClearDefine: OPClear followed by OPDefine.
+  void op_clear_define(std::source_location loc = std::source_location::current());
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  [[nodiscard]] OPEvent snapshot() const;
+  void note_site(const char* kind, const std::source_location& loc) const;
+
+  Recorder* rec_ = nullptr;
+  const Specification* spec_ = nullptr;
+  int tid_ = -1;
+  bool active_ = false;
+  CallRecord call_;
+  std::vector<std::pair<int, OPEvent>> potentials_;
+};
+
+}  // namespace cds::spec
+
+#endif  // CDS_SPEC_ANNOTATIONS_H

@@ -1,0 +1,73 @@
+// Recorded method calls and their ordering points.
+//
+// During an explored execution the annotation runtime (spec/annotations.h)
+// collects one CallRecord per outermost API method call: its name, argument
+// and return values, and the ordering-point events that determine how the
+// call is ordered relative to other calls by the paper's `r = hb ∪ sc`
+// relation (Section 3.1).
+#ifndef CDS_SPEC_CALL_H
+#define CDS_SPEC_CALL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/vector_clock.h"
+
+namespace cds::spec {
+
+class Specification;
+
+// An atomic operation chosen as an ordering point, with enough of the
+// memory-model state snapshotted to answer hb/sc queries afterwards.
+struct OPEvent {
+  int thread = -1;
+  std::uint32_t pos = 0;          // per-thread event position
+  support::VectorClock vc;        // thread clock right after the event
+  std::uint32_t sc_index = 0;     // position in the SC total order, 0 = none
+};
+
+// x is ordered before y by hb: y's clock covers x's event.
+[[nodiscard]] inline bool hb_before(const OPEvent& x, const OPEvent& y) {
+  if (x.thread == y.thread) return x.pos < y.pos;
+  return y.vc.get(static_cast<std::size_t>(x.thread)) >= x.pos;
+}
+
+// x is ordered before y by the union of hb and the SC total order.
+[[nodiscard]] inline bool r_before(const OPEvent& x, const OPEvent& y) {
+  if (hb_before(x, y)) return true;
+  return x.sc_index != 0 && y.sc_index != 0 && x.sc_index < y.sc_index;
+}
+
+struct CallRecord {
+  std::uint32_t id = 0;  // completion order within the execution
+  const Specification* spec = nullptr;
+  std::uint32_t object = 0;  // per-execution object instance id
+  int method = -1;           // index into the spec's method table
+  int thread = -1;
+
+  static constexpr int kMaxArgs = 4;
+  std::int64_t args[kMaxArgs] = {0, 0, 0, 0};
+  int nargs = 0;
+  std::int64_t c_ret = 0;
+  bool has_ret = false;
+
+  std::vector<OPEvent> ops;
+
+  [[nodiscard]] std::int64_t arg(int i) const { return args[i]; }
+};
+
+// m1 r-> m2 at the method-call level: some ordering point of m1 is ordered
+// before some ordering point of m2 (Section 5.2 "Extracting the Ordering
+// Relation").
+[[nodiscard]] inline bool call_r_before(const CallRecord& m1, const CallRecord& m2) {
+  for (const OPEvent& x : m1.ops) {
+    for (const OPEvent& y : m2.ops) {
+      if (r_before(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cds::spec
+
+#endif  // CDS_SPEC_CALL_H

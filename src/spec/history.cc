@@ -1,0 +1,133 @@
+#include "spec/history.h"
+
+#include "support/rng.h"
+
+namespace cds::spec {
+
+std::vector<std::vector<int>> build_r_edges(
+    const std::vector<const CallRecord*>& calls) {
+  const int n = static_cast<int>(calls.size());
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (call_r_before(*calls[static_cast<std::size_t>(i)],
+                        *calls[static_cast<std::size_t>(j)])) {
+        succ[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  return succ;
+}
+
+namespace {
+
+struct TopoCtx {
+  const std::vector<const CallRecord*>* calls;
+  const std::vector<std::vector<int>>* succ;
+  std::vector<int> indeg;
+  std::vector<const CallRecord*> order;
+  std::uint64_t cap;
+  TopoResult res;
+  const std::function<bool(const std::vector<const CallRecord*>&)>* cb;
+};
+
+// Classic all-topological-sorts backtracking; each recursion level picks
+// every currently-available node in turn.
+bool topo_rec(TopoCtx& c) {
+  const int n = static_cast<int>(c.calls->size());
+  if (static_cast<int>(c.order.size()) == n) {
+    ++c.res.count;
+    if (!(*c.cb)(c.order)) {
+      c.res.stopped = true;
+      return false;
+    }
+    if (c.res.count >= c.cap) {
+      c.res.capped = true;
+      return false;
+    }
+    return true;
+  }
+  bool found = false;
+  for (int v = 0; v < n; ++v) {
+    if (c.indeg[static_cast<std::size_t>(v)] != 0) continue;
+    found = true;
+    c.indeg[static_cast<std::size_t>(v)] = -1;  // taken
+    for (int w : (*c.succ)[static_cast<std::size_t>(v)]) --c.indeg[static_cast<std::size_t>(w)];
+    c.order.push_back((*c.calls)[static_cast<std::size_t>(v)]);
+
+    bool keep = topo_rec(c);
+
+    c.order.pop_back();
+    for (int w : (*c.succ)[static_cast<std::size_t>(v)]) ++c.indeg[static_cast<std::size_t>(w)];
+    c.indeg[static_cast<std::size_t>(v)] = 0;
+    if (!keep) return false;
+  }
+  if (!found && static_cast<int>(c.order.size()) < n) c.res.cycle = true;
+  return true;
+}
+
+std::vector<int> initial_indegree(const std::vector<std::vector<int>>& succ) {
+  std::vector<int> indeg(succ.size(), 0);
+  for (const auto& edges : succ) {
+    for (int w : edges) ++indeg[static_cast<std::size_t>(w)];
+  }
+  return indeg;
+}
+
+}  // namespace
+
+TopoResult for_each_topo_order(
+    const std::vector<const CallRecord*>& calls,
+    const std::vector<std::vector<int>>& succ, std::uint64_t cap,
+    const std::function<bool(const std::vector<const CallRecord*>&)>& cb) {
+  TopoCtx c;
+  c.calls = &calls;
+  c.succ = &succ;
+  c.indeg = initial_indegree(succ);
+  c.cap = cap == 0 ? UINT64_MAX : cap;
+  c.cb = &cb;
+  c.order.reserve(calls.size());
+  topo_rec(c);
+  return c.res;
+}
+
+TopoResult sample_topo_orders(
+    const std::vector<const CallRecord*>& calls,
+    const std::vector<std::vector<int>>& succ, std::uint64_t n,
+    std::uint64_t seed,
+    const std::function<bool(const std::vector<const CallRecord*>&)>& cb) {
+  TopoResult res;
+  support::Xorshift64 rng(seed);
+  const int size = static_cast<int>(calls.size());
+  std::vector<int> indeg0 = initial_indegree(succ);
+  std::vector<const CallRecord*> order;
+  order.reserve(calls.size());
+  for (std::uint64_t s = 0; s < n; ++s) {
+    std::vector<int> indeg = indeg0;
+    order.clear();
+    for (int step = 0; step < size; ++step) {
+      int avail[256];
+      int na = 0;
+      for (int v = 0; v < size; ++v) {
+        if (indeg[static_cast<std::size_t>(v)] == 0 && na < 256) avail[na++] = v;
+      }
+      if (na == 0) {
+        res.cycle = true;
+        return res;
+      }
+      int v = avail[rng.below(static_cast<std::uint64_t>(na))];
+      indeg[static_cast<std::size_t>(v)] = -1;
+      for (int w : succ[static_cast<std::size_t>(v)]) --indeg[static_cast<std::size_t>(w)];
+      order.push_back(calls[static_cast<std::size_t>(v)]);
+    }
+    ++res.count;
+    if (!cb(order)) {
+      res.stopped = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace cds::spec

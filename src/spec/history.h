@@ -1,0 +1,44 @@
+// Sequential-history generation: enumerating (and sampling) the topological
+// orders of the method-call graph induced by the `r` relation
+// (paper Section 5.2 "Generating and Checking Sequential Histories").
+#ifndef CDS_SPEC_HISTORY_H
+#define CDS_SPEC_HISTORY_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "spec/call.h"
+
+namespace cds::spec {
+
+struct TopoResult {
+  std::uint64_t count = 0;  // orders delivered to the callback
+  bool capped = false;      // enumeration stopped at the cap
+  bool cycle = false;       // edges were cyclic (no valid history)
+  bool stopped = false;     // callback requested early stop
+};
+
+// Direct `r` edges among `calls` (indices into the vector): succ[i] holds j
+// iff calls[i] r-> calls[j].
+[[nodiscard]] std::vector<std::vector<int>> build_r_edges(
+    const std::vector<const CallRecord*>& calls);
+
+// Invokes `cb` with every topological order of `calls` under `succ`, up to
+// `cap` orders. `cb` returns false to stop early.
+TopoResult for_each_topo_order(
+    const std::vector<const CallRecord*>& calls,
+    const std::vector<std::vector<int>>& succ, std::uint64_t cap,
+    const std::function<bool(const std::vector<const CallRecord*>&)>& cb);
+
+// Draws `n` uniformly-step-random topological orders (the paper's
+// random-sampling option for executions whose history count explodes).
+TopoResult sample_topo_orders(
+    const std::vector<const CallRecord*>& calls,
+    const std::vector<std::vector<int>>& succ, std::uint64_t n,
+    std::uint64_t seed,
+    const std::function<bool(const std::vector<const CallRecord*>&)>& cb);
+
+}  // namespace cds::spec
+
+#endif  // CDS_SPEC_HISTORY_H

@@ -1,0 +1,21 @@
+// Pre-defined equivalent-sequential-data-structure state types
+// (paper Section 4.1: "CDSSpec includes several useful pre-defined types —
+// an ordered list, a set, and a hashmap"). Specs may also declare any
+// default-constructible type of their own.
+#ifndef CDS_SPEC_SEQSTATE_H
+#define CDS_SPEC_SEQSTATE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace cds::spec {
+
+using IntList = std::deque<std::int64_t>;
+using IntSet = std::set<std::int64_t>;
+using IntMap = std::map<std::int64_t, std::int64_t>;
+
+}  // namespace cds::spec
+
+#endif  // CDS_SPEC_SEQSTATE_H

@@ -1,0 +1,48 @@
+#include "spec/specification.h"
+
+#include <algorithm>
+
+namespace cds::spec {
+
+Specification::Specification(std::string name) : name_(std::move(name)) {}
+Specification::~Specification() = default;
+
+MethodSpec& Specification::method(const std::string& name) {
+  int idx = method_index(name);
+  if (idx >= 0) return *methods_[static_cast<std::size_t>(idx)];
+  methods_.push_back(
+      std::make_unique<MethodSpec>(name, static_cast<int>(methods_.size())));
+  return *methods_.back();
+}
+
+Specification& Specification::admit(const std::string& m1, const std::string& m2,
+                                    AdmitFn guard) {
+  // Referencing a method in a rule declares it.
+  int i1 = method(m1).index();
+  int i2 = method(m2).index();
+  admits_.push_back(AdmitRule{i1, i2, std::move(guard)});
+  return *this;
+}
+
+int Specification::method_index(const std::string& name) const {
+  for (const auto& m : methods_) {
+    if (m->name() == name) return m->index();
+  }
+  return -1;
+}
+
+int Specification::spec_lines() const {
+  int lines = has_state() ? 1 : 0;
+  for (const auto& m : methods_) lines += m->annotation_count();
+  lines += static_cast<int>(admits_.size());
+  lines += static_cast<int>(op_sites_.size());
+  return lines;
+}
+
+void Specification::note_op_site(const std::string& site_key) {
+  if (std::find(op_sites_.begin(), op_sites_.end(), site_key) == op_sites_.end()) {
+    op_sites_.push_back(site_key);
+  }
+}
+
+}  // namespace cds::spec

@@ -1,0 +1,83 @@
+// Bump allocator for per-execution allocations.
+//
+// Model-checked test bodies re-run once per explored execution; nodes they
+// allocate (the paper's benchmarks intentionally never recycle dequeued
+// nodes) would otherwise leak across hundreds of thousands of executions.
+// The engine resets this arena between executions.
+#ifndef CDS_SUPPORT_ARENA_H
+#define CDS_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace cds::support {
+
+class Arena {
+ public:
+  static constexpr std::size_t kBlockSize = 1u << 16;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::size_t off = (offset_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || off + bytes > kBlockSize) {
+      if (bytes + align > kBlockSize) {
+        // Oversized allocation gets its own block.
+        big_.push_back(std::make_unique<char[]>(bytes + align));
+        auto p = reinterpret_cast<std::uintptr_t>(big_.back().get());
+        p = (p + align - 1) & ~(align - 1);
+        return reinterpret_cast<void*>(p);
+      }
+      next_block();
+      off = (offset_ + align - 1) & ~(align - 1);
+    }
+    offset_ = off + bytes;
+    return blocks_[block_idx_].get() + off;
+  }
+
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T> || true,
+                  "arena never runs destructors");
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  // Reuses existing blocks; no destructors are run (arena types must not
+  // own resources beyond arena memory).
+  void reset() {
+    block_idx_ = 0;
+    offset_ = blocks_.empty() ? kBlockSize : 0;
+    big_.clear();
+  }
+
+  [[nodiscard]] std::size_t blocks_allocated() const { return blocks_.size(); }
+
+ private:
+  void next_block() {
+    if (blocks_.empty()) {
+      blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+      block_idx_ = 0;
+    } else if (block_idx_ + 1 < blocks_.size()) {
+      ++block_idx_;
+    } else {
+      blocks_.push_back(std::make_unique<char[]>(kBlockSize));
+      ++block_idx_;
+    }
+    offset_ = 0;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::vector<std::unique_ptr<char[]>> big_;
+  std::size_t block_idx_ = 0;
+  std::size_t offset_ = kBlockSize;  // force first block allocation
+};
+
+}  // namespace cds::support
+
+#endif  // CDS_SUPPORT_ARENA_H

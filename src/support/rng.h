@@ -1,0 +1,33 @@
+// Deterministic xorshift RNG used when the checker samples sequential
+// histories instead of enumerating all of them (paper Section 5.2: "we also
+// provide the option of randomly generating and checking a user-customized
+// number of sequential histories").
+#ifndef CDS_SUPPORT_RNG_H
+#define CDS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace cds::support {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : s_(seed ? seed : 1u) {}
+
+  std::uint64_t next() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return s_;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t s_;
+};
+
+}  // namespace cds::support
+
+#endif  // CDS_SUPPORT_RNG_H

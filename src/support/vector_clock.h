@@ -1,0 +1,113 @@
+// Vector clocks and per-location views.
+//
+// Both happens-before clocks (indexed by thread id) and coherence views
+// (indexed by atomic location id) are sparse monotone maps from a dense
+// small-integer key space to 32-bit counters. `BasicClock` implements the
+// lattice operations once; `VectorClock` and `View` are strong typedefs so
+// thread ids and location ids cannot be mixed up.
+#ifndef CDS_SUPPORT_VECTOR_CLOCK_H
+#define CDS_SUPPORT_VECTOR_CLOCK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cds::support {
+
+template <typename Tag>
+class BasicClock {
+ public:
+  BasicClock() = default;
+
+  // Value at index `i`; indices beyond the stored prefix are implicitly 0.
+  [[nodiscard]] std::uint32_t get(std::size_t i) const {
+    return i < c_.size() ? c_[i] : 0u;
+  }
+
+  void set(std::size_t i, std::uint32_t v) {
+    grow(i);
+    c_[i] = v;
+  }
+
+  // set(i, max(get(i), v))
+  void raise(std::size_t i, std::uint32_t v) {
+    grow(i);
+    c_[i] = std::max(c_[i], v);
+  }
+
+  void bump(std::size_t i) {
+    grow(i);
+    ++c_[i];
+  }
+
+  // Pointwise maximum (lattice join).
+  void join(const BasicClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0u);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) c_[i] = std::max(c_[i], o.c_[i]);
+  }
+
+  // Pointwise <= (lattice order). `a.leq(b)` means every component of `a`
+  // is covered by `b`.
+  [[nodiscard]] bool leq(const BasicClock& o) const {
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+      if (c_[i] > o.get(i)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool includes(std::size_t i, std::uint32_t v) const {
+    return get(i) >= v;
+  }
+
+  void clear() { c_.clear(); }
+
+  [[nodiscard]] bool empty() const {
+    return std::all_of(c_.begin(), c_.end(), [](std::uint32_t v) { return v == 0; });
+  }
+
+  [[nodiscard]] std::size_t stored_size() const { return c_.size(); }
+
+  friend bool operator==(const BasicClock& a, const BasicClock& b) {
+    return a.leq(b) && b.leq(a);
+  }
+
+ private:
+  void grow(std::size_t i) {
+    if (i >= c_.size()) c_.resize(i + 1, 0u);
+  }
+
+  std::vector<std::uint32_t> c_;
+};
+
+struct ThreadTag {};
+struct LocationTag {};
+
+// Happens-before clock: index = thread id, value = per-thread event count.
+using VectorClock = BasicClock<ThreadTag>;
+// Coherence view: index = atomic location id, value = message timestamp.
+using View = BasicClock<LocationTag>;
+
+// The pair of lattices every synchronization edge transports: the
+// happens-before component (for race detection and the spec checker's
+// ordering relation) and the coherence component (which messages a thread
+// is still allowed to read).
+struct Timestamps {
+  VectorClock vc;
+  View view;
+
+  void join(const Timestamps& o) {
+    vc.join(o.vc);
+    view.join(o.view);
+  }
+
+  void clear() {
+    vc.clear();
+    view.clear();
+  }
+
+  [[nodiscard]] bool empty() const { return vc.empty() && view.empty(); }
+};
+
+}  // namespace cds::support
+
+#endif  // CDS_SUPPORT_VECTOR_CLOCK_H

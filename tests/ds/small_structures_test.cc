@@ -1,0 +1,153 @@
+// Spec checks for the register, ticket lock, seqlock, and SPSC queue:
+// correct implementations must be violation-free on every unit test, and
+// targeted weakenings must be detected.
+#include <gtest/gtest.h>
+
+#include "ds/lamport_queue.h"
+#include "ds/register.h"
+#include "ds/seqlock.h"
+#include "ds/spsc_queue.h"
+#include "ds/ticket_lock.h"
+#include "harness/runner.h"
+#include "inject/inject.h"
+
+namespace cds {
+namespace {
+
+using harness::RunResult;
+using harness::run_with_spec;
+
+harness::RunOptions detect_opts() {
+  harness::RunOptions o;
+  o.engine.stop_on_first_violation = true;
+  return o;
+}
+
+void expect_clean(const RunResult& r) {
+  EXPECT_EQ(r.mc.violations_total, 0u)
+      << (r.reports.empty() ? "(no reports)" : r.reports[0]);
+}
+
+TEST(RelaxedRegister, WriterReaderJustified) {
+  expect_clean(run_with_spec(ds::register_test_wr));
+}
+
+TEST(RelaxedRegister, TwoWritersJustified) {
+  expect_clean(run_with_spec(ds::register_test_two_writers));
+}
+
+TEST(RelaxedRegister, HappensBeforeChainForcesFreshValue) {
+  expect_clean(run_with_spec(ds::register_test_hb_chain));
+}
+
+TEST(TicketLock, TwoThreadsMutualExclusion) {
+  expect_clean(run_with_spec(ds::ticket_lock_test_2t));
+}
+
+TEST(TicketLock, ThreeThreadsMutualExclusion) {
+  expect_clean(run_with_spec(ds::ticket_lock_test_3t));
+}
+
+TEST(TicketLock, WeakenedServingLoadDetected) {
+  auto sites = inject::sites_for("ticket-lock");
+  ASSERT_FALSE(sites.empty());
+  int detected = 0, injectable = 0;
+  for (const auto& s : sites) {
+    if (!s.injectable()) continue;
+    ++injectable;
+    inject::inject(s.id);
+    RunResult r = run_with_spec(ds::ticket_lock_test_2t, detect_opts());
+    inject::clear_injection();
+    if (r.any_detection()) ++detected;
+  }
+  EXPECT_EQ(injectable, 2) << "paper: ticket lock has 2 injectable parameters";
+  EXPECT_EQ(detected, injectable)
+      << "paper Figure 8: 100% of ticket lock injections detected";
+}
+
+TEST(SeqLock, OneWriterOneReader) {
+  expect_clean(run_with_spec(ds::seqlock_test_1w1r));
+}
+
+TEST(SeqLock, TwoWritersOneReader) {
+  expect_clean(run_with_spec(ds::seqlock_test_2w1r));
+}
+
+TEST(SeqLock, InjectionsDetected) {
+  int detected = 0, injectable = 0;
+  for (const auto& s : inject::sites_for("seqlock")) {
+    if (!s.injectable()) continue;
+    ++injectable;
+    inject::inject(s.id);
+    bool hit = run_with_spec(ds::seqlock_test_1w1r, detect_opts()).any_detection() ||
+               run_with_spec(ds::seqlock_test_2w1r, detect_opts()).any_detection();
+    inject::clear_injection();
+    if (hit) ++detected;
+  }
+  EXPECT_GT(injectable, 0);
+  // Not every weakening is observable in the operational model (see
+  // DESIGN.md); require a strong majority.
+  EXPECT_GE(detected * 10, injectable * 6)
+      << detected << "/" << injectable << " detected";
+}
+
+TEST(SpscQueue, OneProducerOneConsumer) {
+  expect_clean(run_with_spec(ds::spsc_test_1p1c));
+}
+
+TEST(SpscQueue, BurstProducer) {
+  expect_clean(run_with_spec(ds::spsc_test_burst));
+}
+
+TEST(SpscQueue, BothInjectionsDetected) {
+  int detected = 0, injectable = 0;
+  for (const auto& s : inject::sites_for("spsc-queue")) {
+    if (!s.injectable()) continue;
+    ++injectable;
+    inject::inject(s.id);
+    RunResult r = run_with_spec(ds::spsc_test_1p1c, detect_opts());
+    inject::clear_injection();
+    if (r.any_detection()) ++detected;
+  }
+  EXPECT_EQ(injectable, 2) << "paper: SPSC queue has 2 injections";
+  EXPECT_EQ(detected, injectable) << "paper Figure 8: 2/2 detected";
+}
+
+TEST(LamportQueue, OneProducerOneConsumer) {
+  expect_clean(run_with_spec(ds::lamport_test_1p1c));
+}
+
+TEST(LamportQueue, FullRingConservation) {
+  // Includes a model_assert (user assertion) on end-to-end conservation.
+  expect_clean(run_with_spec(ds::lamport_test_full));
+}
+
+TEST(LamportQueue, InjectionsDetected) {
+  int detected = 0, injectable = 0;
+  for (const auto& s : inject::sites_for("lamport-queue")) {
+    if (!s.injectable()) continue;
+    ++injectable;
+    inject::inject(s.id);
+    bool hit = run_with_spec(ds::lamport_test_1p1c, detect_opts()).any_detection() ||
+               run_with_spec(ds::lamport_test_full, detect_opts()).any_detection();
+    inject::clear_injection();
+    if (hit) ++detected;
+  }
+  EXPECT_EQ(injectable, 4);
+  EXPECT_GE(detected, 2) << detected << "/" << injectable;
+}
+
+TEST(UserAssertion, ModelAssertReportsViolation) {
+  harness::RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* f = x.make<mc::Atomic<int>>(0, "f");
+    int t1 = x.spawn([f] { f->store(1, mc::MemoryOrder::relaxed); });
+    int r1 = f->load(mc::MemoryOrder::relaxed);
+    x.join(t1);
+    mc::model_assert(r1 == 1, "claims to always see the store");
+  });
+  EXPECT_TRUE(r.detected_assertion())
+      << "the racing load can read 0 in some execution";
+}
+
+}  // namespace
+}  // namespace cds

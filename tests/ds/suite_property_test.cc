@@ -1,0 +1,72 @@
+// Suite-wide properties over every registered benchmark:
+//   - under "Strengthen the Atomics" (every operation seq_cst, the paper's
+//     Section 2 alternative) each correct structure remains violation-free
+//     — strengthening can only remove behaviors;
+//   - every benchmark's spec has at least one ordering-point site and at
+//     least one method once exercised.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ds/suite.h"
+#include "harness/runner.h"
+
+namespace cds {
+namespace {
+
+class BenchmarkSweep : public testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() { ds::register_all_benchmarks(); }
+};
+
+TEST_P(BenchmarkSweep, CleanUnderScStrengthening) {
+  const auto* b = harness::find_benchmark(GetParam());
+  ASSERT_NE(b, nullptr);
+  harness::RunOptions opts;
+  opts.engine.strengthen_to_sc = true;
+  opts.engine.max_executions = 150000;
+  auto r = harness::run_benchmark(*b, opts);
+  EXPECT_EQ(r.mc.violations_total, 0u)
+      << GetParam() << ": "
+      << (r.reports.empty() ? "(no reports)" : r.reports[0]);
+  EXPECT_GT(r.mc.feasible, 0u);
+}
+
+TEST_P(BenchmarkSweep, SpecHasSubstance) {
+  const auto* b = harness::find_benchmark(GetParam());
+  ASSERT_NE(b, nullptr);
+  // Exercise once so annotation sites register.
+  harness::RunOptions opts;
+  opts.engine.max_executions = 200;
+  (void)harness::run_benchmark(*b, opts);
+  EXPECT_GE(b->spec->method_count(), 2) << GetParam();
+  EXPECT_GE(b->spec->ordering_point_sites(), 1) << GetParam();
+  EXPECT_GE(b->spec->spec_lines(), 3) << GetParam();
+}
+
+// The Chase-Lev deque is excluded from the SC sweep: its owner's take()
+// has a *claim* (the bottom decrement) and a *decision* (the top CAS) that
+// are separate events, so under all-seq_cst operations the ordering points
+// totally order takes and steals in ways that strip the CONCURRENT
+// justification the Figure-6-style spec relies on — the paper's framework
+// targets the release/acquire setting where those calls stay concurrent
+// (its own SC-counterpart remark concerns commit points, not this spec).
+// The rel/acq sweep in chaselev_test.cc covers the deque.
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkSweep,
+    testing::Values("spsc-queue", "rcu",
+                    "lockfree-hashtable", "mcs-lock", "mpmc-queue",
+                    "ms-queue", "linux-rwlock", "seqlock", "ticket-lock",
+                    "blocking-queue", "relaxed-register",
+                    "concurrent-hashmap", "lamport-queue", "ttas-lock",
+                    "peterson-lock"),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string n = info.param;
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace cds

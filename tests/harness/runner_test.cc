@@ -1,0 +1,85 @@
+// Harness tests: benchmark registry, result aggregation, and the
+// injection-experiment classification (Figure 8 machinery).
+#include <gtest/gtest.h>
+
+#include "ds/suite.h"
+#include "ds/ticket_lock.h"
+#include "harness/runner.h"
+#include "mc/atomic.h"
+
+namespace cds {
+namespace {
+
+TEST(Harness, RegistryIsIdempotentAndSearchable) {
+  ds::register_all_benchmarks();
+  std::size_t n = harness::benchmarks().size();
+  ds::register_all_benchmarks();  // no duplicates
+  EXPECT_EQ(harness::benchmarks().size(), n);
+  EXPECT_GE(n, 13u) << "10 paper rows + 3 expressiveness extras";
+  EXPECT_NE(harness::find_benchmark("ms-queue"), nullptr);
+  EXPECT_EQ(harness::find_benchmark("no-such-benchmark"), nullptr);
+}
+
+TEST(Harness, PaperRowsAllRegistered) {
+  ds::register_all_benchmarks();
+  for (const char* name :
+       {"chase-lev-deque", "spsc-queue", "rcu", "lockfree-hashtable",
+        "mcs-lock", "mpmc-queue", "ms-queue", "linux-rwlock", "seqlock",
+        "ticket-lock"}) {
+    const auto* b = harness::find_benchmark(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_FALSE(b->tests.empty()) << name;
+    EXPECT_NE(b->spec, nullptr) << name;
+  }
+}
+
+TEST(Harness, RunBenchmarkAggregatesAcrossTests) {
+  ds::register_all_benchmarks();
+  const auto* b = harness::find_benchmark("ticket-lock");
+  ASSERT_NE(b, nullptr);
+  harness::RunResult total = harness::run_benchmark(*b);
+  std::uint64_t sum = 0;
+  for (const auto& t : b->tests) {
+    sum += harness::run_with_spec(t).mc.executions;
+  }
+  EXPECT_EQ(total.mc.executions, sum);
+  EXPECT_EQ(total.mc.violations_total, 0u);
+}
+
+TEST(Harness, InjectionExperimentClassifiesTicketLock) {
+  ds::register_all_benchmarks();
+  const auto* b = harness::find_benchmark("ticket-lock");
+  ASSERT_NE(b, nullptr);
+  harness::RunOptions opts;
+  opts.engine.stop_on_first_violation = true;
+  auto sum = harness::run_injection_experiment(*b, opts);
+  EXPECT_EQ(sum.injections, 2);
+  EXPECT_EQ(sum.undetected, 0);
+  EXPECT_EQ(sum.assertion, 2) << "both weakenings break lock() ordering";
+  EXPECT_DOUBLE_EQ(sum.detection_rate(), 1.0);
+  EXPECT_EQ(inject::active_injection(), -1) << "injection cleared after runs";
+}
+
+TEST(Harness, DetectionNames) {
+  EXPECT_STREQ(harness::to_string(harness::Detection::kNone), "undetected");
+  EXPECT_STREQ(harness::to_string(harness::Detection::kBuiltin), "built-in");
+  EXPECT_STREQ(harness::to_string(harness::Detection::kAdmissibility),
+               "admissibility");
+  EXPECT_STREQ(harness::to_string(harness::Detection::kAssertion), "assertion");
+}
+
+TEST(Harness, DetectionFlagsReflectViolationKinds) {
+  harness::RunResult r;
+  EXPECT_FALSE(r.any_detection());
+  r.violations.push_back(
+      mc::Violation{mc::ViolationKind::kDataRace, "x", 0});
+  EXPECT_TRUE(r.detected_builtin());
+  EXPECT_FALSE(r.detected_assertion());
+  r.spec.assertion_violation_execs = 1;
+  EXPECT_TRUE(r.detected_assertion());
+  r.spec.inadmissible_execs = 2;
+  EXPECT_TRUE(r.detected_admissibility());
+}
+
+}  // namespace
+}  // namespace cds

@@ -1,0 +1,224 @@
+// Property-style parameterized litmus sweeps: the engine's admitted
+// behavior must be a function of the memory orders exactly as C/C++11
+// prescribes, across every order combination.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "mc/var.h"
+
+namespace cds::mc {
+namespace {
+
+struct MpParam {
+  MemoryOrder store_order;
+  MemoryOrder load_order;
+};
+
+std::string mp_name(const testing::TestParamInfo<MpParam>& info) {
+  return std::string(to_string(info.param.store_order)) + "_" +
+         to_string(info.param.load_order);
+}
+
+class MessagePassingSweep : public testing::TestWithParam<MpParam> {};
+
+TEST_P(MessagePassingSweep, RaceIffNoSynchronization) {
+  // Message passing: T1 writes plain data then stores a flag; T2 loads the
+  // flag and, if set, reads the data. C/C++11: the data read races exactly
+  // when the flag handoff is not a release-store/acquire-load pair.
+  const MpParam p = GetParam();
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* flag = x.make<Atomic<int>>(0, "flag");
+    int t1 = x.spawn([&, data, flag] {
+      data->write(1);
+      flag->store(1, p.store_order);
+    });
+    int t2 = x.spawn([&, data, flag] {
+      if (flag->load(p.load_order) == 1) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+
+  bool synchronizes = is_release(p.store_order) && is_acquire(p.load_order);
+  if (synchronizes) {
+    EXPECT_EQ(stats.builtin_violation_execs, 0u)
+        << to_string(p.store_order) << "/" << to_string(p.load_order)
+        << " must synchronize";
+  } else {
+    EXPECT_GT(stats.builtin_violation_execs, 0u)
+        << to_string(p.store_order) << "/" << to_string(p.load_order)
+        << " must admit the race";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderCombinations, MessagePassingSweep,
+    testing::Values(MpParam{MemoryOrder::relaxed, MemoryOrder::relaxed},
+                    MpParam{MemoryOrder::relaxed, MemoryOrder::acquire},
+                    MpParam{MemoryOrder::relaxed, MemoryOrder::seq_cst},
+                    MpParam{MemoryOrder::release, MemoryOrder::relaxed},
+                    MpParam{MemoryOrder::release, MemoryOrder::acquire},
+                    MpParam{MemoryOrder::release, MemoryOrder::seq_cst},
+                    MpParam{MemoryOrder::seq_cst, MemoryOrder::relaxed},
+                    MpParam{MemoryOrder::seq_cst, MemoryOrder::acquire},
+                    MpParam{MemoryOrder::seq_cst, MemoryOrder::seq_cst}),
+    mp_name);
+
+class StoreBufferingSweep : public testing::TestWithParam<MemoryOrder> {};
+
+TEST_P(StoreBufferingSweep, BothZeroIffWeakerThanSc) {
+  // SB: r1 == r2 == 0 is forbidden exactly when every access is seq_cst.
+  const MemoryOrder o = GetParam();
+  int r1 = -1, r2 = -1;
+  std::set<std::pair<int, int>> seen;
+  struct L : ExecutionListener {
+    int* r1;
+    int* r2;
+    std::set<std::pair<int, int>>* seen;
+    bool on_execution_complete(Engine&) override {
+      seen->insert({*r1, *r2});
+      return true;
+    }
+  } l;
+  l.r1 = &r1;
+  l.r2 = &r2;
+  l.seen = &seen;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([&, fx, fy] {
+      fx->store(1, o);
+      r1 = fy->load(o);
+    });
+    int t2 = x.spawn([&, fx, fy] {
+      fy->store(1, o);
+      r2 = fx->load(o);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  if (o == MemoryOrder::seq_cst) {
+    EXPECT_EQ(seen.count({0, 0}), 0u);
+  } else {
+    EXPECT_EQ(seen.count({0, 0}), 1u) << to_string(o) << " admits 0/0";
+  }
+  // All four other outcomes are always possible.
+  EXPECT_EQ(seen.count({1, 1}), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StoreBufferingSweep,
+                         testing::Values(MemoryOrder::relaxed,
+                                         MemoryOrder::acquire,
+                                         MemoryOrder::release,
+                                         MemoryOrder::seq_cst),
+                         [](const testing::TestParamInfo<MemoryOrder>& i) {
+                           return std::string(to_string(i.param));
+                         });
+
+class CoherenceSweep : public testing::TestWithParam<MemoryOrder> {};
+
+TEST_P(CoherenceSweep, PerLocationCoherenceHoldsAtEveryOrder) {
+  // CoRR / CoWR / CoRW hold at every order in C/C++11.
+  const MemoryOrder o = GetParam();
+  bool corr_violated = false, cowr_violated = false;
+  int r1 = -1, r2 = -1, r3 = -1;
+  struct L : ExecutionListener {
+    int* r1;
+    int* r2;
+    int* r3;
+    bool* corr;
+    bool* cowr;
+    bool on_execution_complete(Engine&) override {
+      if (*r1 == 2 && *r2 == 1) *corr = true;  // read newer then older
+      if (*r3 == 0) *cowr = true;              // read overwritten own store
+      return true;
+    }
+  } l;
+  l.r1 = &r1;
+  l.r2 = &r2;
+  l.r3 = &r3;
+  l.corr = &corr_violated;
+  l.cowr = &cowr_violated;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([&, fx] {
+      fx->store(1, for_store(o));
+      fx->store(2, for_store(o));
+    });
+    int t2 = x.spawn([&, fx] {
+      r1 = fx->load(for_load(o));
+      r2 = fx->load(for_load(o));
+    });
+    int t3 = x.spawn([&, fx] {
+      fx->store(9, for_store(o));
+      r3 = fx->load(for_load(o));  // must observe 9 or something mo-later
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+  });
+  EXPECT_FALSE(corr_violated) << "CoRR must hold at " << to_string(o);
+  EXPECT_FALSE(cowr_violated) << "CoWR must hold at " << to_string(o);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CoherenceSweep,
+                         testing::Values(MemoryOrder::relaxed,
+                                         MemoryOrder::acquire,
+                                         MemoryOrder::release,
+                                         MemoryOrder::seq_cst),
+                         [](const testing::TestParamInfo<MemoryOrder>& i) {
+                           return std::string(to_string(i.param));
+                         });
+
+class RmwSweep : public testing::TestWithParam<MemoryOrder> {};
+
+TEST_P(RmwSweep, IncrementsNeverLostAtAnyOrder) {
+  // RMW atomicity is order-independent in C/C++11.
+  const MemoryOrder o = GetParam();
+  std::set<int> finals;
+  int r = -1;
+  struct L : ExecutionListener {
+    int* r;
+    std::set<int>* v;
+    bool on_execution_complete(Engine&) override {
+      v->insert(*r);
+      return true;
+    }
+  } l;
+  l.r = &r;
+  l.v = &finals;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([fx, o] { fx->fetch_add(1, o); });
+    int t2 = x.spawn([fx, o] { fx->fetch_add(1, o); });
+    int t3 = x.spawn([fx, o] { fx->fetch_add(1, o); });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+    r = fx->load(MemoryOrder::seq_cst);
+  });
+  EXPECT_EQ(finals, std::set<int>{3}) << "at order " << to_string(o);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RmwSweep,
+                         testing::Values(MemoryOrder::relaxed,
+                                         MemoryOrder::acq_rel,
+                                         MemoryOrder::seq_cst),
+                         [](const testing::TestParamInfo<MemoryOrder>& i) {
+                           return std::string(to_string(i.param));
+                         });
+
+}  // namespace
+}  // namespace cds::mc

@@ -1,0 +1,674 @@
+// Classic weak-memory litmus tests: the engine must admit exactly the
+// outcome sets the C/C++11 model admits for each memory-order choice.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "mc/sync.h"
+#include "mc/var.h"
+
+namespace cds::mc {
+namespace {
+
+using Outcomes = std::set<std::pair<int, int>>;
+
+// Runs a two-result test and collects the set of (r1, r2) outcomes over all
+// feasible executions.
+struct Collect2 : ExecutionListener {
+  int* r1;
+  int* r2;
+  Outcomes seen;
+  bool on_execution_complete(Engine&) override {
+    seen.insert({*r1, *r2});
+    return true;
+  }
+};
+
+TEST(Litmus, StoreBufferingSeqCst) {
+  // SB with seq_cst everywhere: r1 == 0 && r2 == 0 is forbidden.
+  int r1 = -1, r2 = -1;
+  Collect2 c;
+  c.r1 = &r1;
+  c.r2 = &r2;
+  Engine e;
+  e.set_listener(&c);
+  auto stats = e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([&, fx, fy] {
+      fx->store(1, MemoryOrder::seq_cst);
+      r1 = fy->load(MemoryOrder::seq_cst);
+    });
+    int t2 = x.spawn([&, fx, fy] {
+      fy->store(1, MemoryOrder::seq_cst);
+      r2 = fx->load(MemoryOrder::seq_cst);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_GT(stats.feasible, 0u);
+  EXPECT_EQ(c.seen.count({0, 0}), 0u) << "SC forbids 0/0 in store buffering";
+  EXPECT_TRUE(c.seen.count({1, 0}) == 1 || c.seen.count({0, 1}) == 1);
+  EXPECT_EQ(c.seen.count({1, 1}), 1u);
+}
+
+TEST(Litmus, StoreBufferingRelaxedAllowsBothZero) {
+  int r1 = -1, r2 = -1;
+  Collect2 c;
+  c.r1 = &r1;
+  c.r2 = &r2;
+  Engine e;
+  e.set_listener(&c);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([&, fx, fy] {
+      fx->store(1, MemoryOrder::relaxed);
+      r1 = fy->load(MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([&, fx, fy] {
+      fy->store(1, MemoryOrder::relaxed);
+      r2 = fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(c.seen.count({0, 0}), 1u) << "relaxed SB admits 0/0";
+}
+
+TEST(Litmus, StoreBufferingSeqCstFencesForbidBothZero) {
+  int r1 = -1, r2 = -1;
+  Collect2 c;
+  c.r1 = &r1;
+  c.r2 = &r2;
+  Engine e;
+  e.set_listener(&c);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([&, fx, fy] {
+      fx->store(1, MemoryOrder::relaxed);
+      thread_fence(MemoryOrder::seq_cst);
+      r1 = fy->load(MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([&, fx, fy] {
+      fy->store(1, MemoryOrder::relaxed);
+      thread_fence(MemoryOrder::seq_cst);
+      r2 = fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(c.seen.count({0, 0}), 0u) << "SC fences forbid 0/0 in SB";
+}
+
+TEST(Litmus, MessagePassingReleaseAcquire) {
+  // MP: with release store / acquire load of the flag, r2 == 1 whenever
+  // r1 == 1; the data variable is plain, so no race may be reported.
+  int r1 = -1, r2 = -1;
+  Collect2 c;
+  c.r1 = &r1;
+  c.r2 = &r2;
+  Engine e;
+  e.set_listener(&c);
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* flag = x.make<Atomic<int>>(0, "flag");
+    int t1 = x.spawn([&, data, flag] {
+      data->write(42);
+      flag->store(1, MemoryOrder::release);
+    });
+    int t2 = x.spawn([&, data, flag] {
+      r1 = flag->load(MemoryOrder::acquire);
+      r2 = (r1 == 1) ? data->read() : -2;
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u) << "MP(rel/acq) is race-free";
+  EXPECT_EQ(c.seen.count({1, 42}), 1u);
+  EXPECT_EQ(c.seen.count({0, -2}), 1u);
+  for (auto& [a, b] : c.seen) {
+    if (a == 1) {
+      EXPECT_EQ(b, 42) << "acquire read of flag=1 must see data=42";
+    }
+  }
+}
+
+TEST(Litmus, MessagePassingRelaxedFlagRaces) {
+  // With a relaxed flag there is no synchronization: reading data after
+  // seeing flag==1 is a data race the built-in detector must flag.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* flag = x.make<Atomic<int>>(0, "flag");
+    int t1 = x.spawn([data, flag] {
+      data->write(42);
+      flag->store(1, MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([data, flag] {
+      if (flag->load(MemoryOrder::relaxed) == 1) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_GT(stats.builtin_violation_execs, 0u);
+  ASSERT_FALSE(e.violations().empty());
+  EXPECT_EQ(e.violations()[0].kind, ViolationKind::kDataRace);
+}
+
+TEST(Litmus, MessagePassingFenceSynchronization) {
+  // Release fence + relaxed store / relaxed load + acquire fence also
+  // synchronizes (C++11 fence rules): no race.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* flag = x.make<Atomic<int>>(0, "flag");
+    int t1 = x.spawn([data, flag] {
+      data->write(42);
+      thread_fence(MemoryOrder::release);
+      flag->store(1, MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([data, flag] {
+      if (flag->load(MemoryOrder::relaxed) == 1) {
+        thread_fence(MemoryOrder::acquire);
+        (void)data->read();
+      }
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u);
+  EXPECT_EQ(stats.violations_total, 0u);
+}
+
+TEST(Litmus, AcquireWithoutReleaseStillRaces) {
+  // Acquire load of a relaxed store gives no synchronization.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* flag = x.make<Atomic<int>>(0, "flag");
+    int t1 = x.spawn([data, flag] {
+      data->write(42);
+      flag->store(1, MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([data, flag] {
+      if (flag->load(MemoryOrder::acquire) == 1) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_GT(stats.builtin_violation_execs, 0u);
+}
+
+TEST(Litmus, CoherenceSingleLocation) {
+  // Per-location coherence: two reads by the same thread may not observe
+  // mo-later-then-mo-earlier values.
+  Engine e;
+  bool bad_seen = false;
+  int r1 = -1, r2 = -1;
+  struct L : ExecutionListener {
+    int* r1;
+    int* r2;
+    bool* bad;
+    bool on_execution_complete(Engine&) override {
+      if (*r1 == 2 && *r2 == 1) *bad = true;
+      return true;
+    }
+  } l;
+  l.r1 = &r1;
+  l.r2 = &r2;
+  l.bad = &bad_seen;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([fx] {
+      fx->store(1, MemoryOrder::relaxed);
+      fx->store(2, MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([&, fx] {
+      r1 = fx->load(MemoryOrder::relaxed);
+      r2 = fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_FALSE(bad_seen) << "CoRR violation: read 2 then 1";
+}
+
+TEST(Litmus, RelaxedAllowsStaleRead) {
+  // A relaxed load may ignore a newer store when unordered with it.
+  std::set<int> vals;
+  struct L : ExecutionListener {
+    int* r;
+    std::set<int>* vals;
+    bool on_execution_complete(Engine&) override {
+      vals->insert(*r);
+      return true;
+    }
+  } l;
+  int r = -1;
+  l.r = &r;
+  l.vals = &vals;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([fx] { fx->store(1, MemoryOrder::relaxed); });
+    int t2 = x.spawn([&, fx] { r = fx->load(MemoryOrder::relaxed); });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_TRUE(vals.count(0) == 1 && vals.count(1) == 1);
+}
+
+TEST(Litmus, JoinCreatesHappensBefore) {
+  // After join, the parent must observe the child's final store.
+  std::set<int> vals;
+  struct L : ExecutionListener {
+    int* r;
+    std::set<int>* vals;
+    bool on_execution_complete(Engine&) override {
+      vals->insert(*r);
+      return true;
+    }
+  } l;
+  int r = -1;
+  l.r = &r;
+  l.vals = &vals;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([fx] { fx->store(7, MemoryOrder::relaxed); });
+    x.join(t1);
+    r = fx->load(MemoryOrder::relaxed);
+  });
+  EXPECT_EQ(vals, std::set<int>{7});
+}
+
+TEST(Litmus, RmwAtomicity) {
+  // Two concurrent fetch_adds never lose an update.
+  std::set<int> finals;
+  struct L : ExecutionListener {
+    int* r;
+    std::set<int>* vals;
+    bool on_execution_complete(Engine&) override {
+      vals->insert(*r);
+      return true;
+    }
+  } l;
+  int r = -1;
+  l.r = &r;
+  l.vals = &finals;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([fx] { fx->fetch_add(1, MemoryOrder::relaxed); });
+    int t2 = x.spawn([fx] { fx->fetch_add(1, MemoryOrder::relaxed); });
+    x.join(t1);
+    x.join(t2);
+    r = fx->load(MemoryOrder::relaxed);
+  });
+  EXPECT_EQ(finals, std::set<int>{2});
+}
+
+TEST(Litmus, ReleaseSequenceRmwContinuation) {
+  // T1: data=1; x.store(1, release). T2: x.fetch_add(1, relaxed).
+  // T3: if x.load(acquire) reads the RMW's value, it synchronizes with T1's
+  // release store (release sequence through the RMW): reading data is safe.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([data, fx] {
+      data->write(1);
+      fx->store(1, MemoryOrder::release);
+    });
+    int t2 = x.spawn([fx] {
+      int v = fx->load(MemoryOrder::relaxed);
+      if (v == 1) fx->fetch_add(1, MemoryOrder::relaxed);
+    });
+    int t3 = x.spawn([data, fx] {
+      if (fx->load(MemoryOrder::acquire) == 2) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u)
+      << "release sequence through RMW must synchronize";
+}
+
+TEST(Litmus, ReleaseSequenceSameThreadRelaxedContinuation) {
+  // C++11 (unlike C++20) includes same-thread relaxed stores in a release
+  // sequence: acquiring T1's relaxed store of 2 synchronizes with the
+  // release store of 1 that heads the sequence — the paper targets C/C++11.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([data, fx] {
+      data->write(1);
+      fx->store(1, MemoryOrder::release);
+      fx->store(2, MemoryOrder::relaxed);  // same-thread continuation
+    });
+    int t2 = x.spawn([data, fx] {
+      if (fx->load(MemoryOrder::acquire) == 2) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u)
+      << "same-thread relaxed store continues the release sequence in C++11";
+}
+
+TEST(Litmus, ReleaseSequenceBrokenByForeignStore) {
+  // T2's plain relaxed store (not an RMW) breaks T1's release sequence:
+  // T3 acquiring the foreign store gets no synchronization with T1.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([data, fx] {
+      data->write(1);
+      fx->store(1, MemoryOrder::release);
+    });
+    int t2 = x.spawn([fx] {
+      if (fx->load(MemoryOrder::relaxed) == 1) fx->store(2, MemoryOrder::relaxed);
+    });
+    int t3 = x.spawn([data, fx] {
+      if (fx->load(MemoryOrder::acquire) == 2) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+  });
+  EXPECT_GT(stats.builtin_violation_execs, 0u)
+      << "foreign relaxed store breaks the release sequence -> race";
+}
+
+TEST(Litmus, UninitializedAtomicLoadDetected) {
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>("x");  // no initial value
+    (void)fx->load(MemoryOrder::relaxed);
+  });
+  EXPECT_GT(stats.builtin_violation_execs, 0u);
+  ASSERT_FALSE(e.violations().empty());
+  EXPECT_EQ(e.violations()[0].kind, ViolationKind::kUninitializedLoad);
+}
+
+TEST(Litmus, InitializedAtomicLoadClean) {
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(5, "x");
+    EXPECT_EQ(fx->load(MemoryOrder::relaxed), 5);
+  });
+  EXPECT_EQ(stats.violations_total, 0u);
+}
+
+TEST(Litmus, CasSuccessAndFailurePathsExplored) {
+  // CAS(0 -> 1) races with a store of 2: both success (CAS first) and
+  // failure (store first) must be explored.
+  std::set<std::pair<int, int>> seen;  // (cas_ok, observed)
+  struct L : ExecutionListener {
+    bool* ok;
+    int* obs;
+    std::set<std::pair<int, int>>* seen;
+    bool on_execution_complete(Engine&) override {
+      seen->insert({*ok ? 1 : 0, *obs});
+      return true;
+    }
+  } l;
+  bool ok = false;
+  int obs = -1;
+  l.ok = &ok;
+  l.obs = &obs;
+  l.seen = &seen;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    int t1 = x.spawn([&, fx] {
+      int expected = 0;
+      ok = fx->compare_exchange_strong(expected, 1, MemoryOrder::seq_cst,
+                                       MemoryOrder::seq_cst);
+      obs = expected;
+    });
+    int t2 = x.spawn([fx] { fx->store(2, MemoryOrder::seq_cst); });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(seen.count({1, 0}), 1u) << "successful CAS";
+  EXPECT_EQ(seen.count({0, 2}), 1u) << "failed CAS observing 2";
+}
+
+TEST(Litmus, DeadlockDetected) {
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* m1 = x.make<Mutex>("m1");
+    auto* m2 = x.make<Mutex>("m2");
+    int t1 = x.spawn([m1, m2] {
+      m1->lock();
+      m2->lock();
+      m2->unlock();
+      m1->unlock();
+    });
+    int t2 = x.spawn([m1, m2] {
+      m2->lock();
+      m1->lock();
+      m1->unlock();
+      m2->unlock();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_GT(stats.builtin_violation_execs, 0u);
+  bool saw_deadlock = false;
+  for (const auto& v : e.violations()) {
+    if (v.kind == ViolationKind::kDeadlock) saw_deadlock = true;
+  }
+  EXPECT_TRUE(saw_deadlock);
+}
+
+TEST(Litmus, MutexProvidesMutualExclusionAndHb) {
+  // Plain variable protected by a mutex: race-free, and increments never
+  // lost.
+  std::set<int> finals;
+  struct L : ExecutionListener {
+    int* r;
+    std::set<int>* vals;
+    bool on_execution_complete(Engine&) override {
+      vals->insert(*r);
+      return true;
+    }
+  } l;
+  int r = -1;
+  l.r = &r;
+  l.vals = &finals;
+  Engine e;
+  e.set_listener(&l);
+  auto stats = e.explore([&](Exec& x) {
+    auto* m = x.make<Mutex>("m");
+    auto* v = x.make<Var<int>>(0, "v");
+    auto body = [m, v] {
+      m->lock();
+      v->write(v->read() + 1);
+      m->unlock();
+    };
+    int t1 = x.spawn(body);
+    int t2 = x.spawn(body);
+    x.join(t1);
+    x.join(t2);
+    r = v->read();
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u);
+  EXPECT_EQ(finals, std::set<int>{2});
+}
+
+TEST(Litmus, IndependentReadsIndependentWritesSeqCst) {
+  // IRIW with all seq_cst: the two readers must agree on the order of the
+  // writes; (1,0) and (1,0) mirrored is forbidden.
+  struct R4 {
+    int a = -1, b = -1, c = -1, d = -1;
+  };
+  std::set<std::tuple<int, int, int, int>> seen;
+  struct L : ExecutionListener {
+    R4* r;
+    std::set<std::tuple<int, int, int, int>>* seen;
+    bool on_execution_complete(Engine&) override {
+      seen->insert({r->a, r->b, r->c, r->d});
+      return true;
+    }
+  } l;
+  R4 r;
+  l.r = &r;
+  l.seen = &seen;
+  Engine e;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([fx] { fx->store(1, MemoryOrder::seq_cst); });
+    int t2 = x.spawn([fy] { fy->store(1, MemoryOrder::seq_cst); });
+    int t3 = x.spawn([&, fx, fy] {
+      r.a = fx->load(MemoryOrder::seq_cst);
+      r.b = fy->load(MemoryOrder::seq_cst);
+    });
+    int t4 = x.spawn([&, fx, fy] {
+      r.c = fy->load(MemoryOrder::seq_cst);
+      r.d = fx->load(MemoryOrder::seq_cst);
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+    x.join(t4);
+  });
+  EXPECT_EQ(seen.count({1, 0, 1, 0}), 0u)
+      << "IRIW all-SC forbids readers disagreeing on the write order";
+}
+
+TEST(Litmus, WriteToReadCausality) {
+  // WRC: T1 writes x; T2 reads x==1 then release-writes y; T3 acquires
+  // y==1 and must then see x==1 (causality chains through T2's release,
+  // because T2's acquire of x folds x into its release clock).
+  Engine e;
+  bool violated = false;
+  int r3 = -1;
+  struct L : ExecutionListener {
+    int* r3;
+    bool* bad;
+    bool on_execution_complete(Engine&) override {
+      if (*r3 == 0) *bad = true;
+      return true;
+    }
+  } l;
+  l.r3 = &r3;
+  l.bad = &violated;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([fx] { fx->store(1, MemoryOrder::release); });
+    int t2 = x.spawn([fx, fy] {
+      if (fx->load(MemoryOrder::acquire) == 1) fy->store(1, MemoryOrder::release);
+    });
+    int t3 = x.spawn([&, fx, fy] {
+      r3 = 2;  // sentinel: only meaningful when y was observed
+      if (fy->load(MemoryOrder::acquire) == 1) r3 = fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+  });
+  EXPECT_FALSE(violated) << "WRC: y==1 implies x==1 under rel/acq";
+}
+
+TEST(Litmus, Isa2ChainTransfersOwnership) {
+  // ISA2: plain data handed through two release/acquire links must be
+  // race-free at the far end.
+  Engine e;
+  auto stats = e.explore([&](Exec& x) {
+    auto* data = x.make<Var<int>>(0, "data");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    auto* fz = x.make<Atomic<int>>(0, "z");
+    int t1 = x.spawn([data, fy] {
+      data->write(1);
+      fy->store(1, MemoryOrder::release);
+    });
+    int t2 = x.spawn([fy, fz] {
+      if (fy->load(MemoryOrder::acquire) == 1) fz->store(1, MemoryOrder::release);
+    });
+    int t3 = x.spawn([data, fz] {
+      if (fz->load(MemoryOrder::acquire) == 1) (void)data->read();
+    });
+    x.join(t1);
+    x.join(t2);
+    x.join(t3);
+  });
+  EXPECT_EQ(stats.builtin_violation_execs, 0u) << "ISA2 chain is race-free";
+}
+
+TEST(Litmus, CoWWSameThreadStoresKeepOrder) {
+  // CoWW: a thread's own stores to one location are mo-ordered; after
+  // both, no thread may read the first value once it has read the second.
+  Engine e;
+  bool bad = false;
+  int r1 = -1, r2 = -1;
+  struct L : ExecutionListener {
+    int* r1;
+    int* r2;
+    bool* bad;
+    bool on_execution_complete(Engine&) override {
+      if (*r1 == 2 && *r2 == 1) *bad = true;
+      return true;
+    }
+  } l;
+  l.r1 = &r1;
+  l.r2 = &r2;
+  l.bad = &bad;
+  e.set_listener(&l);
+  e.explore([&](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    fx->store(1, MemoryOrder::relaxed);
+    fx->store(2, MemoryOrder::relaxed);
+    int t1 = x.spawn([&, fx] {
+      r1 = fx->load(MemoryOrder::relaxed);
+      r2 = fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+  });
+  EXPECT_FALSE(bad);
+}
+
+TEST(Litmus, ExplorationIsExhaustiveAndTerminates) {
+  // Sanity: a 2x2 relaxed test has a finite, reproducible execution count.
+  Engine e1, e2;
+  auto body = [](Exec& x) {
+    auto* fx = x.make<Atomic<int>>(0, "x");
+    auto* fy = x.make<Atomic<int>>(0, "y");
+    int t1 = x.spawn([fx, fy] {
+      fx->store(1, MemoryOrder::relaxed);
+      (void)fy->load(MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([fx, fy] {
+      fy->store(1, MemoryOrder::relaxed);
+      (void)fx->load(MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+  };
+  auto s1 = e1.explore(body);
+  auto s2 = e2.explore(body);
+  EXPECT_GT(s1.executions, 4u);
+  EXPECT_EQ(s1.executions, s2.executions) << "exploration is deterministic";
+  EXPECT_EQ(s1.feasible, s2.feasible);
+}
+
+}  // namespace
+}  // namespace cds::mc

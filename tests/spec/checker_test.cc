@@ -1,0 +1,414 @@
+// Unit tests of the CDSSpec checker machinery: r-relation extraction,
+// sequential-history enumeration, admissibility, postconditions, and
+// justification — driven by hand-scripted "method calls" whose ordering
+// points are produced by real modeled atomics.
+#include <gtest/gtest.h>
+
+#include "harness/runner.h"
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "spec/annotations.h"
+#include "spec/checker.h"
+#include "spec/history.h"
+#include "spec/seqstate.h"
+#include "spec/specification.h"
+
+namespace cds {
+namespace {
+
+using harness::RunOptions;
+using harness::RunResult;
+using harness::run_with_spec;
+using mc::MemoryOrder;
+using spec::Ctx;
+using spec::IntList;
+
+// A register-like spec: write(v) sets the state, read() must return the
+// current value in every sequential history.
+const spec::Specification& strict_register_spec() {
+  static spec::Specification* s = [] {
+    auto* sp = new spec::Specification("StrictRegister");
+    sp->state<std::int64_t>();
+    sp->method("write").side_effect(
+        [](Ctx& c) { c.st<std::int64_t>() = c.arg(0); });
+    sp->method("read").side_effect([](Ctx& c) { c.s_ret = c.st<std::int64_t>(); }).post([](Ctx& c) {
+      return c.c_ret() == c.s_ret;
+    });
+    return sp;
+  }();
+  return *s;
+}
+
+// Scripted object: an annotated register whose write publishes with a
+// release store and whose read uses an acquire load (so the read is
+// r-ordered after the write it reads from).
+struct ScriptedRegister {
+  explicit ScriptedRegister(const spec::Specification& s) : obj(s), cell(0, "reg") {}
+
+  void write(int v) {
+    spec::Method m(obj, "write", {v});
+    cell.store(v, MemoryOrder::release);
+    m.op_define();
+    m.ret(0);
+  }
+
+  int read() {
+    spec::Method m(obj, "read");
+    int v = cell.load(MemoryOrder::acquire);
+    m.op_define();
+    return static_cast<int>(m.ret(v));
+  }
+
+  spec::Object obj;
+  mc::Atomic<int> cell;
+};
+
+TEST(SpecChecker, SequentialHistoryPassesForOrderedCalls) {
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* reg = x.make<ScriptedRegister>(strict_register_spec());
+    reg->write(5);
+    EXPECT_EQ(reg->read(), 5);
+  });
+  EXPECT_EQ(r.mc.violations_total, 0u);
+  EXPECT_GT(r.spec.histories_checked, 0u);
+}
+
+TEST(SpecChecker, PostconditionViolationDetected) {
+  // A scripted call that lies about its return value must be caught.
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* reg = x.make<ScriptedRegister>(strict_register_spec());
+    reg->write(5);
+    {
+      spec::Method m(reg->obj, "read");
+      (void)reg->cell.load(MemoryOrder::acquire);
+      m.op_define();
+      m.ret(99);  // wrong: sequential replay will compute S_RET == 5
+    }
+  });
+  EXPECT_TRUE(r.detected_assertion());
+  EXPECT_FALSE(r.detected_builtin());
+  ASSERT_FALSE(r.reports.empty());
+  EXPECT_NE(r.reports[0].find("postcondition"), std::string::npos);
+}
+
+TEST(SpecChecker, PreconditionViolationDetected) {
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("PreOnly");
+    s->state<std::int64_t>();
+    s->method("poke").pre([](Ctx& c) { return c.arg(0) > 0; });
+    return s;
+  }();
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    spec::Method m(*obj, "poke", {-3});
+    m.ret(0);
+  });
+  EXPECT_TRUE(r.detected_assertion());
+  ASSERT_FALSE(r.reports.empty());
+  EXPECT_NE(r.reports[0].find("precondition"), std::string::npos);
+}
+
+TEST(SpecChecker, UnorderedCallsCheckedInAllHistories) {
+  // Two concurrent writes and a later read: histories enumerate both write
+  // orders, so a strict register whose read returns one of them must fail
+  // in the history where the other write is last.
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* reg = x.make<ScriptedRegister>(strict_register_spec());
+    int t1 = x.spawn([reg] { reg->write(1); });
+    int t2 = x.spawn([reg] { reg->write(2); });
+    x.join(t1);
+    x.join(t2);
+    (void)reg->read();
+  });
+  // In every execution the read returns the mo-final write, but the
+  // sequential replay also explores the opposite write order -> violation.
+  EXPECT_TRUE(r.detected_assertion());
+}
+
+TEST(SpecChecker, AdmissibilityRuleFiresOnUnorderedPair) {
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("AdmitPair");
+    s->state<std::int64_t>();
+    s->method("a");
+    s->method("b");
+    s->admit("a", "b",
+             [](const spec::CallRecord&, const spec::CallRecord&) { return true; });
+    return s;
+  }();
+  // Calls from two threads with no synchronization: unordered -> rule fires.
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    auto* fy = x.make<mc::Atomic<int>>(0, "y");
+    int t1 = x.spawn([&] {
+      spec::Method m(*obj, "a");
+      fx->store(1, MemoryOrder::relaxed);
+      m.op_define();
+    });
+    int t2 = x.spawn([&] {
+      spec::Method m(*obj, "b");
+      fy->store(1, MemoryOrder::relaxed);
+      m.op_define();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_TRUE(r.detected_admissibility());
+  EXPECT_FALSE(r.detected_assertion());
+}
+
+TEST(SpecChecker, AdmissibilityNotFiredWhenOrdered) {
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("AdmitPairOrdered");
+    s->state<std::int64_t>();
+    s->method("a");
+    s->method("b");
+    s->admit("a", "b",
+             [](const spec::CallRecord&, const spec::CallRecord&) { return true; });
+    return s;
+  }();
+  // Same-thread calls are ordered by sequenced-before: admissible.
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    {
+      spec::Method m(*obj, "a");
+      fx->store(1, MemoryOrder::relaxed);
+      m.op_define();
+    }
+    {
+      spec::Method m(*obj, "b");
+      fx->store(2, MemoryOrder::relaxed);
+      m.op_define();
+    }
+  });
+  EXPECT_EQ(r.spec.inadmissible_execs, 0u);
+  EXPECT_EQ(r.mc.violations_total, 0u);
+}
+
+TEST(SpecChecker, JustifiedSpuriousFailureAccepted) {
+  // Non-deterministic spec: get() may return -1 if some justifying
+  // subhistory leaves the state empty. A get with NO r-predecessors is
+  // justified by the empty subhistory.
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("MaybeEmpty");
+    s->state<IntList>();
+    s->method("put").side_effect(
+        [](Ctx& c) { c.st<IntList>().push_back(c.arg(0)); });
+    s->method("get")
+        .side_effect([](Ctx& c) {
+          IntList& q = c.st<IntList>();
+          c.s_ret = q.empty() ? -1 : q.front();
+          if (c.s_ret != -1 && c.c_ret() != -1) q.pop_front();
+        })
+        .post([](Ctx& c) { return c.c_ret() == -1 || c.c_ret() == c.s_ret; })
+        .justifying_post([](Ctx& c) {
+          return c.c_ret() != -1 || c.s_ret == -1;
+        });
+    return s;
+  }();
+
+  // Unordered put/get: get returns -1, justified (concurrent put).
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    auto* fy = x.make<mc::Atomic<int>>(0, "y");
+    int t1 = x.spawn([&] {
+      spec::Method m(*obj, "put", {7});
+      fx->store(1, MemoryOrder::release);
+      m.op_define();
+    });
+    int t2 = x.spawn([&] {
+      spec::Method m(*obj, "get");
+      (void)fy->load(MemoryOrder::acquire);
+      m.op_define();
+      m.ret(-1);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  EXPECT_EQ(r.mc.violations_total, 0u)
+      << (r.reports.empty() ? "" : r.reports[0]);
+}
+
+TEST(SpecChecker, UnjustifiedSpuriousFailureRejected) {
+  // Same spec, but now the get is r-ordered AFTER the put (release/acquire
+  // on the same flag): its only justifying subhistory contains the put, so
+  // returning -1 is NOT justified.
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("MaybeEmpty2");
+    s->state<IntList>();
+    s->method("put").side_effect(
+        [](Ctx& c) { c.st<IntList>().push_back(c.arg(0)); });
+    s->method("get")
+        .side_effect([](Ctx& c) {
+          IntList& q = c.st<IntList>();
+          c.s_ret = q.empty() ? -1 : q.front();
+          if (c.s_ret != -1 && c.c_ret() != -1) q.pop_front();
+        })
+        .post([](Ctx& c) { return c.c_ret() == -1 || c.c_ret() == c.s_ret; })
+        .justifying_post([](Ctx& c) {
+          return c.c_ret() != -1 || c.s_ret == -1;
+        });
+    return s;
+  }();
+
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    {
+      spec::Method m(*obj, "put", {7});
+      fx->store(1, MemoryOrder::release);
+      m.op_define();
+    }
+    {
+      spec::Method m(*obj, "get");
+      (void)fx->load(MemoryOrder::acquire);  // reads 1: hb after the put
+      m.op_define();
+      m.ret(-1);  // spurious empty despite hb-ordered put: forbidden
+    }
+  });
+  EXPECT_TRUE(r.detected_assertion());
+  ASSERT_FALSE(r.reports.empty());
+  EXPECT_NE(r.reports[0].find("not justified"), std::string::npos);
+}
+
+TEST(SpecChecker, ScOrderingPointsOrderCalls) {
+  // Two calls whose ordering points are seq_cst stores to DIFFERENT
+  // locations are still r-ordered (by the SC total order), so a strict
+  // "counter" spec sees a deterministic order in each execution.
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("ScPair");
+    s->state<std::int64_t>();
+    s->method("first").side_effect([](Ctx& c) { c.st<std::int64_t>() += 1; });
+    s->method("second").side_effect([](Ctx& c) { c.st<std::int64_t>() += 1; });
+    return s;
+  }();
+  RunResult r = run_with_spec([](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    auto* fy = x.make<mc::Atomic<int>>(0, "y");
+    int t1 = x.spawn([&] {
+      spec::Method m(*obj, "first");
+      fx->store(1, MemoryOrder::seq_cst);
+      m.op_define();
+    });
+    int t2 = x.spawn([&] {
+      spec::Method m(*obj, "second");
+      fy->store(1, MemoryOrder::seq_cst);
+      m.op_define();
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+  // With SC ordering points there is exactly one history per execution:
+  // histories_checked == executions checked (one object).
+  EXPECT_EQ(r.spec.histories_checked, r.spec.executions_checked);
+  EXPECT_EQ(r.mc.violations_total, 0u);
+}
+
+TEST(SpecChecker, NestedApiCallsNotRecorded) {
+  // An API method that internally calls another API method: only the
+  // outermost is recorded (Section 4.3).
+  static spec::Specification* sp = [] {
+    auto* s = new spec::Specification("Nested");
+    s->state<std::int64_t>();
+    s->method("outer").side_effect([](Ctx& c) { c.st<std::int64_t>() += 1; });
+    s->method("inner").side_effect([](Ctx& c) {
+      // Would corrupt the count if nested calls were recorded.
+      c.st<std::int64_t>() += 100;
+    });
+    return s;
+  }();
+  spec::SpecChecker checker;
+  mc::Engine e;
+  checker.attach(e);
+  std::uint64_t recorded = 0;
+  struct Probe : mc::ExecutionListener {
+  } probe;
+  (void)probe;
+  e.explore([&](mc::Exec& x) {
+    auto* obj = x.make<spec::Object>(*sp);
+    auto* fx = x.make<mc::Atomic<int>>(0, "x");
+    {
+      spec::Method outer(*obj, "outer");
+      {
+        spec::Method inner(*obj, "inner");  // nested: must be ignored
+        fx->store(1, MemoryOrder::relaxed);
+        inner.op_define();
+      }
+      fx->store(2, MemoryOrder::relaxed);
+      outer.op_define();
+    }
+    recorded = checker.recorder().calls().size();
+  });
+  checker.detach();
+  EXPECT_EQ(recorded, 1u);  // only the outer call was recorded
+}
+
+TEST(SpecHistory, TopoOrderCountsMatchCombinatorics) {
+  // 3 calls, no edges: 3! orders; a->b edge: 3 orders; chain: 1 order.
+  spec::CallRecord a, b, c;
+  std::vector<const spec::CallRecord*> calls = {&a, &b, &c};
+  std::uint64_t count = 0;
+  auto cb = [&](const std::vector<const spec::CallRecord*>&) {
+    ++count;
+    return true;
+  };
+
+  std::vector<std::vector<int>> none(3);
+  spec::for_each_topo_order(calls, none, 0, cb);
+  EXPECT_EQ(count, 6u);
+
+  count = 0;
+  std::vector<std::vector<int>> one(3);
+  one[0] = {1};
+  spec::for_each_topo_order(calls, one, 0, cb);
+  EXPECT_EQ(count, 3u);
+
+  count = 0;
+  std::vector<std::vector<int>> chain(3);
+  chain[0] = {1};
+  chain[1] = {2};
+  spec::for_each_topo_order(calls, chain, 0, cb);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SpecHistory, CycleDetected) {
+  spec::CallRecord a, b;
+  std::vector<const spec::CallRecord*> calls = {&a, &b};
+  std::vector<std::vector<int>> succ(2);
+  succ[0] = {1};
+  succ[1] = {0};
+  auto res = spec::for_each_topo_order(
+      calls, succ, 0, [](const std::vector<const spec::CallRecord*>&) { return true; });
+  EXPECT_TRUE(res.cycle);
+  EXPECT_EQ(res.count, 0u);
+}
+
+TEST(SpecHistory, CapAndSampling) {
+  spec::CallRecord cs[6];
+  std::vector<const spec::CallRecord*> calls;
+  for (auto& c : cs) calls.push_back(&c);
+  std::vector<std::vector<int>> none(6);
+  std::uint64_t count = 0;
+  auto res = spec::for_each_topo_order(
+      calls, none, 100,
+      [&](const std::vector<const spec::CallRecord*>&) { return ++count, true; });
+  EXPECT_TRUE(res.capped);
+  EXPECT_EQ(count, 100u);
+
+  count = 0;
+  auto sres = spec::sample_topo_orders(
+      calls, none, 50, 42,
+      [&](const std::vector<const spec::CallRecord*>& o) {
+        EXPECT_EQ(o.size(), 6u);
+        ++count;
+        return true;
+      });
+  EXPECT_EQ(sres.count, 50u);
+  EXPECT_EQ(count, 50u);
+}
+
+}  // namespace
+}  // namespace cds

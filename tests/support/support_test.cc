@@ -1,0 +1,203 @@
+// Unit tests for the support layer: clocks/views, arena, trail, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mc/trail.h"
+#include "support/arena.h"
+#include "support/rng.h"
+#include "support/vector_clock.h"
+
+namespace cds {
+namespace {
+
+using support::Timestamps;
+using support::VectorClock;
+using support::View;
+
+TEST(VectorClock, DefaultIsBottom) {
+  VectorClock c;
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(100), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(VectorClock, SetGetRaise) {
+  VectorClock c;
+  c.set(3, 7);
+  EXPECT_EQ(c.get(3), 7u);
+  c.raise(3, 5);
+  EXPECT_EQ(c.get(3), 7u) << "raise never lowers";
+  c.raise(3, 9);
+  EXPECT_EQ(c.get(3), 9u);
+  c.bump(1);
+  EXPECT_EQ(c.get(1), 1u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax) {
+  VectorClock a, b;
+  a.set(0, 5);
+  a.set(2, 1);
+  b.set(0, 3);
+  b.set(1, 9);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 9u);
+  EXPECT_EQ(a.get(2), 1u);
+}
+
+TEST(VectorClock, LeqIsPartialOrder) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 2);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  b.set(1, 1);
+  a.set(2, 1);
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a)) << "incomparable";
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, JoinIsLeastUpperBound) {
+  // Property over a small sweep: a <= a⊔b, b <= a⊔b, and any c above both
+  // is above the join.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      VectorClock a, b;
+      a.set(0, i);
+      a.set(1, j);
+      b.set(0, j);
+      b.set(1, i);
+      VectorClock ab = a;
+      ab.join(b);
+      EXPECT_TRUE(a.leq(ab));
+      EXPECT_TRUE(b.leq(ab));
+      VectorClock c;
+      c.set(0, std::max(i, j));
+      c.set(1, std::max(i, j));
+      EXPECT_TRUE(ab.leq(c));
+    }
+  }
+}
+
+TEST(Timestamps, JoinCoversBothLattices) {
+  Timestamps a, b;
+  a.vc.set(0, 4);
+  a.view.set(7, 2);
+  b.vc.set(1, 3);
+  b.view.set(7, 5);
+  a.join(b);
+  EXPECT_EQ(a.vc.get(0), 4u);
+  EXPECT_EQ(a.vc.get(1), 3u);
+  EXPECT_EQ(a.view.get(7), 5u);
+}
+
+TEST(Arena, AllocatesAlignedAndDistinct) {
+  support::Arena a;
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = a.allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second) << "allocations must not overlap";
+  }
+}
+
+TEST(Arena, ResetReusesSameAddresses) {
+  // The engine relies on identical allocation sequences yielding identical
+  // addresses across executions.
+  support::Arena a;
+  void* p1 = a.allocate(64, 8);
+  void* p2 = a.allocate(128, 16);
+  a.reset();
+  EXPECT_EQ(a.allocate(64, 8), p1);
+  EXPECT_EQ(a.allocate(128, 16), p2);
+}
+
+TEST(Arena, OversizedAllocationsWork) {
+  support::Arena a;
+  void* big = a.allocate(support::Arena::kBlockSize * 2, 64);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+  // And normal allocation still functions afterwards.
+  EXPECT_NE(a.allocate(16, 8), nullptr);
+}
+
+TEST(Arena, MakeConstructs) {
+  support::Arena a;
+  struct P {
+    int x, y;
+  };
+  P* p = a.make<P>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Trail, SingleChoiceNotRecorded) {
+  mc::Trail t;
+  t.begin_execution();
+  EXPECT_EQ(t.choose(mc::ChoiceKind::kSchedule, 1), 0u);
+  EXPECT_EQ(t.depth(), 0u);
+}
+
+TEST(Trail, DfsEnumeratesFullTree) {
+  // A 2-level tree with branching 2 and 3: 6 leaves.
+  mc::Trail t;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> leaves;
+  do {
+    t.begin_execution();
+    std::uint32_t a = t.choose(mc::ChoiceKind::kSchedule, 2);
+    std::uint32_t b = t.choose(mc::ChoiceKind::kReadsFrom, 3);
+    leaves.insert({a, b});
+  } while (t.advance());
+  EXPECT_EQ(leaves.size(), 6u);
+}
+
+TEST(Trail, VariableDepthTree) {
+  // Branch count depends on earlier choices (like real explorations).
+  mc::Trail t;
+  int leaves = 0;
+  do {
+    t.begin_execution();
+    std::uint32_t a = t.choose(mc::ChoiceKind::kSchedule, 2);
+    if (a == 0) {
+      (void)t.choose(mc::ChoiceKind::kReadsFrom, 4);
+    }
+    ++leaves;
+  } while (t.advance());
+  EXPECT_EQ(leaves, 5) << "4 leaves under a=0 plus 1 leaf under a=1";
+}
+
+TEST(Trail, RestoreReplaysCapturedPath) {
+  mc::Trail t;
+  t.begin_execution();
+  (void)t.choose(mc::ChoiceKind::kSchedule, 3);
+  ASSERT_TRUE(t.advance());  // move to alternative 1
+  t.begin_execution();
+  EXPECT_EQ(t.choose(mc::ChoiceKind::kSchedule, 3), 1u);
+  auto saved = t.raw();
+
+  mc::Trail t2;
+  t2.restore(saved);
+  t2.begin_execution();
+  EXPECT_EQ(t2.choose(mc::ChoiceKind::kSchedule, 3), 1u);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  support::Xorshift64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t x = a.below(7);
+    EXPECT_EQ(x, b.below(7));
+    EXPECT_LT(x, 7u);
+  }
+}
+
+TEST(Rng, ZeroSeedDoesNotDegenerate) {
+  support::Xorshift64 r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 10; ++i) vals.insert(r.next());
+  EXPECT_GT(vals.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cds

@@ -1,0 +1,118 @@
+// Unit tests for the specc annotation front-end (the paper's specification
+// compiler, Figure 5's grammar).
+#include <gtest/gtest.h>
+
+#include "specc_lib.h"
+
+namespace cds::specc {
+namespace {
+
+constexpr const char* kAnnotated = R"(
+/** @DeclareState: IntList *q; */
+
+/** @SideEffect: STATE(q)->push_back(val); */
+void enq(int val) {
+  while (1) {
+    if (t->next.CAS(old, n, release)) {
+      /** @OPDefine: true */
+      return;
+    }
+  }
+}
+
+/** @SideEffect: S_RET = f();
+    @PostCondition: return C_RET == S_RET;
+    @JustifyingPostcondition: if (C_RET == -1)
+    return S_RET == -1; */
+int deq() {
+  while (1) {
+    Node* n = h->next.load(acquire);
+    /** @OPClearDefine: true */
+    if (n == NULL) return -1;
+  }
+}
+
+/** @PreCondition: return true; */
+int peek() {
+  /** @PotentialOP(A): x > 0 */
+  int v = probe();
+  /** @OPCheck(A): v != 0 */
+  return v;
+}
+
+/** @Admit: deq <-> enq (M1->C_RET == -1) */
+)";
+
+TEST(Specc, ParsesDeclareState) {
+  ParsedSpec s = parse(kAnnotated);
+  EXPECT_EQ(s.state_decl, "IntList *q;");
+}
+
+TEST(Specc, ParsesMethodsWithClauses) {
+  ParsedSpec s = parse(kAnnotated);
+  ASSERT_EQ(s.methods.size(), 3u);
+  EXPECT_EQ(s.methods[0].name, "enq");
+  EXPECT_EQ(s.methods[0].clauses.count("SideEffect"), 1u);
+  EXPECT_EQ(s.methods[1].name, "deq");
+  EXPECT_EQ(s.methods[1].clauses.count("PostCondition"), 1u);
+  EXPECT_EQ(s.methods[1].clauses.count("JustifyingPostcondition"), 1u);
+  EXPECT_EQ(s.methods[2].name, "peek");
+  EXPECT_EQ(s.methods[2].clauses.count("PreCondition"), 1u);
+}
+
+TEST(Specc, ParsesOrderingPoints) {
+  ParsedSpec s = parse(kAnnotated);
+  ASSERT_EQ(s.ops.size(), 4u);
+  EXPECT_EQ(s.ops[0].kind, "OPDefine");
+  EXPECT_EQ(s.ops[0].method, "enq");
+  EXPECT_EQ(s.ops[1].kind, "OPClearDefine");
+  EXPECT_EQ(s.ops[1].method, "deq");
+  EXPECT_EQ(s.ops[2].kind, "PotentialOP");
+  EXPECT_EQ(s.ops[2].label, "A");
+  EXPECT_EQ(s.ops[2].cond, "x > 0");
+  EXPECT_EQ(s.ops[3].kind, "OPCheck");
+  EXPECT_EQ(s.ops[3].label, "A");
+  EXPECT_EQ(s.ops[3].cond, "v != 0");
+}
+
+TEST(Specc, ParsesAdmissibilityRule) {
+  ParsedSpec s = parse(kAnnotated);
+  ASSERT_EQ(s.admits.size(), 1u);
+  EXPECT_EQ(s.admits[0].first, "deq <-> enq");
+  EXPECT_EQ(s.admits[0].second, "M1->C_RET == -1");
+}
+
+TEST(Specc, EmitContainsRegistrationAndPlan) {
+  ParsedSpec s = parse(kAnnotated);
+  std::string out = emit(s, "unit");
+  EXPECT_NE(out.find("cds::spec::Specification(\"unit\")"), std::string::npos);
+  EXPECT_NE(out.find("sp->method(\"enq\")"), std::string::npos);
+  EXPECT_NE(out.find(".justifying_post("), std::string::npos);
+  EXPECT_NE(out.find("sp->admit(\"deq\", \"enq\""), std::string::npos);
+  EXPECT_NE(out.find("m.op_define()"), std::string::npos);
+  EXPECT_NE(out.find("m.op_clear_define()"), std::string::npos);
+  EXPECT_NE(out.find("m.potential_op(A)"), std::string::npos);
+  EXPECT_NE(out.find("m.op_check(A)"), std::string::npos);
+}
+
+TEST(Specc, EmptyInputProducesEmptySpec) {
+  ParsedSpec s = parse("int main() { return 0; }");
+  EXPECT_TRUE(s.methods.empty());
+  EXPECT_TRUE(s.ops.empty());
+  EXPECT_TRUE(s.state_decl.empty());
+}
+
+TEST(Specc, TrimHandlesDecoratedComments) {
+  ParsedSpec s = parse(
+      "/** @SideEffect:\n"
+      " *  line_one();\n"
+      " *  line_two();\n"
+      " */\n"
+      "void meth() {}\n");
+  ASSERT_EQ(s.methods.size(), 1u);
+  EXPECT_EQ(s.methods[0].name, "meth");
+  EXPECT_EQ(s.methods[0].clauses.at("SideEffect"), "line_one();\nline_two();");
+}
+
+}  // namespace
+}  // namespace cds::specc

@@ -1,0 +1,171 @@
+// cdsspec-run — command-line driver over the benchmark registry.
+//
+//   cdsspec-run --list
+//   cdsspec-run <benchmark>                 run a benchmark's unit tests
+//   cdsspec-run <benchmark> --inject <i>    weaken the i-th injectable site
+//   cdsspec-run <benchmark> --sites         list the benchmark's sites
+//   cdsspec-run <benchmark> --sweep         run the injection experiment
+//
+// Flags: --cap N (execution cap), --stale N (stale-read bound),
+//        --no-sleep-sets, --stop-on-violation, --reports
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ds/suite.h"
+#include "harness/runner.h"
+#include "inject/inject.h"
+#include "spec/checker.h"
+#include "spec/render.h"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: cdsspec-run --list\n"
+      "       cdsspec-run <benchmark> [--inject I | --sites | --sweep]\n"
+      "                   [--cap N] [--stale N] [--no-sleep-sets]\n"
+      "                   [--stop-on-violation] [--reports] [--dot]\n");
+}
+
+void print_result(const cds::harness::RunResult& r, bool reports) {
+  std::printf(
+      "executions=%llu feasible=%llu pruned(livelock=%llu bound=%llu "
+      "redundant=%llu)\n",
+      static_cast<unsigned long long>(r.mc.executions),
+      static_cast<unsigned long long>(r.mc.feasible),
+      static_cast<unsigned long long>(r.mc.pruned_livelock),
+      static_cast<unsigned long long>(r.mc.pruned_bound),
+      static_cast<unsigned long long>(r.mc.pruned_redundant));
+  std::printf(
+      "histories=%llu justifications=%llu  violations: builtin=%s "
+      "admissibility=%s assertion=%s (total %llu)\n",
+      static_cast<unsigned long long>(r.spec.histories_checked),
+      static_cast<unsigned long long>(r.spec.justification_checks),
+      r.detected_builtin() ? "YES" : "no",
+      r.detected_admissibility() ? "YES" : "no",
+      r.detected_assertion() ? "YES" : "no",
+      static_cast<unsigned long long>(r.mc.violations_total));
+  std::printf("time=%.2fs%s\n", r.mc.seconds,
+              r.mc.hit_execution_cap ? " (execution cap hit)" : "");
+  if (reports) {
+    for (const auto& rep : r.reports) std::printf("\n%s\n", rep.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cds::ds::register_all_benchmarks();
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string cmd = argv[1];
+  if (cmd == "--list") {
+    for (const auto& b : cds::harness::benchmarks()) {
+      std::printf("%-22s %s (%zu unit tests, %zu injectable sites)\n",
+                  b.name.c_str(), b.display.c_str(), b.tests.size(),
+                  [&] {
+                    std::size_t n = 0;
+                    for (const auto& s : cds::inject::sites_for(b.name)) {
+                      if (s.injectable()) ++n;
+                    }
+                    return n;
+                  }());
+    }
+    return 0;
+  }
+
+  const auto* b = cds::harness::find_benchmark(cmd);
+  if (b == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n", cmd.c_str());
+    return 1;
+  }
+
+  cds::harness::RunOptions opts;
+  bool sites = false, sweep = false, reports = false, dot = false;
+  int inject_idx = -1;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--sites") sites = true;
+    else if (a == "--sweep") sweep = true;
+    else if (a == "--reports") reports = true;
+    else if (a == "--dot") dot = true;
+    else if (a == "--no-sleep-sets") opts.engine.enable_sleep_sets = false;
+    else if (a == "--stop-on-violation") opts.engine.stop_on_first_violation = true;
+    else if (a == "--inject" && i + 1 < argc) inject_idx = std::atoi(argv[++i]);
+    else if (a == "--cap" && i + 1 < argc)
+      opts.engine.max_executions = std::strtoull(argv[++i], nullptr, 10);
+    else if (a == "--stale" && i + 1 < argc)
+      opts.engine.stale_read_bound = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (sites) {
+    int i = 0;
+    for (const auto& s : cds::inject::sites_for(b->name)) {
+      if (!s.injectable()) continue;
+      std::printf("%2d  %-40s %s -> %s\n", i++, s.name.c_str(),
+                  to_string(s.def), to_string(s.weakened()));
+    }
+    return 0;
+  }
+
+  if (sweep) {
+    auto sum = cds::harness::run_injection_experiment(*b, opts);
+    for (const auto& o : sum.outcomes) {
+      std::printf("%-42s %-8s -> %s\n", o.site.name.c_str(),
+                  to_string(o.site.def), cds::harness::to_string(o.how));
+    }
+    std::printf("detection rate: %.0f%% (%d/%d)\n", sum.detection_rate() * 100,
+                sum.injections - sum.undetected, sum.injections);
+    return 0;
+  }
+
+  if (inject_idx >= 0) {
+    int i = 0;
+    bool found = false;
+    for (const auto& s : cds::inject::sites_for(b->name)) {
+      if (!s.injectable()) continue;
+      if (i++ == inject_idx) {
+        std::printf("injecting: %s (%s -> %s)\n", s.name.c_str(),
+                    to_string(s.def), to_string(s.weakened()));
+        cds::inject::inject(s.id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "no injectable site #%d (try --sites)\n", inject_idx);
+      return 1;
+    }
+  }
+
+  if (dot) {
+    // Run the first unit test once and render the last execution's call
+    // graph (stop at the first violating execution when one exists, so
+    // the rendered graph is the interesting one).
+    cds::mc::Config cfg = opts.engine;
+    cfg.stop_on_first_violation = true;
+    cds::mc::Engine engine(cfg);
+    cds::spec::SpecChecker checker(opts.checker);
+    checker.attach(engine);
+    (void)engine.explore(b->tests.front());
+    std::printf("%s", cds::spec::render_dot(checker.recorder().calls()).c_str());
+    checker.detach();
+    cds::inject::clear_injection();
+    return 0;
+  }
+
+  auto r = cds::harness::run_benchmark(*b, opts);
+  cds::inject::clear_injection();
+  print_result(r, reports);
+  return r.mc.violations_total == 0 ? 0 : 3;
+}

@@ -1,0 +1,36 @@
+// The paper's Figure 6 blocking-queue annotations, verbatim style.
+/** @DeclareState: IntList *q; */
+
+/** @SideEffect: STATE(q)->push_back(val); */
+void enq(int val) {
+  Node* n = new Node(val);
+  while (1) {
+    Node* t = tail.load(acquire);
+    Node* old = NULL;
+    if (t->next.CAS(old, n, release)) {
+      /** @OPDefine: true */
+      tail.store(n, release);
+      return;
+    }
+  }
+}
+
+/** @SideEffect:
+    S_RET = STATE(q)->empty() ? -1 : STATE(q)->front();
+    if (S_RET != -1 && C_RET != -1) STATE(q)->pop_front();
+    @PostCondition:
+    return C_RET == -1 ? true : C_RET == S_RET;
+    @JustifyingPostcondition: if (C_RET == -1)
+    return S_RET == -1; */
+int deq() {
+  while (1) {
+    Node* h = head.load(acquire);
+    Node* n = h->next.load(acquire);
+    /** @OPClearDefine: true */
+    if (n == NULL) return -1;
+    if (head.CAS(h, n, release))
+      return n->data;
+  }
+}
+
+/** @Admit: deq <-> enq (M1->C_RET == -1) */

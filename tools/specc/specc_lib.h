@@ -1,0 +1,244 @@
+// specc parsing/emission library (see specc.cc for the tool overview).
+#ifndef CDS_TOOLS_SPECC_LIB_H
+#define CDS_TOOLS_SPECC_LIB_H
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cds::specc {
+
+struct OrderingPoint {
+  std::string kind;   // OPDefine / OPClear / OPClearDefine / PotentialOP / OPCheck
+  std::string label;  // for PotentialOP / OPCheck
+  std::string cond;
+  int line;
+  std::string method;
+};
+
+struct MethodSpec {
+  std::string name;
+  std::map<std::string, std::string> clauses;  // annotation -> code
+};
+
+struct ParsedSpec {
+  std::string state_decl;
+  std::string initial;
+  std::vector<std::pair<std::string, std::string>> admits;  // "m1 <-> m2", cond
+  std::vector<MethodSpec> methods;
+  std::vector<OrderingPoint> ops;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  return s.substr(a, b - a + 1);
+}
+
+// Collects /** ... */ comment blocks with their end line numbers.
+struct CommentBlock {
+  std::string text;
+  int begin_line;
+  int end_line;
+};
+
+std::vector<CommentBlock> extract_comments(const std::string& src) {
+  std::vector<CommentBlock> out;
+  int line = 1;
+  for (std::size_t i = 0; i + 1 < src.size(); ++i) {
+    if (src[i] == '\n') ++line;
+    if (src[i] == '/' && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) break;
+      CommentBlock b;
+      b.begin_line = line;
+      b.text = src.substr(i + 2, end - i - 2);
+      for (char c : b.text) {
+        if (c == '\n') ++line;
+      }
+      b.end_line = line;
+      out.push_back(std::move(b));
+      i = end + 1;
+    }
+  }
+  return out;
+}
+
+// The function name whose definition follows source position `line`
+// (heuristic: next line containing an identifier followed by '(').
+std::string find_following_function(const std::vector<std::string>& lines,
+                                    int after_line) {
+  for (std::size_t i = static_cast<std::size_t>(after_line);
+       i < lines.size() && i < static_cast<std::size_t>(after_line) + 4; ++i) {
+    const std::string& l = lines[i];
+    std::size_t paren = l.find('(');
+    while (paren != std::string::npos) {
+      std::size_t e = paren;
+      while (e > 0 && (std::isspace(static_cast<unsigned char>(l[e - 1])) != 0))
+        --e;
+      std::size_t b = e;
+      while (b > 0 && (std::isalnum(static_cast<unsigned char>(l[b - 1])) != 0 ||
+                       l[b - 1] == '_')) {
+        --b;
+      }
+      if (b < e) return l.substr(b, e - b);
+      paren = l.find('(', paren + 1);
+    }
+  }
+  return "";
+}
+
+// The enclosing function for an ordering-point annotation (heuristic: the
+// most recent method-level block's function).
+ParsedSpec parse(const std::string& src) {
+  ParsedSpec spec;
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(src);
+    std::string l;
+    while (std::getline(is, l)) lines.push_back(l);
+  }
+
+  std::string current_method;
+  for (const CommentBlock& blk : extract_comments(src)) {
+    // Split the block into @-sections.
+    std::vector<std::pair<std::string, std::string>> sections;
+    std::size_t pos = 0;
+    while ((pos = blk.text.find('@', pos)) != std::string::npos) {
+      std::size_t colon = blk.text.find(':', pos);
+      std::size_t next = blk.text.find('@', pos + 1);
+      if (colon == std::string::npos || (next != std::string::npos && colon > next)) {
+        pos = next == std::string::npos ? blk.text.size() : next;
+        continue;
+      }
+      std::string key = trim(blk.text.substr(pos + 1, colon - pos - 1));
+      std::string body = trim(blk.text.substr(
+          colon + 1, (next == std::string::npos ? blk.text.size() : next) - colon - 1));
+      // Strip leading '*' decorations.
+      std::string clean;
+      std::istringstream bs(body);
+      std::string bl;
+      while (std::getline(bs, bl)) {
+        bl = trim(bl);
+        if (!bl.empty() && bl[0] == '*') bl = trim(bl.substr(1));
+        if (!clean.empty()) clean += '\n';
+        clean += bl;
+      }
+      sections.emplace_back(key, clean);
+      pos = next == std::string::npos ? blk.text.size() : next;
+    }
+    if (sections.empty()) continue;
+
+    bool is_method_block = false;
+    for (auto& [key, body] : sections) {
+      if (key == "DeclareState") {
+        spec.state_decl = body;
+      } else if (key == "Initial") {
+        spec.initial = body;
+      } else if (key == "Admit") {
+        std::size_t p = body.find('(');
+        std::string pair = trim(body.substr(0, p == std::string::npos ? body.size() : p));
+        std::string cond = p == std::string::npos
+                               ? "true"
+                               : trim(body.substr(p + 1, body.rfind(')') - p - 1));
+        spec.admits.emplace_back(pair, cond);
+      } else if (key == "SideEffect" || key == "PreCondition" ||
+                 key == "PostCondition" || key == "JustifyingPrecondition" ||
+                 key == "JustifyingPostcondition") {
+        is_method_block = true;
+      } else if (key.rfind("OPDefine", 0) == 0 || key.rfind("OPClear", 0) == 0 ||
+                 key.rfind("PotentialOP", 0) == 0 || key.rfind("OPCheck", 0) == 0) {
+        OrderingPoint op;
+        std::size_t p = key.find('(');
+        op.kind = p == std::string::npos ? key : key.substr(0, p);
+        if (p != std::string::npos) {
+          op.label = key.substr(p + 1, key.find(')') - p - 1);
+        }
+        op.cond = body.empty() ? "true" : body;
+        op.line = blk.end_line;
+        op.method = current_method;
+        spec.ops.push_back(std::move(op));
+      }
+    }
+
+    if (is_method_block) {
+      std::string fn = find_following_function(lines, blk.end_line);
+      if (!fn.empty()) {
+        current_method = fn;
+        MethodSpec ms;
+        ms.name = fn;
+        for (auto& [key, body] : sections) ms.clauses[key] = body;
+        spec.methods.push_back(std::move(ms));
+      }
+    }
+  }
+  return spec;
+}
+
+std::string emit(const ParsedSpec& spec, const std::string& unit_name) {
+  std::ostringstream os;
+  os << "// Generated by specc — do not edit.\n"
+     << "// Registration skeleton for the specification extracted from "
+     << unit_name << ".\n"
+     << "#include \"cdsspec.h\"\n\n"
+     << "namespace {\n\n"
+     << "// @DeclareState: " << (spec.state_decl.empty() ? "(none)" : spec.state_decl)
+     << "\nconst cds::spec::Specification& generated_spec() {\n"
+     << "  static cds::spec::Specification* s = [] {\n"
+     << "    auto* sp = new cds::spec::Specification(\"" << unit_name << "\");\n";
+  if (!spec.state_decl.empty()) {
+    os << "    sp->state<GeneratedState>();  // from: " << spec.state_decl << "\n";
+  }
+  for (const MethodSpec& m : spec.methods) {
+    os << "    sp->method(\"" << m.name << "\")";
+    for (const auto& [key, body] : m.clauses) {
+      std::string hook;
+      if (key == "SideEffect") hook = "side_effect";
+      else if (key == "PreCondition") hook = "pre";
+      else if (key == "PostCondition") hook = "post";
+      else if (key == "JustifyingPrecondition") hook = "justifying_pre";
+      else if (key == "JustifyingPostcondition") hook = "justifying_post";
+      else continue;
+      std::string one_line = body;
+      for (char& c : one_line) {
+        if (c == '\n') c = ' ';
+      }
+      os << "\n        ." << hook << "([](cds::spec::Ctx& c) { " << one_line
+         << " })";
+    }
+    os << ";\n";
+  }
+  for (const auto& [pair, cond] : spec.admits) {
+    std::string m1 = trim(pair.substr(0, pair.find("<->")));
+    std::string m2 = trim(pair.substr(pair.find("<->") + 3));
+    os << "    sp->admit(\"" << m1 << "\", \"" << m2
+       << "\", [](const cds::spec::CallRecord& M1, const cds::spec::CallRecord& "
+          "M2) { return "
+       << cond << "; });\n";
+  }
+  os << "    return sp;\n  }();\n  return *s;\n}\n\n}  // namespace\n\n";
+
+  os << "// Instrumentation plan (ordering-point annotations -> runtime calls):\n";
+  for (const OrderingPoint& op : spec.ops) {
+    os << "//   line " << op.line << " [" << (op.method.empty() ? "?" : op.method)
+       << "]: ";
+    if (op.kind == "OPDefine") os << "m.op_define()";
+    else if (op.kind == "OPClearDefine") os << "m.op_clear_define()";
+    else if (op.kind == "OPClear") os << "m.op_clear()";
+    else if (op.kind == "PotentialOP") os << "m.potential_op(" << op.label << ")";
+    else if (op.kind == "OPCheck") os << "m.op_check(" << op.label << ")";
+    if (op.cond != "true") os << " when (" << op.cond << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cds::specc
+
+#endif  // CDS_TOOLS_SPECC_LIB_H
