@@ -11,7 +11,12 @@ namespace {
 // started is handed to the trampoline through a file-local slot. The whole
 // checker runs on one OS thread, so this cannot race.
 Fiber* g_starting = nullptr;
+void (*g_fallthrough)(Fiber&) = nullptr;
 }  // namespace
+
+void Fiber::set_fallthrough_handler(void (*handler)(Fiber&)) {
+  g_fallthrough = handler;
+}
 
 void Fiber::reset(std::function<void()> entry) {
   assert(!native_);
@@ -32,7 +37,10 @@ void Fiber::trampoline() {
   g_starting = nullptr;
   self->entry_();
   // Entry wrappers must mark_finished() and switch back to the scheduler;
-  // falling off the end of a fiber would resume an undefined context.
+  // falling off the end of a fiber would resume an undefined context. The
+  // installed handler can recover by switching away itself (it must not
+  // return here).
+  if (g_fallthrough != nullptr) g_fallthrough(*self);
   std::fprintf(stderr, "cds::fiber: entry wrapper returned without switching out\n");
   std::abort();
 }

@@ -55,6 +55,13 @@ class Fiber {
     armed_ = true;
   }
 
+  // Invoked on the offending fiber when an entry wrapper returns instead
+  // of switching out. The handler must not return: it should mark the
+  // fiber finished and switch away (the engine installs one that records
+  // the error and abandons the execution). Without a handler the process
+  // aborts, as a returned fiber has no context to resume.
+  static void set_fallthrough_handler(void (*handler)(Fiber&));
+
  private:
   static void trampoline();
 

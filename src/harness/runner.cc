@@ -1,5 +1,21 @@
 #include "harness/runner.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CDS_HARNESS_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 namespace cds::harness {
 
 namespace {
@@ -13,6 +29,23 @@ bool has_kind(const std::vector<mc::Violation>& vs, mc::ViolationKind k) {
     if (v.kind == k) return true;
   }
   return false;
+}
+
+// Paper's classification priority (Figure 8 columns).
+Detection classify(const RunResult& r) {
+  if (r.detected_builtin()) return Detection::kBuiltin;
+  if (r.detected_admissibility()) return Detection::kAdmissibility;
+  if (r.detected_assertion()) return Detection::kAssertion;
+  return Detection::kNone;
+}
+
+// Merge `v` into `into`, keeping the weaker claim.
+void weaken(mc::Verdict& into, mc::Verdict v) {
+  if (v == mc::Verdict::kFalsified || into == mc::Verdict::kFalsified) {
+    into = mc::Verdict::kFalsified;
+  } else if (v == mc::Verdict::kInconclusive) {
+    into = mc::Verdict::kInconclusive;
+  }
 }
 }  // namespace
 
@@ -41,6 +74,7 @@ RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
   r.spec = checker.stats();
   r.violations = engine.violations();
   r.reports = checker.reports();
+  r.verdict = r.mc.verdict;
   checker.detach();
   return r;
 }
@@ -63,16 +97,40 @@ const Benchmark* find_benchmark(const std::string& name) {
 
 RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
   RunResult total;
+  total.mc.seed = opts.engine.seed;
+  total.mc.exhausted = true;  // weakened below if any test falls short
+  // The time budget covers the whole benchmark: each test gets what the
+  // previous ones left over. Once it is gone, the remaining tests run with
+  // an epsilon budget so they still report (inconclusive) instead of
+  // exploring unbounded.
+  double remaining = opts.engine.time_budget_seconds;
   for (const mc::TestFn& t : b.tests) {
-    RunResult r = run_with_spec(t, opts);
+    RunOptions per_test = opts;
+    if (opts.engine.time_budget_seconds > 0.0) {
+      per_test.engine.time_budget_seconds = remaining > 0.001 ? remaining : 0.001;
+    }
+    RunResult r = run_with_spec(t, per_test);
+    remaining -= r.mc.seconds;
     total.mc.executions += r.mc.executions;
     total.mc.feasible += r.mc.feasible;
     total.mc.pruned_bound += r.mc.pruned_bound;
     total.mc.pruned_livelock += r.mc.pruned_livelock;
+    total.mc.pruned_redundant += r.mc.pruned_redundant;
     total.mc.builtin_violation_execs += r.mc.builtin_violation_execs;
+    total.mc.engine_fatal_execs += r.mc.engine_fatal_execs;
+    total.mc.sampled += r.mc.sampled;
     total.mc.violations_total += r.mc.violations_total;
     total.mc.seconds += r.mc.seconds;
     total.mc.hit_execution_cap |= r.mc.hit_execution_cap;
+    total.mc.hit_time_budget |= r.mc.hit_time_budget;
+    total.mc.hit_memory_budget |= r.mc.hit_memory_budget;
+    total.mc.watchdog_fired |= r.mc.watchdog_fired;
+    total.mc.stopped_early |= r.mc.stopped_early;
+    total.mc.exhausted &= r.mc.exhausted;
+    if (r.mc.max_trail_depth > total.mc.max_trail_depth) {
+      total.mc.max_trail_depth = r.mc.max_trail_depth;
+    }
+    weaken(total.verdict, r.verdict);
     total.spec.executions_checked += r.spec.executions_checked;
     total.spec.inadmissible_execs += r.spec.inadmissible_execs;
     total.spec.assertion_violation_execs += r.spec.assertion_violation_execs;
@@ -83,6 +141,7 @@ RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
     for (auto& v : r.violations) total.violations.push_back(std::move(v));
     for (auto& s : r.reports) total.reports.push_back(std::move(s));
   }
+  total.mc.verdict = total.verdict;
   return total;
 }
 
@@ -96,35 +155,203 @@ const char* to_string(Detection d) {
   return "?";
 }
 
+const char* to_string(TrialStatus s) {
+  switch (s) {
+    case TrialStatus::kCompleted: return "completed";
+    case TrialStatus::kCrashed: return "crashed";
+    case TrialStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Fork-isolated trials
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Runs one injection trial inside this process (no isolation). Used when
+// fork is unavailable or disabled; a crash or hang here takes the whole
+// campaign with it.
+InjectionOutcome run_trial_inline(const Benchmark& b, const RunOptions& opts,
+                                  const inject::Site& site) {
+  InjectionOutcome out;
+  out.site = site;
+  inject::inject(site.id);
+  RunResult r = run_benchmark(b, opts);
+  inject::clear_injection();
+  out.how = classify(r);
+  out.verdict = r.verdict;
+  out.status = TrialStatus::kCompleted;
+  out.seconds = r.mc.seconds;
+  return out;
+}
+
+#ifdef CDS_HARNESS_HAS_FORK
+
+// Fixed-size result message written by the trial child over its pipe.
+struct TrialWire {
+  std::uint8_t detection;
+  std::uint8_t verdict;
+  double seconds;
+};
+
+// Runs one trial in a forked child with a wall-clock timeout. The child
+// performs the injection and the whole benchmark run in its own address
+// space, so aborts, corruption, and hangs stay contained.
+InjectionOutcome run_trial_forked(const Benchmark& b, const RunOptions& opts,
+                                  const inject::Site& site, double timeout_s) {
+  InjectionOutcome out;
+  out.site = site;
+
+  int fds[2];
+  if (pipe(fds) != 0) return run_trial_inline(b, opts, site);
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return run_trial_inline(b, opts, site);
+  }
+  if (pid == 0) {
+    // Child: run the trial and report over the pipe. _exit skips atexit
+    // handlers (gtest, benchmark registries) that belong to the parent.
+    close(fds[0]);
+    inject::inject(site.id);
+    RunResult r = run_benchmark(b, opts);
+    TrialWire w{static_cast<std::uint8_t>(classify(r)),
+                static_cast<std::uint8_t>(r.verdict), r.mc.seconds};
+    ssize_t rc = write(fds[1], &w, sizeof w);
+    (void)rc;
+    close(fds[1]);
+    _exit(0);
+  }
+
+  close(fds[1]);
+  auto t0 = std::chrono::steady_clock::now();
+  auto remaining_ms = [&]() -> int {
+    if (timeout_s <= 0.0) return -1;  // poll: negative = wait forever
+    double left =
+        timeout_s -
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (left <= 0.0) return 0;
+    double ms = left * 1000.0 + 1.0;
+    return ms > 2147483000.0 ? 2147483000 : static_cast<int>(ms);
+  };
+
+  TrialWire w{};
+  std::size_t got = 0;
+  bool timed_out = false;
+  char* dst = reinterpret_cast<char*>(&w);
+  while (got < sizeof w) {
+    pollfd pfd{fds[0], POLLIN, 0};
+    int pr = poll(&pfd, 1, remaining_ms());
+    if (pr == 0) {
+      timed_out = true;
+      break;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ssize_t n = read(fds[0], dst + got, sizeof w - got);
+    if (n <= 0) break;  // EOF before a full message: the child died
+    got += static_cast<std::size_t>(n);
+  }
+  close(fds[0]);
+
+  if (timed_out) {
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    out.status = TrialStatus::kTimedOut;
+    out.seconds = timeout_s;
+    return out;
+  }
+
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got == sizeof w) {
+    out.status = TrialStatus::kCompleted;
+    out.how = static_cast<Detection>(w.detection);
+    out.verdict = static_cast<mc::Verdict>(w.verdict);
+    out.seconds = w.seconds;
+  } else {
+    out.status = TrialStatus::kCrashed;
+    out.term_signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    out.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return out;
+}
+
+#endif  // CDS_HARNESS_HAS_FORK
+
+InjectionOutcome run_trial(const Benchmark& b, const RunOptions& opts,
+                           const inject::Site& site, const SweepOptions& sweep) {
+#ifdef CDS_HARNESS_HAS_FORK
+  if (sweep.fork_isolation) {
+    return run_trial_forked(b, opts, site, sweep.trial_timeout_seconds);
+  }
+#endif
+  return run_trial_inline(b, opts, site);
+}
+
+}  // namespace
+
 InjectionSummary run_injection_experiment(const Benchmark& b,
-                                          const RunOptions& opts) {
+                                          const RunOptions& opts,
+                                          const SweepOptions& sweep) {
   InjectionSummary sum;
   sum.benchmark = b.name;
   for (const inject::Site& site : inject::sites_for(b.name)) {
     if (!site.injectable()) continue;
-    inject::inject(site.id);
-    RunResult r = run_benchmark(b, opts);
-    inject::clear_injection();
+    RunOptions trial_opts = opts;
+    trial_opts.engine.seed =
+        support::derive_seed(sweep.seed, static_cast<std::uint64_t>(site.id));
 
-    InjectionOutcome out;
-    out.site = site;
-    // Paper's classification priority (Figure 8 columns).
-    if (r.detected_builtin()) {
-      out.how = Detection::kBuiltin;
-      ++sum.builtin;
-    } else if (r.detected_admissibility()) {
-      out.how = Detection::kAdmissibility;
-      ++sum.admissibility;
-    } else if (r.detected_assertion()) {
-      out.how = Detection::kAssertion;
-      ++sum.assertion;
-    } else {
-      out.how = Detection::kNone;
-      ++sum.undetected;
+    InjectionOutcome out = run_trial(b, trial_opts, site, sweep);
+    // One retry ladder on timeout: tighten the execution cap and hand the
+    // engine a self-enforced time budget so the retry degrades to
+    // sampling (inconclusive) instead of hanging a second time.
+    for (int attempt = 0;
+         out.status == TrialStatus::kTimedOut && attempt < sweep.timeout_retries;
+         ++attempt) {
+      RunOptions tighter = trial_opts;
+      tighter.engine.max_executions =
+          trial_opts.engine.max_executions == 0
+              ? 20000
+              : std::max<std::uint64_t>(1, trial_opts.engine.max_executions / 4);
+      if (sweep.trial_timeout_seconds > 0.0) {
+        tighter.engine.time_budget_seconds = sweep.trial_timeout_seconds * 0.5;
+      }
+      out = run_trial(b, tighter, site, sweep);
+      out.retried = true;
+    }
+
+    switch (out.status) {
+      case TrialStatus::kCompleted:
+        switch (out.how) {
+          case Detection::kBuiltin: ++sum.builtin; break;
+          case Detection::kAdmissibility: ++sum.admissibility; break;
+          case Detection::kAssertion: ++sum.assertion; break;
+          case Detection::kNone: ++sum.undetected; break;
+        }
+        break;
+      case TrialStatus::kCrashed:
+        ++sum.crashed;
+        break;
+      case TrialStatus::kTimedOut:
+        ++sum.timed_out;
+        break;
     }
     ++sum.injections;
     sum.outcomes.push_back(std::move(out));
   }
+  // Defensive: fork isolation leaves the parent's injection state alone,
+  // but the inline path must never leak an active injection.
+  inject::clear_injection();
   return sum;
 }
 

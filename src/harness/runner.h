@@ -24,6 +24,10 @@ struct RunResult {
   spec::SpecChecker::Stats spec;
   std::vector<mc::Violation> violations;
   std::vector<std::string> reports;
+  // Weakest verdict across the aggregated explorations: falsified beats
+  // inconclusive beats verified-exhaustive, so "proved" is only claimed
+  // when every unit test ran its state space to exhaustion.
+  mc::Verdict verdict = mc::Verdict::kVerifiedExhaustive;
 
   [[nodiscard]] bool detected_builtin() const;
   [[nodiscard]] bool detected_admissibility() const;
@@ -63,9 +67,39 @@ enum class Detection { kNone, kBuiltin, kAdmissibility, kAssertion };
 
 [[nodiscard]] const char* to_string(Detection d);
 
+// What happened to a trial as a *process*: it finished and was classified,
+// or its (fork-isolated) child crashed, or it exceeded the per-trial
+// timeout even after the retry. Crashed/timed-out trials record an
+// outcome and the campaign moves on to the remaining sites.
+enum class TrialStatus { kCompleted, kCrashed, kTimedOut };
+
+[[nodiscard]] const char* to_string(TrialStatus s);
+
 struct InjectionOutcome {
   inject::Site site;
   Detection how = Detection::kNone;
+  TrialStatus status = TrialStatus::kCompleted;
+  mc::Verdict verdict = mc::Verdict::kInconclusive;
+  int term_signal = 0;   // signal that killed a crashed child (0 if exit code)
+  bool retried = false;  // timed out once and re-ran at a tighter cap
+  double seconds = 0.0;
+};
+
+// Fail-safe controls for the injection campaign. Defaults keep every
+// trial fork-isolated so one crashing or hanging trial cannot take the
+// sweep down with it.
+struct SweepOptions {
+  // Run each trial in a forked child (POSIX only; ignored elsewhere).
+  // Without isolation a crash or hang hits the whole campaign.
+  bool fork_isolation = true;
+  // Wall-clock cap per trial (0 = none). Only enforced under fork
+  // isolation; inline trials should use RunOptions::engine budgets.
+  double trial_timeout_seconds = 120.0;
+  // After a timeout, retry this many times at a tighter execution cap and
+  // an engine-level time budget (so the retry degrades instead of hanging).
+  int timeout_retries = 1;
+  // Root seed; per-trial engine seeds are derived from it and the site id.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 };
 
 struct InjectionSummary {
@@ -74,22 +108,32 @@ struct InjectionSummary {
   int builtin = 0;
   int admissibility = 0;
   int assertion = 0;
-  int undetected = 0;
+  int undetected = 0;  // completed trials with no detection
+  int crashed = 0;
+  int timed_out = 0;
   std::vector<InjectionOutcome> outcomes;
 
+  [[nodiscard]] int completed() const {
+    return injections - crashed - timed_out;
+  }
+  // Detection rate over trials that actually completed; crashed/timed-out
+  // trials are reported separately rather than counted as undetected.
   [[nodiscard]] double detection_rate() const {
-    return injections == 0
+    return completed() == 0
                ? 1.0
-               : static_cast<double>(injections - undetected) / injections;
+               : static_cast<double>(completed() - undetected) / completed();
   }
 };
 
 // Weakens each injectable site of the benchmark in turn (one per trial,
 // covering every memory-order parameter its tests exercise) and classifies
 // the detection with the paper's priority: built-in, then admissibility,
-// then assertion.
+// then assertion. Each trial is fork-isolated with a per-trial timeout
+// (see SweepOptions); a crashing or hanging trial is recorded as that
+// site's outcome and the campaign continues.
 InjectionSummary run_injection_experiment(const Benchmark& b,
-                                          const RunOptions& opts = {});
+                                          const RunOptions& opts = {},
+                                          const SweepOptions& sweep = {});
 
 }  // namespace cds::harness
 

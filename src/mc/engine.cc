@@ -41,6 +41,7 @@ Engine::Engine(Config cfg) : cfg_(cfg) {
   sched_fiber_.init_native();
   threads_.resize(static_cast<std::size_t>(cfg_.max_threads));
   for (Thread& t : threads_) t.fib = std::make_unique<fiber::Fiber>();
+  fiber::Fiber::set_fallthrough_handler(&Engine::on_fiber_fallthrough);
 }
 
 Engine::~Engine() = default;
@@ -55,7 +56,10 @@ const char* Engine::location_name(std::uint32_t loc) const {
 }
 
 void Engine::report_violation(ViolationKind k, std::string detail) {
-  ++violations_total_;
+  // Engine-fatal records are diagnostics about the checker itself, not
+  // property violations: they must not flip the verdict to falsified or
+  // trip stop_on_first_violation.
+  if (k != ViolationKind::kEngineFatal) ++violations_total_;
   bool builtin = k == ViolationKind::kDataRace ||
                  k == ViolationKind::kUninitializedLoad ||
                  k == ViolationKind::kDeadlock;
@@ -63,6 +67,25 @@ void Engine::report_violation(ViolationKind k, std::string detail) {
   if (violations_.size() < cfg_.max_recorded_violations) {
     violations_.push_back(Violation{k, std::move(detail), exec_index_});
   }
+}
+
+void Engine::engine_fatal(std::string detail) {
+  if (g_engine != this || current_ < 0) {
+    // No live execution to fail; this is unrecoverable API misuse.
+    fatal(detail.c_str());
+  }
+  std::fprintf(stderr, "cds::mc engine-fatal (execution %llu discarded): %s\n",
+               static_cast<unsigned long long>(exec_index_), detail.c_str());
+  report_violation(ViolationKind::kEngineFatal, std::move(detail));
+  fatal_abandon_ = true;
+  abandon_execution();
+}
+
+void Engine::on_fiber_fallthrough(fiber::Fiber& f) {
+  Engine* e = Engine::current();
+  if (e == nullptr) return;  // trampoline aborts
+  f.mark_finished();
+  e->engine_fatal("fiber entry wrapper returned without switching out");
 }
 
 void Engine::record(TraceEvent::Kind k, MemoryOrder o, std::uint32_t loc,
@@ -103,6 +126,67 @@ std::string Engine::format_trace() const {
 // Exploration loop
 // ---------------------------------------------------------------------------
 
+double Engine::seconds_since_start() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::size_t Engine::memory_usage_estimate() const {
+  std::size_t bytes = arena_.bytes_reserved();
+  for (const Location& L : locs_) {
+    bytes += L.history.capacity() * sizeof(Message);
+  }
+  bytes += trace_.capacity() * sizeof(TraceEvent);
+  bytes += trail_.raw().capacity() * sizeof(Choice);
+  return bytes;
+}
+
+bool Engine::check_budgets() {
+  if (active_deadline_ > 0.0 && seconds_since_start() >= active_deadline_) {
+    hit_time_budget_ = true;
+    return true;
+  }
+  if (cfg_.memory_budget_bytes != 0 &&
+      memory_usage_estimate() > cfg_.memory_budget_bytes) {
+    hit_memory_budget_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool Engine::tally_execution(ExplorationStats& stats) {
+  ++stats.executions;
+  if (trail_.depth() > stats.max_trail_depth) {
+    stats.max_trail_depth = trail_.depth();
+  }
+  bool keep_going = true;
+  switch (outcome_) {
+    case Outcome::kComplete:
+      ++stats.feasible;
+      if (listener_ != nullptr) keep_going = listener_->on_execution_complete(*this);
+      break;
+    case Outcome::kBuiltinViolation:
+      ++stats.feasible;  // CDSChecker counts buggy executions as explored
+      ++stats.builtin_violation_execs;
+      break;
+    case Outcome::kEngineFatal:
+      ++stats.engine_fatal_execs;
+      break;
+    case Outcome::kPrunedBound:
+      ++stats.pruned_bound;
+      break;
+    case Outcome::kPrunedLivelock:
+      ++stats.pruned_livelock;
+      break;
+    case Outcome::kPrunedRedundant:
+      ++stats.pruned_redundant;
+      break;
+    case Outcome::kRunning:
+      fatal("execution ended while still running");
+  }
+  return keep_going;
+}
+
 ExplorationStats Engine::explore(const TestFn& test) {
   if (g_engine != nullptr) fatal("nested Engine::explore on one OS thread");
   g_engine = this;
@@ -110,55 +194,113 @@ ExplorationStats Engine::explore(const TestFn& test) {
   violations_.clear();
   violations_total_ = 0;
   ExplorationStats stats;
-  auto t0 = std::chrono::steady_clock::now();
+  stats.seed = cfg_.seed;
+  rng_ = support::Xorshift64(support::derive_seed(cfg_.seed, 0));
+  t0_ = std::chrono::steady_clock::now();
+  hit_time_budget_ = false;
+  hit_memory_budget_ = false;
 
+  // When degradation is possible, the DFS phase gets only a fraction of
+  // the wall budget so the sampling phase has time left to run.
+  const bool can_degrade = cfg_.sample_executions > 0;
+  if (cfg_.time_budget_seconds > 0.0) {
+    active_deadline_ = can_degrade
+                           ? cfg_.time_budget_seconds * cfg_.dfs_budget_fraction
+                           : cfg_.time_budget_seconds;
+    // Fraction 0 means "skip straight to sampling": an infinitesimal DFS
+    // deadline trips after the first execution.
+    if (can_degrade && active_deadline_ <= 0.0) active_deadline_ = 1e-9;
+  } else {
+    active_deadline_ = 0.0;
+  }
+
+  // Phase 1: exhaustive DFS.
+  std::uint64_t last_progress_exec = 0;
+  bool stopped = false;
   for (;;) {
     exec_index_ = stats.executions;
     std::uint64_t violations_before = violations_total_;
     run_one(test);
-    ++stats.executions;
-
-    bool keep_going = true;
-    switch (outcome_) {
-      case Outcome::kComplete:
-        ++stats.feasible;
-        if (listener_ != nullptr) keep_going = listener_->on_execution_complete(*this);
-        break;
-      case Outcome::kBuiltinViolation:
-        ++stats.feasible;  // CDSChecker counts buggy executions as explored
-        ++stats.builtin_violation_execs;
-        break;
-      case Outcome::kPrunedBound:
-        ++stats.pruned_bound;
-        break;
-      case Outcome::kPrunedLivelock:
-        ++stats.pruned_livelock;
-        break;
-      case Outcome::kPrunedRedundant:
-        ++stats.pruned_redundant;
-        break;
-      case Outcome::kRunning:
-        fatal("execution ended while still running");
+    bool keep_going = tally_execution(stats);
+    if (outcome_ == Outcome::kComplete || outcome_ == Outcome::kBuiltinViolation) {
+      last_progress_exec = stats.executions;
     }
 
     if (cfg_.stop_on_first_violation && violations_total_ > violations_before) {
       stats.stopped_early = true;
+      stopped = true;
       break;
     }
     if (!keep_going) {
       stats.stopped_early = true;
+      stopped = true;
       break;
     }
     if (cfg_.max_executions != 0 && stats.executions >= cfg_.max_executions) {
       stats.hit_execution_cap = !trail_.raw().empty();
       break;
     }
-    if (!trail_.advance()) break;
+    if (hit_time_budget_ || hit_memory_budget_) break;
+    if (active_deadline_ > 0.0 && seconds_since_start() >= active_deadline_) {
+      hit_time_budget_ = true;
+      break;
+    }
+    if (cfg_.watchdog_no_progress_execs != 0 &&
+        stats.executions - last_progress_exec >= cfg_.watchdog_no_progress_execs) {
+      stats.watchdog_fired = true;
+      break;
+    }
+    if (!trail_.advance()) {
+      stats.exhausted = true;
+      break;
+    }
   }
 
+  // Phase 2: fail-safe degradation. Budget is gone but the space is not
+  // covered — switch to seeded random-walk sampling instead of stopping
+  // cold, so the remaining time still hunts for counterexamples.
+  bool degraded = can_degrade && !stopped && !stats.exhausted &&
+                  !stats.hit_execution_cap &&
+                  (hit_time_budget_ || hit_memory_budget_ || stats.watchdog_fired);
+  if (degraded) {
+    if (hit_memory_budget_) arena_.release();  // restart from a small footprint
+    active_deadline_ = cfg_.time_budget_seconds;  // sampling gets the remainder
+    trail_.set_mode(Trail::Mode::kRandom, &rng_);
+    while (stats.sampled < cfg_.sample_executions) {
+      if (active_deadline_ > 0.0 && seconds_since_start() >= active_deadline_) break;
+      exec_index_ = stats.executions;
+      std::uint64_t violations_before = violations_total_;
+      run_one(test);
+      ++stats.sampled;
+      bool keep_going = tally_execution(stats);
+      if (cfg_.stop_on_first_violation && violations_total_ > violations_before) {
+        stats.stopped_early = true;
+        break;
+      }
+      if (!keep_going) {
+        stats.stopped_early = true;
+        break;
+      }
+    }
+    trail_.set_mode(Trail::Mode::kDfs);
+  }
+
+  stats.hit_time_budget = hit_time_budget_;
+  stats.hit_memory_budget = hit_memory_budget_;
   stats.violations_total = violations_total_;
-  stats.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // The verdict: proved, disproved, or merely sampled. "Exhaustive" is
+  // relative to the configured bounds (max_steps, stale_read_bound), which
+  // are part of the modeled semantics; an internal engine error taints the
+  // proof because the discarded execution was never checked.
+  if (violations_total_ > 0) {
+    stats.verdict = Verdict::kFalsified;
+  } else if (stats.exhausted && stats.engine_fatal_execs == 0) {
+    stats.verdict = Verdict::kVerifiedExhaustive;
+  } else {
+    stats.verdict = Verdict::kInconclusive;
+  }
+  stats.seconds = seconds_since_start();
+  active_deadline_ = 0.0;
   g_engine = nullptr;
   return stats;
 }
@@ -188,6 +330,7 @@ void Engine::reset_execution_state() {
   outcome_ = Outcome::kRunning;
   had_builtin_ = false;
   abandoned_ = false;
+  fatal_abandon_ = false;
   trace_.clear();
   sleep_.clear();
   arena_.reset();
@@ -197,6 +340,11 @@ void Engine::reset_execution_state() {
 void Engine::run_one(const TestFn& test) {
   reset_execution_state();
   if (listener_ != nullptr) listener_->on_execution_begin(*this);
+  // Sleep sets justify pruning by "a sibling DFS branch covers this";
+  // in the random-walk sampling phase no systematic siblings exist, so
+  // the reduction is unsound there (it would discard whole samples).
+  const bool use_sleep_sets =
+      cfg_.enable_sleep_sets && trail_.mode() == Trail::Mode::kDfs;
 
   Thread& root = threads_[0];
   root.body = [this, &test]() {
@@ -254,6 +402,14 @@ void Engine::run_one(const TestFn& test) {
       outcome_ = Outcome::kPrunedBound;
       break;
     }
+    // Budget enforcement mid-execution: a single runaway execution must
+    // not blow past the wall-clock or memory budget before the
+    // between-executions check ever runs. Checked every 64 visible ops to
+    // keep the clock syscall off the hot path.
+    if ((steps_ & 63u) == 0 && check_budgets()) {
+      outcome_ = Outcome::kPrunedBound;
+      break;
+    }
 
     // Two sound reductions govern the schedule choice:
     //  1. Invisible transitions: a thread parked at a thread-local
@@ -278,7 +434,7 @@ void Engine::run_one(const TestFn& test) {
       int nc = 0;
       for (int i = 0; i < n; ++i) {
         bool asleep = false;
-        if (cfg_.enable_sleep_sets) {
+        if (use_sleep_sets) {
           for (const SleepEntry& e : sleep_) {
             if (e.tid == enabled[i]) {
               asleep = true;
@@ -295,7 +451,7 @@ void Engine::run_one(const TestFn& test) {
       std::uint32_t k = trail_.choose(ChoiceKind::kSchedule,
                                       static_cast<std::uint32_t>(nc));
       pick = cands[k];
-      if (cfg_.enable_sleep_sets) {
+      if (use_sleep_sets) {
         for (std::uint32_t i = 0; i < k; ++i) {
           sleep_.push_back(SleepEntry{
               cands[i], threads_[static_cast<std::size_t>(cands[i])].pending});
@@ -313,7 +469,7 @@ void Engine::run_one(const TestFn& test) {
     threads_[static_cast<std::size_t>(pick)].fib->switch_to(sched_fiber_);
 
     if (abandoned_) {
-      outcome_ = Outcome::kBuiltinViolation;
+      outcome_ = fatal_abandon_ ? Outcome::kEngineFatal : Outcome::kBuiltinViolation;
       break;
     }
   }
@@ -390,7 +546,10 @@ void Engine::wake_yielded(int except) {
 int Engine::spawn_thread(std::function<void()> body) {
   park(PendingOp{});
   int parent = current_;
-  if (spawned_ >= cfg_.max_threads) fatal("too many modeled threads");
+  if (spawned_ >= cfg_.max_threads) {
+    engine_fatal("too many modeled threads (max_threads=" +
+                 std::to_string(cfg_.max_threads) + ")");
+  }
   int tid = spawned_++;
   Thread& th = threads_[static_cast<std::size_t>(tid)];
   th.body = std::move(body);
@@ -772,7 +931,10 @@ void Engine::mutex_lock(MutexState& m) {
 
 void Engine::mutex_unlock(MutexState& m) {
   park(PendingOp{PendingOp::Class::kMutex, 0, &m});
-  if (m.holder != current_) fatal("mutex unlocked by non-owner");
+  if (m.holder != current_) {
+    engine_fatal(std::string("mutex '") + m.name + "' unlocked by non-owner T" +
+                 std::to_string(current_));
+  }
   bump_event(current_);
   m.release_ts = cur_mm().cur;
   m.holder = -1;

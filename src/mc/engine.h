@@ -13,6 +13,7 @@
 #ifndef CDS_MC_ENGINE_H
 #define CDS_MC_ENGINE_H
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -45,16 +46,27 @@ class ExecutionListener {
 };
 
 struct ExplorationStats {
-  std::uint64_t executions = 0;        // total explored
+  std::uint64_t executions = 0;        // total explored (DFS + sampled)
   std::uint64_t feasible = 0;          // completed (checkable) executions
-  std::uint64_t pruned_bound = 0;      // hit the step bound
+  std::uint64_t pruned_bound = 0;      // hit the step bound or a budget
   std::uint64_t pruned_livelock = 0;   // only yielded spinners remained
   std::uint64_t pruned_redundant = 0;  // sleep-set: prefix covered elsewhere
   std::uint64_t builtin_violation_execs = 0;
+  std::uint64_t engine_fatal_execs = 0;  // discarded: internal checker error
   std::uint64_t violations_total = 0;  // built-in + spec-layer reports
   bool hit_execution_cap = false;
   bool stopped_early = false;
   double seconds = 0.0;
+
+  // --- budgets, degradation, and the verdict ---------------------------
+  std::uint64_t sampled = 0;        // executions from the random-walk phase
+  std::uint64_t max_trail_depth = 0;  // deepest choice sequence (coverage)
+  std::uint64_t seed = 0;           // RNG seed (reproduces sampled runs)
+  bool hit_time_budget = false;
+  bool hit_memory_budget = false;
+  bool watchdog_fired = false;      // no-progress DFS detected
+  bool exhausted = false;           // DFS enumerated the whole bounded tree
+  Verdict verdict = Verdict::kInconclusive;
 };
 
 struct TraceEvent {
@@ -115,6 +127,12 @@ class Engine {
 
   // Reporting channel shared by built-in checks and the spec layer.
   void report_violation(ViolationKind k, std::string detail);
+
+  // Recoverable internal error: records a kEngineFatal diagnostic, fails
+  // the *current execution* only, and lets the exploration continue. Must
+  // be called from a modeled-thread fiber during an execution (falls back
+  // to a process abort when there is no execution to fail). Never returns.
+  [[noreturn]] void engine_fatal(std::string detail);
   [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
   [[nodiscard]] std::uint64_t violations_total() const { return violations_total_; }
   [[nodiscard]] bool execution_has_builtin_violation() const { return had_builtin_; }
@@ -207,7 +225,7 @@ class Engine {
   void park(PendingOp op);
   void block(ThreadStatus why);
   void switch_to_scheduler();
-  void abandon_execution();
+  [[noreturn]] void abandon_execution();
   void thread_exit();
   Thread& cur() { return threads_[static_cast<std::size_t>(current_)]; }
   ThreadMMState& cur_mm() { return cur().mm; }
@@ -230,8 +248,21 @@ class Engine {
 
   enum class Outcome : std::uint8_t {
     kRunning, kComplete, kPrunedBound, kPrunedLivelock, kPrunedRedundant,
-    kBuiltinViolation,
+    kBuiltinViolation, kEngineFatal,
   };
+
+  // Fiber fall-through recovery (installed as fiber::Fiber's handler).
+  static void on_fiber_fallthrough(fiber::Fiber& f);
+
+  // Budget plumbing. `deadline` is seconds since exploration start
+  // (0 = none); returns true when a budget tripped and sets the
+  // corresponding hit_*_budget_ flag.
+  [[nodiscard]] double seconds_since_start() const;
+  [[nodiscard]] std::size_t memory_usage_estimate() const;
+  bool check_budgets();
+  // Shared tally of one finished execution; updates stats and returns the
+  // listener's keep-going decision.
+  bool tally_execution(ExplorationStats& stats);
 
   Config cfg_;
   ExecutionListener* listener_ = nullptr;
@@ -255,9 +286,17 @@ class Engine {
   Outcome outcome_ = Outcome::kRunning;
   bool had_builtin_ = false;
   bool abandoned_ = false;
+  bool fatal_abandon_ = false;  // abandoned by engine_fatal, not a violation
 
   std::vector<Violation> violations_;
   std::uint64_t violations_total_ = 0;
+
+  // Budget state (valid during explore()).
+  support::Xorshift64 rng_;
+  std::chrono::steady_clock::time_point t0_{};
+  double active_deadline_ = 0.0;  // seconds since t0_; 0 = no deadline
+  bool hit_time_budget_ = false;
+  bool hit_memory_budget_ = false;
 };
 
 // Facade handed to test bodies.

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/rng.h"
+
 namespace cds::mc {
 
 enum class ChoiceKind : std::uint8_t {
@@ -28,12 +30,30 @@ struct Choice {
 
 class Trail {
  public:
+  // DFS enumerates the tree systematically; random is the fail-safe
+  // sampling mode after a budget exhausts — fresh choices are drawn from
+  // the RNG and each execution starts from an empty trail. Either way the
+  // choice sequence is recorded, so current_trail()/replay() keep working
+  // for sampled executions.
+  enum class Mode : std::uint8_t { kDfs, kRandom };
+
   void reset_all() {
     v_.clear();
     pos_ = 0;
+    mode_ = Mode::kDfs;
   }
 
-  void begin_execution() { pos_ = 0; }
+  void begin_execution() {
+    if (mode_ == Mode::kRandom) v_.clear();
+    pos_ = 0;
+  }
+
+  void set_mode(Mode m, support::Xorshift64* rng = nullptr) {
+    mode_ = m;
+    rng_ = rng;
+    assert(mode_ != Mode::kRandom || rng_ != nullptr);
+  }
+  [[nodiscard]] Mode mode() const { return mode_; }
 
   // Resolve a choice point with `num` alternatives; returns the index to
   // take. Choice points with a single alternative are not recorded.
@@ -48,9 +68,13 @@ class Trail {
       ++pos_;
       return c.chosen;
     }
-    v_.push_back(Choice{kind, 0, static_cast<std::uint16_t>(num)});
+    std::uint16_t pick =
+        mode_ == Mode::kRandom
+            ? static_cast<std::uint16_t>(rng_->below(num))
+            : 0;
+    v_.push_back(Choice{kind, pick, static_cast<std::uint16_t>(num)});
     ++pos_;
-    return 0;
+    return pick;
   }
 
   // Move to the next DFS leaf. Returns false when the tree is exhausted.
@@ -65,15 +89,18 @@ class Trail {
   [[nodiscard]] const std::vector<Choice>& raw() const { return v_; }
 
   // Restore a previously captured trail (used to replay a violating
-  // execution for diagnostics).
+  // execution for diagnostics). Replay is a pure prefix walk, so DFS mode.
   void restore(std::vector<Choice> saved) {
     v_ = std::move(saved);
     pos_ = 0;
+    mode_ = Mode::kDfs;
   }
 
  private:
   std::vector<Choice> v_;
   std::size_t pos_ = 0;
+  Mode mode_ = Mode::kDfs;
+  support::Xorshift64* rng_ = nullptr;
 };
 
 }  // namespace cds::mc

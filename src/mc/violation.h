@@ -15,6 +15,8 @@ enum class ViolationKind {
   kInadmissible,       // execution outside the spec's admissibility (warn)
   kSpecAssertion,      // sequential-history / justification check failed
   kUserAssertion,      // mc::model_assert failed (CDSChecker-style assert)
+  kEngineFatal,        // internal checker error; the execution is discarded
+                       // (diagnostic, not a property violation)
 };
 
 [[nodiscard]] constexpr const char* to_string(ViolationKind k) {
@@ -25,6 +27,26 @@ enum class ViolationKind {
     case ViolationKind::kInadmissible: return "inadmissible execution";
     case ViolationKind::kSpecAssertion: return "specification violation";
     case ViolationKind::kUserAssertion: return "assertion failure";
+    case ViolationKind::kEngineFatal: return "engine fatal";
+  }
+  return "?";
+}
+
+// What an exploration proved. `kVerifiedExhaustive` means the DFS ran the
+// whole tree with no cap, budget, or internal error in the way; anything
+// short of that without a property violation is `kInconclusive` — the run
+// only covered part of the space (the stats say how much).
+enum class Verdict {
+  kVerifiedExhaustive,  // full state space explored, no violation
+  kFalsified,           // at least one property violation found
+  kInconclusive,        // partial coverage (cap/budget/sampling), none found
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kVerifiedExhaustive: return "verified-exhaustive";
+    case Verdict::kFalsified: return "falsified";
+    case Verdict::kInconclusive: return "inconclusive";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ class Arena {
       if (bytes + align > kBlockSize) {
         // Oversized allocation gets its own block.
         big_.push_back(std::make_unique<char[]>(bytes + align));
+        big_bytes_ += bytes + align;
         auto p = reinterpret_cast<std::uintptr_t>(big_.back().get());
         p = (p + align - 1) & ~(align - 1);
         return reinterpret_cast<void*>(p);
@@ -54,9 +55,27 @@ class Arena {
     block_idx_ = 0;
     offset_ = blocks_.empty() ? kBlockSize : 0;
     big_.clear();
+    big_bytes_ = 0;
   }
 
   [[nodiscard]] std::size_t blocks_allocated() const { return blocks_.size(); }
+
+  // Frees every retained block (unlike reset(), which keeps them for
+  // reuse). The engine calls this when degrading after a memory-budget
+  // hit so the sampling phase restarts from a small footprint.
+  void release() {
+    blocks_.clear();
+    big_.clear();
+    big_bytes_ = 0;
+    block_idx_ = 0;
+    offset_ = kBlockSize;
+  }
+
+  // Total heap the arena currently holds (retained blocks + live oversized
+  // allocations); feeds the engine's memory-budget accounting.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    return blocks_.size() * kBlockSize + big_bytes_;
+  }
 
  private:
   void next_block() {
@@ -74,6 +93,7 @@ class Arena {
 
   std::vector<std::unique_ptr<char[]>> blocks_;
   std::vector<std::unique_ptr<char[]>> big_;
+  std::size_t big_bytes_ = 0;
   std::size_t block_idx_ = 0;
   std::size_t offset_ = kBlockSize;  // force first block allocation
 };

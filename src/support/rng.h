@@ -28,6 +28,23 @@ class Xorshift64 {
   std::uint64_t s_;
 };
 
+// SplitMix64 step: advances `state` and returns a well-distributed value.
+// Used to derive independent per-component seeds (engine sampler, spec
+// checker's history sampler, per-trial sweep seeds) from the single
+// user-facing `--seed`, so one number reproduces an entire run.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Derives the i-th child seed of `root` without mutating it.
+inline std::uint64_t derive_seed(std::uint64_t root, std::uint64_t index) {
+  std::uint64_t s = root + index * 0x632be59bd9b4e019ull;
+  return splitmix64(s);
+}
+
 }  // namespace cds::support
 
 #endif  // CDS_SUPPORT_RNG_H

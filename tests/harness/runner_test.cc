@@ -2,6 +2,9 @@
 // injection-experiment classification (Figure 8 machinery).
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstdlib>
+
 #include "ds/suite.h"
 #include "ds/ticket_lock.h"
 #include "harness/runner.h"
@@ -67,6 +70,62 @@ TEST(Harness, DetectionNames) {
                "admissibility");
   EXPECT_STREQ(harness::to_string(harness::Detection::kAssertion), "assertion");
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// A deliberately hostile synthetic benchmark for the sweep fail-safes:
+// one site aborts the trial process, one hangs it (a non-parking native
+// loop the engine cannot preempt), one behaves. Registered at static-init
+// time like real benchmark sites.
+const inject::SiteId kCrashSite =
+    inject::register_site("sweep-survival", "crash.store",
+                          mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
+const inject::SiteId kHangSite =
+    inject::register_site("sweep-survival", "hang.store",
+                          mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
+const inject::SiteId kOkSite =
+    inject::register_site("sweep-survival", "ok.store",
+                          mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
+
+TEST(Harness, SweepSurvivesCrashingAndHangingTrials) {
+  harness::Benchmark hostile;
+  hostile.name = "sweep-survival";
+  hostile.display = "Sweep survival (synthetic)";
+  hostile.spec = nullptr;
+  hostile.tests.push_back([](mc::Exec& x) {
+    if (inject::active_injection() == kCrashSite) std::abort();
+    if (inject::active_injection() == kHangSite) {
+      volatile int spin = 1;
+      while (spin != 0) {
+      }
+    }
+    auto* a = x.make<mc::Atomic<int>>(0, "a");
+    a->store(1, inject::order(kOkSite));
+  });
+
+  harness::RunOptions opts;
+  harness::SweepOptions sweep;
+  sweep.trial_timeout_seconds = 1.0;
+  sweep.timeout_retries = 1;
+  auto sum = harness::run_injection_experiment(hostile, opts, sweep);
+
+  // The campaign survives both hostile trials and still completes and
+  // classifies the remaining site.
+  EXPECT_EQ(sum.injections, 3);
+  EXPECT_EQ(sum.crashed, 1);
+  EXPECT_EQ(sum.timed_out, 1);
+  EXPECT_EQ(sum.completed(), 1);
+  EXPECT_EQ(sum.undetected, 1);  // the ok site has no spec to violate
+  ASSERT_EQ(sum.outcomes.size(), 3u);
+  EXPECT_EQ(sum.outcomes[0].status, harness::TrialStatus::kCrashed);
+  EXPECT_EQ(sum.outcomes[0].term_signal, SIGABRT);
+  EXPECT_EQ(sum.outcomes[1].status, harness::TrialStatus::kTimedOut);
+  EXPECT_TRUE(sum.outcomes[1].retried) << "one retry at a tighter cap";
+  EXPECT_EQ(sum.outcomes[2].status, harness::TrialStatus::kCompleted);
+  EXPECT_EQ(inject::active_injection(), -1);
+}
+
+#endif  // fork-capable platforms
 
 TEST(Harness, DetectionFlagsReflectViolationKinds) {
   harness::RunResult r;

@@ -96,5 +96,28 @@ TEST(Fiber, DeepStackUse) {
   EXPECT_EQ(sum, 5050);
 }
 
+// A fallthrough handler lets an entry wrapper that returns (instead of
+// switching out) be recovered rather than aborting the process.
+Fiber* g_fallthrough_sched = nullptr;
+int g_fallthrough_hits = 0;
+
+TEST(Fiber, FallthroughHandlerRecovers) {
+  Fiber sched;
+  sched.init_native();
+  auto f = std::make_unique<Fiber>();
+  g_fallthrough_sched = &sched;
+  g_fallthrough_hits = 0;
+  Fiber::set_fallthrough_handler([](Fiber& offender) {
+    ++g_fallthrough_hits;
+    offender.mark_finished();
+    g_fallthrough_sched->switch_to(offender);  // must not return
+  });
+  f->reset([] { /* returns without mark_finished + switch */ });
+  f->switch_to(sched);
+  EXPECT_EQ(g_fallthrough_hits, 1);
+  EXPECT_TRUE(f->finished());
+  Fiber::set_fallthrough_handler(nullptr);  // Engine reinstalls its own
+}
+
 }  // namespace
 }  // namespace cds::fiber

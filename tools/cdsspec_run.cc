@@ -7,7 +7,14 @@
 //   cdsspec-run <benchmark> --sweep         run the injection experiment
 //
 // Flags: --cap N (execution cap), --stale N (stale-read bound),
+//        --timeout SECS (wall-clock budget; degrades to sampling),
+//        --mem-cap MB (memory budget), --seed N (RNG seed),
+//        --json (machine-readable results),
 //        --no-sleep-sets, --stop-on-violation, --reports
+//
+// Exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error,
+//             3 inconclusive (budget/cap hit; sampled without a finding).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,26 +26,112 @@
 #include "inject/inject.h"
 #include "spec/checker.h"
 #include "spec/render.h"
+#include "support/rng.h"
 
 namespace {
+
+constexpr int kExitVerified = 0;
+constexpr int kExitFalsified = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInconclusive = 3;
 
 void usage() {
   std::printf(
       "usage: cdsspec-run --list\n"
       "       cdsspec-run <benchmark> [--inject I | --sites | --sweep]\n"
-      "                   [--cap N] [--stale N] [--no-sleep-sets]\n"
-      "                   [--stop-on-violation] [--reports] [--dot]\n");
+      "                   [--cap N] [--stale N] [--timeout SECS] [--mem-cap MB]\n"
+      "                   [--seed N] [--json] [--no-sleep-sets]\n"
+      "                   [--stop-on-violation] [--reports] [--dot]\n"
+      "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error,\n"
+      "            3 inconclusive\n");
+}
+
+// Strict numeric parsing: the whole argument must be a non-negative
+// number. Rejects the silent garbage atoi accepts ("-3", "2x", "").
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || v < 0.0) return false;
+  *out = v;
+  return true;
+}
+
+// Fetches the value of flag `name` at argv[i+1], parses it with `parse`,
+// and advances i. Prints usage and returns false on any failure.
+template <typename T>
+bool flag_value(int argc, char** argv, int* i, const char* name, T* out,
+                bool (*parse)(const char*, T*)) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "cdsspec-run: %s requires a value\n", name);
+    usage();
+    return false;
+  }
+  ++*i;
+  if (!parse(argv[*i], out)) {
+    std::fprintf(stderr, "cdsspec-run: invalid value for %s: '%s'\n", name,
+                 argv[*i]);
+    usage();
+    return false;
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* bstr(bool b) { return b ? "true" : "false"; }
+
+int exit_code_for(cds::mc::Verdict v) {
+  switch (v) {
+    case cds::mc::Verdict::kVerifiedExhaustive: return kExitVerified;
+    case cds::mc::Verdict::kFalsified: return kExitFalsified;
+    case cds::mc::Verdict::kInconclusive: return kExitInconclusive;
+  }
+  return kExitInconclusive;
 }
 
 void print_result(const cds::harness::RunResult& r, bool reports) {
   std::printf(
-      "executions=%llu feasible=%llu pruned(livelock=%llu bound=%llu "
-      "redundant=%llu)\n",
+      "executions=%llu feasible=%llu sampled=%llu pruned(livelock=%llu "
+      "bound=%llu redundant=%llu) engine-fatal=%llu\n",
       static_cast<unsigned long long>(r.mc.executions),
       static_cast<unsigned long long>(r.mc.feasible),
+      static_cast<unsigned long long>(r.mc.sampled),
       static_cast<unsigned long long>(r.mc.pruned_livelock),
       static_cast<unsigned long long>(r.mc.pruned_bound),
-      static_cast<unsigned long long>(r.mc.pruned_redundant));
+      static_cast<unsigned long long>(r.mc.pruned_redundant),
+      static_cast<unsigned long long>(r.mc.engine_fatal_execs));
   std::printf(
       "histories=%llu justifications=%llu  violations: builtin=%s "
       "admissibility=%s assertion=%s (total %llu)\n",
@@ -48,11 +141,99 @@ void print_result(const cds::harness::RunResult& r, bool reports) {
       r.detected_admissibility() ? "YES" : "no",
       r.detected_assertion() ? "YES" : "no",
       static_cast<unsigned long long>(r.mc.violations_total));
-  std::printf("time=%.2fs%s\n", r.mc.seconds,
-              r.mc.hit_execution_cap ? " (execution cap hit)" : "");
+  std::string limits;
+  if (r.mc.hit_execution_cap) limits += " (execution cap hit)";
+  if (r.mc.hit_time_budget) limits += " (time budget hit)";
+  if (r.mc.hit_memory_budget) limits += " (memory budget hit)";
+  if (r.mc.watchdog_fired) limits += " (watchdog: no-progress DFS)";
+  std::printf("time=%.2fs seed=%llu%s\n", r.mc.seconds,
+              static_cast<unsigned long long>(r.mc.seed), limits.c_str());
+  std::printf("verdict=%s (max trail depth %llu%s)\n", to_string(r.verdict),
+              static_cast<unsigned long long>(r.mc.max_trail_depth),
+              r.mc.exhausted ? ", state space exhausted" : "");
   if (reports) {
     for (const auto& rep : r.reports) std::printf("\n%s\n", rep.c_str());
   }
+}
+
+void print_result_json(const std::string& benchmark,
+                       const cds::harness::RunResult& r) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"%s\",\n", json_escape(benchmark).c_str());
+  std::printf("  \"mode\": \"run\",\n");
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.seed));
+  std::printf("  \"verdict\": \"%s\",\n", to_string(r.verdict));
+  std::printf("  \"exit_code\": %d,\n", exit_code_for(r.verdict));
+  std::printf("  \"coverage\": {\n");
+  std::printf("    \"executions\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.executions));
+  std::printf("    \"feasible\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.feasible));
+  std::printf("    \"sampled\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.sampled));
+  std::printf("    \"pruned_bound\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.pruned_bound));
+  std::printf("    \"pruned_livelock\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.pruned_livelock));
+  std::printf("    \"pruned_redundant\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.pruned_redundant));
+  std::printf("    \"max_trail_depth\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.max_trail_depth));
+  std::printf("    \"exhausted\": %s\n", bstr(r.mc.exhausted));
+  std::printf("  },\n");
+  std::printf("  \"budgets\": {\n");
+  std::printf("    \"hit_execution_cap\": %s,\n", bstr(r.mc.hit_execution_cap));
+  std::printf("    \"hit_time_budget\": %s,\n", bstr(r.mc.hit_time_budget));
+  std::printf("    \"hit_memory_budget\": %s,\n", bstr(r.mc.hit_memory_budget));
+  std::printf("    \"watchdog_fired\": %s\n", bstr(r.mc.watchdog_fired));
+  std::printf("  },\n");
+  std::printf("  \"detections\": {\n");
+  std::printf("    \"builtin\": %s,\n", bstr(r.detected_builtin()));
+  std::printf("    \"admissibility\": %s,\n", bstr(r.detected_admissibility()));
+  std::printf("    \"assertion\": %s,\n", bstr(r.detected_assertion()));
+  std::printf("    \"violations_total\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.violations_total));
+  std::printf("    \"engine_fatal_execs\": %llu\n",
+              static_cast<unsigned long long>(r.mc.engine_fatal_execs));
+  std::printf("  },\n");
+  std::printf("  \"seconds\": %.3f\n", r.mc.seconds);
+  std::printf("}\n");
+}
+
+void print_sweep_json(const cds::harness::InjectionSummary& sum,
+                      std::uint64_t seed) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"%s\",\n",
+              json_escape(sum.benchmark).c_str());
+  std::printf("  \"mode\": \"sweep\",\n");
+  std::printf("  \"seed\": %llu,\n", static_cast<unsigned long long>(seed));
+  std::printf("  \"trials\": [\n");
+  for (std::size_t i = 0; i < sum.outcomes.size(); ++i) {
+    const auto& o = sum.outcomes[i];
+    std::printf("    {\"site\": \"%s\", \"default\": \"%s\", "
+                "\"weakened\": \"%s\", \"status\": \"%s\", "
+                "\"detection\": \"%s\", \"verdict\": \"%s\", "
+                "\"retried\": %s, \"term_signal\": %d, \"seconds\": %.3f}%s\n",
+                json_escape(o.site.name).c_str(), to_string(o.site.def),
+                to_string(o.site.weakened()),
+                cds::harness::to_string(o.status),
+                cds::harness::to_string(o.how), to_string(o.verdict),
+                bstr(o.retried), o.term_signal, o.seconds,
+                i + 1 < sum.outcomes.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"summary\": {\n");
+  std::printf("    \"injections\": %d,\n", sum.injections);
+  std::printf("    \"builtin\": %d,\n", sum.builtin);
+  std::printf("    \"admissibility\": %d,\n", sum.admissibility);
+  std::printf("    \"assertion\": %d,\n", sum.assertion);
+  std::printf("    \"undetected\": %d,\n", sum.undetected);
+  std::printf("    \"crashed\": %d,\n", sum.crashed);
+  std::printf("    \"timed_out\": %d,\n", sum.timed_out);
+  std::printf("    \"detection_rate\": %.4f\n", sum.detection_rate());
+  std::printf("  }\n");
+  std::printf("}\n");
 }
 
 }  // namespace
@@ -61,7 +242,7 @@ int main(int argc, char** argv) {
   cds::ds::register_all_benchmarks();
   if (argc < 2) {
     usage();
-    return 2;
+    return kExitUsage;
   }
 
   std::string cmd = argv[1];
@@ -83,29 +264,71 @@ int main(int argc, char** argv) {
   const auto* b = cds::harness::find_benchmark(cmd);
   if (b == nullptr) {
     std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n", cmd.c_str());
-    return 1;
+    return kExitUsage;
   }
 
   cds::harness::RunOptions opts;
-  bool sites = false, sweep = false, reports = false, dot = false;
-  int inject_idx = -1;
+  cds::harness::SweepOptions sweep_opts;
+  bool sites = false, sweep = false, reports = false, dot = false, json = false;
+  bool have_timeout = false;
+  std::uint64_t inject_idx_u = 0;
+  bool have_inject = false;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--sites") sites = true;
     else if (a == "--sweep") sweep = true;
     else if (a == "--reports") reports = true;
     else if (a == "--dot") dot = true;
+    else if (a == "--json") json = true;
     else if (a == "--no-sleep-sets") opts.engine.enable_sleep_sets = false;
     else if (a == "--stop-on-violation") opts.engine.stop_on_first_violation = true;
-    else if (a == "--inject" && i + 1 < argc) inject_idx = std::atoi(argv[++i]);
-    else if (a == "--cap" && i + 1 < argc)
-      opts.engine.max_executions = std::strtoull(argv[++i], nullptr, 10);
-    else if (a == "--stale" && i + 1 < argc)
-      opts.engine.stale_read_bound = static_cast<std::uint32_t>(std::atoi(argv[++i]));
-    else {
+    else if (a == "--inject") {
+      if (!flag_value(argc, argv, &i, "--inject", &inject_idx_u, parse_u64))
+        return kExitUsage;
+      have_inject = true;
+    } else if (a == "--cap") {
+      if (!flag_value(argc, argv, &i, "--cap", &opts.engine.max_executions,
+                      parse_u64))
+        return kExitUsage;
+    } else if (a == "--stale") {
+      std::uint64_t v = 0;
+      if (!flag_value(argc, argv, &i, "--stale", &v, parse_u64))
+        return kExitUsage;
+      if (v > 0xffffffffull) {
+        std::fprintf(stderr, "cdsspec-run: --stale value too large\n");
+        return kExitUsage;
+      }
+      opts.engine.stale_read_bound = static_cast<std::uint32_t>(v);
+    } else if (a == "--timeout") {
+      if (!flag_value(argc, argv, &i, "--timeout",
+                      &opts.engine.time_budget_seconds, parse_double))
+        return kExitUsage;
+      have_timeout = true;
+    } else if (a == "--mem-cap") {
+      std::uint64_t mb = 0;
+      if (!flag_value(argc, argv, &i, "--mem-cap", &mb, parse_u64))
+        return kExitUsage;
+      opts.engine.memory_budget_bytes =
+          static_cast<std::size_t>(mb) * 1024 * 1024;
+    } else if (a == "--seed") {
+      if (!flag_value(argc, argv, &i, "--seed", &opts.engine.seed, parse_u64))
+        return kExitUsage;
+      sweep_opts.seed = opts.engine.seed;
+    } else {
+      std::fprintf(stderr, "cdsspec-run: unknown flag '%s'\n", a.c_str());
       usage();
-      return 2;
+      return kExitUsage;
     }
+  }
+  // One seed reproduces the whole run: the spec checker's history sampler
+  // derives its stream from the engine seed.
+  opts.checker.seed = cds::support::derive_seed(opts.engine.seed, 1);
+  // Budgeted runs have already conceded exhaustiveness, so arm the
+  // no-progress watchdog too: a DFS stuck in pruned/livelocked subtrees
+  // degrades to sampling instead of burning the rest of the budget.
+  if (opts.engine.time_budget_seconds > 0 ||
+      opts.engine.memory_budget_bytes > 0) {
+    opts.engine.watchdog_no_progress_execs = 100000;
   }
 
   if (sites) {
@@ -119,22 +342,43 @@ int main(int argc, char** argv) {
   }
 
   if (sweep) {
-    auto sum = cds::harness::run_injection_experiment(*b, opts);
-    for (const auto& o : sum.outcomes) {
-      std::printf("%-42s %-8s -> %s\n", o.site.name.c_str(),
-                  to_string(o.site.def), cds::harness::to_string(o.how));
+    if (have_timeout) {
+      // --timeout budgets each fork-isolated trial; the engine inside the
+      // trial gets a slightly tighter budget so it degrades to sampling
+      // before the hard kill fires.
+      sweep_opts.trial_timeout_seconds = opts.engine.time_budget_seconds;
+      opts.engine.time_budget_seconds *= 0.9;
     }
-    std::printf("detection rate: %.0f%% (%d/%d)\n", sum.detection_rate() * 100,
-                sum.injections - sum.undetected, sum.injections);
-    return 0;
+    auto sum = cds::harness::run_injection_experiment(*b, opts, sweep_opts);
+    if (json) {
+      print_sweep_json(sum, sweep_opts.seed);
+    } else {
+      for (const auto& o : sum.outcomes) {
+        const char* how = o.status == cds::harness::TrialStatus::kCompleted
+                              ? cds::harness::to_string(o.how)
+                              : cds::harness::to_string(o.status);
+        std::printf("%-42s %-8s -> %s%s\n", o.site.name.c_str(),
+                    to_string(o.site.def), how, o.retried ? " (retried)" : "");
+      }
+      std::printf(
+          "detection rate: %.0f%% (%d/%d completed; %d crashed, %d timed "
+          "out) seed=%llu\n",
+          sum.detection_rate() * 100, sum.completed() - sum.undetected,
+          sum.completed(), sum.crashed, sum.timed_out,
+          static_cast<unsigned long long>(sweep_opts.seed));
+    }
+    // A campaign with crashed or timed-out trials has holes in its
+    // coverage: inconclusive, not verified.
+    return (sum.crashed > 0 || sum.timed_out > 0) ? kExitInconclusive
+                                                  : kExitVerified;
   }
 
-  if (inject_idx >= 0) {
-    int i = 0;
+  if (have_inject) {
+    std::uint64_t i = 0;
     bool found = false;
     for (const auto& s : cds::inject::sites_for(b->name)) {
       if (!s.injectable()) continue;
-      if (i++ == inject_idx) {
+      if (i++ == inject_idx_u) {
         std::printf("injecting: %s (%s -> %s)\n", s.name.c_str(),
                     to_string(s.def), to_string(s.weakened()));
         cds::inject::inject(s.id);
@@ -143,8 +387,9 @@ int main(int argc, char** argv) {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "no injectable site #%d (try --sites)\n", inject_idx);
-      return 1;
+      std::fprintf(stderr, "no injectable site #%llu (try --sites)\n",
+                   static_cast<unsigned long long>(inject_idx_u));
+      return kExitUsage;
     }
   }
 
@@ -166,6 +411,10 @@ int main(int argc, char** argv) {
 
   auto r = cds::harness::run_benchmark(*b, opts);
   cds::inject::clear_injection();
-  print_result(r, reports);
-  return r.mc.violations_total == 0 ? 0 : 3;
+  if (json) {
+    print_result_json(b->name, r);
+  } else {
+    print_result(r, reports);
+  }
+  return exit_code_for(r.verdict);
 }
