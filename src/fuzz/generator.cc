@@ -1,0 +1,113 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+#include "support/rng.h"
+
+namespace cds::fuzz {
+
+namespace {
+
+using mc::MemoryOrder;
+
+MemoryOrder pick_load_order(support::Xorshift64& rng) {
+  static constexpr MemoryOrder k[] = {MemoryOrder::relaxed,
+                                      MemoryOrder::acquire,
+                                      MemoryOrder::seq_cst};
+  return k[rng.below(3)];
+}
+
+MemoryOrder pick_store_order(support::Xorshift64& rng) {
+  static constexpr MemoryOrder k[] = {MemoryOrder::relaxed,
+                                      MemoryOrder::release,
+                                      MemoryOrder::seq_cst};
+  return k[rng.below(3)];
+}
+
+MemoryOrder pick_rmw_order(support::Xorshift64& rng) {
+  static constexpr MemoryOrder k[] = {
+      MemoryOrder::relaxed, MemoryOrder::acquire, MemoryOrder::release,
+      MemoryOrder::acq_rel, MemoryOrder::seq_cst};
+  return k[rng.below(5)];
+}
+
+MemoryOrder pick_fence_order(support::Xorshift64& rng) {
+  static constexpr MemoryOrder k[] = {MemoryOrder::acquire,
+                                      MemoryOrder::release,
+                                      MemoryOrder::acq_rel,
+                                      MemoryOrder::seq_cst};
+  return k[rng.below(4)];
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t root, std::uint64_t trial) {
+  return support::derive_seed(root, trial);
+}
+
+Program generate(const GenParams& params, std::uint64_t seed) {
+  support::Xorshift64 rng(seed ? seed : 1);
+  auto between = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  };
+
+  Program p;
+  const int threads = std::min(between(params.min_threads, params.max_threads),
+                               Program::kMaxThreads);
+  p.locations = std::min(between(params.min_locations, params.max_locations),
+                         Program::kMaxLocations);
+  p.ops.resize(static_cast<std::size_t>(threads));
+
+  int budget = params.max_total_ops;
+  for (int t = 0; t < threads; ++t) {
+    int want = between(params.min_ops_per_thread, params.max_ops_per_thread);
+    // Spread the remaining budget over the remaining threads so later
+    // threads are not starved to zero ops.
+    int reserve = threads - t - 1;  // one op per remaining thread
+    int allowed = std::max(1, budget - reserve);
+    int n = std::min(want, allowed);
+    budget -= n;
+    for (int i = 0; i < n; ++i) {
+      Op op;
+      op.loc = static_cast<std::uint8_t>(rng.below(
+          static_cast<std::uint64_t>(p.locations)));
+      // Weighted opcode choice: loads and stores dominate; RMW/CAS/fence
+      // appear often enough to exercise their paths.
+      std::uint64_t roll = rng.below(10);
+      if (roll < 4) {
+        op.code = OpCode::kLoad;
+      } else if (roll < 8) {
+        op.code = OpCode::kStore;
+      } else if (roll == 8 && params.allow_rmw) {
+        op.code = OpCode::kRmwAdd;
+      } else if (params.allow_cas) {
+        op.code = OpCode::kCas;
+      } else {
+        op.code = OpCode::kLoad;
+      }
+      if (roll == 9 && params.allow_fence && rng.below(2) == 0) {
+        op.code = OpCode::kFence;
+      }
+      op.value = 1 + rng.below(params.max_value);
+      op.expected = rng.below(params.max_value + 1);
+      if (params.sc_only) {
+        op.order = MemoryOrder::seq_cst;
+        op.failure = MemoryOrder::seq_cst;
+      } else {
+        switch (op.code) {
+          case OpCode::kLoad: op.order = pick_load_order(rng); break;
+          case OpCode::kStore: op.order = pick_store_order(rng); break;
+          case OpCode::kRmwAdd:
+          case OpCode::kCas: op.order = pick_rmw_order(rng); break;
+          case OpCode::kFence: op.order = pick_fence_order(rng); break;
+        }
+        op.failure = pick_load_order(rng);
+      }
+      p.ops[static_cast<std::size_t>(t)].push_back(op);
+    }
+  }
+  return p;
+}
+
+}  // namespace cds::fuzz

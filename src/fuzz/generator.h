@@ -1,0 +1,46 @@
+// Seeded random litmus-program generation.
+//
+// Two profiles matter to the oracles (src/fuzz/oracle.h):
+//   - sc_only: every memory order is seq_cst, so the brute-force
+//     interleaving enumerator is an exact independent oracle;
+//   - mixed: randomized memory orders, checked by the metamorphic
+//     monotonicity and DFS-vs-sampling oracles.
+// Generation is a pure function of (params, seed): the same pair always
+// yields the same program, on every platform and output mode.
+#ifndef CDS_FUZZ_GENERATOR_H
+#define CDS_FUZZ_GENERATOR_H
+
+#include <cstdint>
+
+#include "fuzz/program.h"
+
+namespace cds::fuzz {
+
+struct GenParams {
+  int min_threads = 2;
+  int max_threads = 3;
+  int min_locations = 2;
+  int max_locations = 3;
+  int min_ops_per_thread = 1;
+  int max_ops_per_thread = 3;
+  // Hard cap on total operations; keeps exhaustive exploration (and the
+  // interleaving enumerator) tractable.
+  int max_total_ops = 8;
+  bool sc_only = false;
+  bool allow_rmw = true;
+  bool allow_cas = true;
+  bool allow_fence = true;
+  // Stored/CASed values are drawn from [1, max_value]; small so CASes
+  // actually succeed sometimes.
+  std::uint64_t max_value = 2;
+};
+
+[[nodiscard]] Program generate(const GenParams& params, std::uint64_t seed);
+
+// The i-th trial's seed under base seed `root` — one number reproduces a
+// whole fuzzing campaign, independent of output mode or platform.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t root, std::uint64_t trial);
+
+}  // namespace cds::fuzz
+
+#endif  // CDS_FUZZ_GENERATOR_H

@@ -1,0 +1,107 @@
+#include "fuzz/minimize.h"
+
+namespace cds::fuzz {
+
+namespace {
+
+// Drops threads left empty by op removal and unused trailing locations,
+// remapping location indices densely so the program stays valid.
+Program canonicalize(Program p) {
+  std::erase_if(p.ops, [](const std::vector<Op>& t) { return t.empty(); });
+  bool used[Program::kMaxLocations] = {false, false, false, false};
+  for (const auto& t : p.ops) {
+    for (const Op& op : t) {
+      if (op.code != OpCode::kFence) used[op.loc] = true;
+    }
+  }
+  std::uint8_t remap[Program::kMaxLocations] = {0, 0, 0, 0};
+  int next = 0;
+  for (int l = 0; l < p.locations && l < Program::kMaxLocations; ++l) {
+    if (used[l]) remap[l] = static_cast<std::uint8_t>(next++);
+  }
+  for (auto& t : p.ops) {
+    for (Op& op : t) {
+      if (op.code != OpCode::kFence) op.loc = remap[op.loc];
+    }
+  }
+  p.locations = next > 0 ? next : 1;
+  return p;
+}
+
+// The move set: every candidate one-step reduction of `p`, most aggressive
+// first (whole threads, then single ops, then location merges, then
+// opcode/value simplifications).
+std::vector<Program> reductions(const Program& p) {
+  std::vector<Program> out;
+  for (int t = 0; t < p.threads(); ++t) {
+    if (p.threads() > 1) {
+      Program q = p;
+      q.ops.erase(q.ops.begin() + t);
+      out.push_back(canonicalize(std::move(q)));
+    }
+  }
+  for (int t = 0; t < p.threads(); ++t) {
+    const auto& list = p.ops[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (p.total_ops() <= 1) break;
+      Program q = p;
+      auto& ql = q.ops[static_cast<std::size_t>(t)];
+      ql.erase(ql.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(canonicalize(std::move(q)));
+    }
+  }
+  for (int l = 1; l < p.locations; ++l) {
+    // Merge location l into location 0.
+    Program q = p;
+    for (auto& t : q.ops) {
+      for (Op& op : t) {
+        if (op.code != OpCode::kFence && op.loc == l) op.loc = 0;
+      }
+    }
+    out.push_back(canonicalize(std::move(q)));
+  }
+  for (int t = 0; t < p.threads(); ++t) {
+    const auto& list = p.ops[static_cast<std::size_t>(t)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Op& op = list[i];
+      if (op.code == OpCode::kRmwAdd || op.code == OpCode::kCas) {
+        // An RMW is a load plus a store; try the load alone.
+        Program q = p;
+        Op& qo = q.ops[static_cast<std::size_t>(t)][i];
+        qo.code = OpCode::kLoad;
+        qo.order = mc::for_load(qo.order);
+        out.push_back(q);
+      }
+      if (op.observes() && op.value != 1) {
+        Program q = p;
+        q.ops[static_cast<std::size_t>(t)][i].value = 1;
+        out.push_back(q);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Program minimize(const Program& p, const StillFails& still_fails,
+                 MinimizeStats* stats) {
+  Program cur = p;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (Program& cand : reductions(cur)) {
+      if (cand.total_ops() == 0) continue;
+      if (stats != nullptr) ++stats->probes;
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        if (stats != nullptr) ++stats->reductions;
+        progressed = true;
+        break;  // restart the move set from the smaller program
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace cds::fuzz

@@ -1,0 +1,29 @@
+// Greedy delta-debugging of a disagreeing litmus program: shrink threads,
+// ops, and locations (and simplify opcodes) while the caller's predicate
+// still reproduces the disagreement, to a local fixpoint.
+#ifndef CDS_FUZZ_MINIMIZE_H
+#define CDS_FUZZ_MINIMIZE_H
+
+#include <functional>
+
+#include "fuzz/program.h"
+
+namespace cds::fuzz {
+
+// Returns true iff the candidate still exhibits the failure being chased.
+// Called many times; must be deterministic.
+using StillFails = std::function<bool(const Program&)>;
+
+struct MinimizeStats {
+  int probes = 0;       // predicate evaluations
+  int reductions = 0;   // accepted shrink steps
+};
+
+// Precondition: still_fails(p). Postcondition: still_fails(result), and no
+// single further reduction from the move set keeps the predicate true.
+[[nodiscard]] Program minimize(const Program& p, const StillFails& still_fails,
+                               MinimizeStats* stats = nullptr);
+
+}  // namespace cds::fuzz
+
+#endif  // CDS_FUZZ_MINIMIZE_H

@@ -1,0 +1,113 @@
+// Differential oracles for the exploration engine's own correctness.
+//
+// A behavior of a litmus program is the tuple of every value its loads /
+// RMWs / CASes observed plus the final value of every location; the
+// behavior *set* of a program is what the engine claims the C/C++11 model
+// admits. Three independent cross-checks validate that claim:
+//
+//  1. kScInterleaving — for seq_cst-only programs, the model collapses to
+//     interleaving semantics, so a brute-force enumerator over thread
+//     interleavings is an exact oracle: the sets must agree exactly.
+//  2. kMonotonicity — metamorphic: strengthening any single operation's
+//     memory order (inject::strengthen, the reverse of the injection
+//     framework's weakening walk) must never ADD behaviors.
+//  3. kSampling — every behavior the seeded random-walk phase observes
+//     must lie inside the exhaustive DFS set.
+//
+// A disagreement on any oracle means the engine under- or over-
+// approximates the memory model; tools/cdsspec-fuzz minimizes the
+// offending program and emits a self-contained repro.
+#ifndef CDS_FUZZ_ORACLE_H
+#define CDS_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/program.h"
+#include "mc/config.h"
+
+namespace cds::fuzz {
+
+using BehaviorSet = std::set<std::string>;
+
+struct OracleConfig {
+  // Safety caps on the engine runs; a program that exceeds them is
+  // reported as skipped (inconclusive), never as agreement.
+  std::uint64_t max_executions = 2000000;
+  std::uint64_t max_steps = 20000;
+  // Effectively unbounded for <=12-op programs, so the fairness bound
+  // cannot perturb the metamorphic comparison.
+  std::uint32_t stale_read_bound = 64;
+  // Random-walk executions for the sampling oracle.
+  std::uint64_t sample_executions = 256;
+  std::uint64_t seed = 1;
+  // Node cap for the brute-force interleaving enumerator.
+  std::uint64_t max_interleaving_nodes = 4000000;
+  // Self-validation sabotage, threaded through to the engine.
+  mc::UnsoundHook unsound_hook = mc::UnsoundHook::kNone;
+};
+
+struct McBehaviors {
+  BehaviorSet behaviors;
+  bool exhausted = false;  // DFS enumerated the whole bounded tree
+  std::uint64_t executions = 0;
+};
+
+// Explores `p` to exhaustion (or, with sampling_only, draws the seeded
+// random walk) and collects its behavior set.
+[[nodiscard]] McBehaviors mc_behaviors(const Program& p,
+                                       const OracleConfig& cfg,
+                                       bool sampling_only = false);
+
+// Brute-force interleaving enumeration; only meaningful for sc_only()
+// programs. Returns false (capped) if the node budget was exceeded.
+bool interleaving_behaviors(const Program& p, const OracleConfig& cfg,
+                            BehaviorSet* out);
+
+enum class OracleKind : std::uint8_t {
+  kScInterleaving,
+  kMonotonicity,
+  kSampling,
+};
+
+[[nodiscard]] const char* to_string(OracleKind k);
+
+struct Disagreement {
+  OracleKind oracle;
+  std::string detail;  // human-readable: which behaviors, which site
+  // For kMonotonicity: the strengthened variant whose set grew (equal to
+  // the base program otherwise).
+  Program witness;
+};
+
+struct CheckResult {
+  std::vector<Disagreement> disagreements;
+  bool skipped = false;       // caps exceeded; nothing was validated
+  std::string skip_reason;
+  int oracles_run = 0;
+
+  [[nodiscard]] bool agreed() const {
+    return disagreements.empty() && !skipped;
+  }
+};
+
+// Every strengthenable site of `p` as (thread, op index, is-cas-failure-
+// order) triples, and the variant with that one site strengthened.
+struct StrengthenSite {
+  int thread = 0;
+  int index = 0;
+  bool failure_order = false;
+};
+[[nodiscard]] std::vector<StrengthenSite> strengthen_sites(const Program& p);
+[[nodiscard]] Program strengthen_at(const Program& p, const StrengthenSite& s);
+
+// Runs every applicable oracle on `p`: kScInterleaving for sc_only()
+// programs, kMonotonicity + kSampling for all programs.
+[[nodiscard]] CheckResult check_program(const Program& p,
+                                        const OracleConfig& cfg);
+
+}  // namespace cds::fuzz
+
+#endif  // CDS_FUZZ_ORACLE_H

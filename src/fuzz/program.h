@@ -1,0 +1,86 @@
+// Litmus-program representation for the fuzzer: a small straight-line
+// concurrent program over 2-4 atomic locations, 1-4 threads of atomic
+// loads/stores/RMWs/CASes/fences with per-operation memory orders.
+//
+// Programs are pure data: they serialize to a self-contained textual repro
+// format (checked into tests/corpus/ when a differential-oracle
+// disagreement is minimized) and compile to an mc::TestFn that replays
+// them under the exploration engine, recording one observation per
+// value-returning operation into a caller-owned buffer.
+#ifndef CDS_FUZZ_PROGRAM_H
+#define CDS_FUZZ_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inject/inject.h"
+#include "mc/engine.h"
+#include "mc/memory_order.h"
+
+namespace cds::fuzz {
+
+enum class OpCode : std::uint8_t { kLoad, kStore, kRmwAdd, kCas, kFence };
+
+[[nodiscard]] const char* to_string(OpCode c);
+
+struct Op {
+  OpCode code = OpCode::kLoad;
+  std::uint8_t loc = 0;        // location index; ignored for fences
+  std::uint64_t value = 0;     // store value / RMW operand / CAS desired
+  std::uint64_t expected = 0;  // CAS expected
+  mc::MemoryOrder order = mc::MemoryOrder::seq_cst;
+  // CAS failure order (a load order); ignored for every other opcode.
+  mc::MemoryOrder failure = mc::MemoryOrder::relaxed;
+
+  // The injection framework's view of this operation, so the
+  // strengthening lattice (inject::strengthen) applies unchanged.
+  [[nodiscard]] inject::OpKind inject_kind() const;
+  // True iff the op observes a value (owns an observation slot's content).
+  [[nodiscard]] bool observes() const {
+    return code == OpCode::kLoad || code == OpCode::kRmwAdd ||
+           code == OpCode::kCas;
+  }
+};
+
+struct Program {
+  int locations = 2;                 // 1..kMaxLocations, named x,y,z,w
+  std::vector<std::vector<Op>> ops;  // per-thread straight-line op lists
+
+  static constexpr int kMaxLocations = 4;
+  static constexpr int kMaxThreads = 4;
+  [[nodiscard]] static const char* location_name(int loc);
+
+  [[nodiscard]] int threads() const { return static_cast<int>(ops.size()); }
+  [[nodiscard]] int total_ops() const;
+  [[nodiscard]] bool sc_only() const;  // every order is seq_cst
+
+  // Structural legality: location indices in range, per-kind memory-order
+  // legality (no release-form loads, no acquire-form stores, CAS failure
+  // order is a load order, no relaxed fences).
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+
+  // The self-contained repro format (parse() accepts to_string() output;
+  // '#' starts a comment):
+  //   litmus v1
+  //   locations 2
+  //   t0 store x 1 release
+  //   t1 load x acquire
+  //   t1 cas y 0 2 seq_cst relaxed    # expected desired success failure
+  //   t1 rmw x 1 acq_rel              # fetch_add operand
+  //   t0 fence seq_cst
+  [[nodiscard]] std::string to_string() const;
+  static bool parse(const std::string& text, Program* out, std::string* err);
+
+  // Test body replaying this program under the engine. The root thread
+  // creates the locations (all value-initialized to 0), spawns one modeled
+  // thread per program thread, and joins them. Each value-observing op
+  // writes the value it read into (*obs)[slot], where slots number the
+  // ops thread-major in program order; the buffer is re-initialized at the
+  // start of every execution. `obs` must outlive the exploration.
+  [[nodiscard]] mc::TestFn test_fn(std::vector<std::uint64_t>* obs) const;
+};
+
+}  // namespace cds::fuzz
+
+#endif  // CDS_FUZZ_PROGRAM_H

@@ -26,6 +26,23 @@ mc::MemoryOrder Site::weakened() const {
   return w;
 }
 
+mc::MemoryOrder strengthen(OpKind kind, mc::MemoryOrder o) {
+  using O = mc::MemoryOrder;
+  if (o == O::seq_cst) return O::seq_cst;
+  if (o == O::relaxed) {
+    switch (kind) {
+      case OpKind::kLoad: return O::acquire;
+      case OpKind::kStore: return O::release;
+      case OpKind::kRmw:
+      case OpKind::kFence: return O::acq_rel;
+    }
+  }
+  // acquire / release / acq_rel: the only stronger parameter is seq_cst.
+  return O::seq_cst;
+}
+
+mc::MemoryOrder Site::strengthened() const { return strengthen(kind, def); }
+
 SiteId register_site(const char* benchmark, const char* name,
                      mc::MemoryOrder def, OpKind kind) {
   auto id = static_cast<SiteId>(registry().size());

@@ -31,7 +31,19 @@ struct Site {
   // when the site is already relaxed (not injectable).
   [[nodiscard]] mc::MemoryOrder weakened() const;
   [[nodiscard]] bool injectable() const { return weakened() != def; }
+
+  // The reverse walk: the next-stronger legal parameter, terminating at
+  // seq_cst. The fuzzer's metamorphic monotonicity oracle strengthens one
+  // site per run and requires the behavior set never to grow.
+  [[nodiscard]] mc::MemoryOrder strengthened() const;
+  [[nodiscard]] bool strengthenable() const { return strengthened() != def; }
 };
+
+// One step up the strengthening lattice for an operation kind: relaxed
+// rises to the kind's weakest synchronizing form (acquire for loads,
+// release for stores, acq_rel for RMWs and fences); any synchronizing
+// order rises to seq_cst; seq_cst is a fixpoint.
+[[nodiscard]] mc::MemoryOrder strengthen(OpKind kind, mc::MemoryOrder o);
 
 // Registers a memory-order site (call once, at namespace scope, per
 // textual occurrence of a memory-order parameter).

@@ -7,6 +7,23 @@
 
 namespace cds::mc {
 
+// Deliberately unsound engine variants, reachable only through the
+// test-only Config hook below. The fuzzer's differential oracles
+// (src/fuzz/oracle.h) must catch each of them; they exist so the
+// self-validation layer can prove it would notice a real soundness
+// regression of the same shape.
+enum class UnsoundHook : std::uint8_t {
+  kNone = 0,
+  // seq_cst loads ignore the per-location SC floors, admitting stale
+  // reads the SC total order forbids (an over-approximation: extra
+  // behaviors appear in the seq_cst-only fragment).
+  kScLoadIgnoresFloor,
+  // Sleeping threads are never woken by conflicting operations, so the
+  // sleep-set reduction prunes subtrees it has no sibling coverage for
+  // (an under-approximation: DFS misses behaviors sampling can reach).
+  kSleepSetNeverWakes,
+};
+
 struct Config {
   // Hard cap on modeled threads per execution (including the test's root
   // thread).
@@ -82,6 +99,18 @@ struct Config {
   // randomizes). Echoed in ExplorationStats so degraded runs are
   // reproducible.
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  // ---- self-validation hooks (src/fuzz, tools/cdsspec-fuzz) -------------
+
+  // Skip the DFS phase entirely and draw `sample_executions` seeded
+  // random-walk executions. The fuzzer's DFS-vs-sampling oracle runs the
+  // same program both ways and requires every sampled behavior to appear
+  // in the exhaustive set.
+  bool sampling_only = false;
+
+  // Test-only soundness sabotage; see UnsoundHook. Never set outside the
+  // self-validation tests.
+  UnsoundHook unsound_hook = UnsoundHook::kNone;
 };
 
 }  // namespace cds::mc

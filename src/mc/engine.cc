@@ -214,10 +214,12 @@ ExplorationStats Engine::explore(const TestFn& test) {
     active_deadline_ = 0.0;
   }
 
-  // Phase 1: exhaustive DFS.
+  // Phase 1: exhaustive DFS (skipped entirely under sampling_only, which
+  // the fuzzer's DFS-vs-sampling oracle uses to drive the random-walk
+  // phase on its own).
   std::uint64_t last_progress_exec = 0;
   bool stopped = false;
-  for (;;) {
+  for (; !cfg_.sampling_only;) {
     exec_index_ = stats.executions;
     std::uint64_t violations_before = violations_total_;
     run_one(test);
@@ -259,9 +261,11 @@ ExplorationStats Engine::explore(const TestFn& test) {
   // Phase 2: fail-safe degradation. Budget is gone but the space is not
   // covered — switch to seeded random-walk sampling instead of stopping
   // cold, so the remaining time still hunts for counterexamples.
-  bool degraded = can_degrade && !stopped && !stats.exhausted &&
-                  !stats.hit_execution_cap &&
-                  (hit_time_budget_ || hit_memory_budget_ || stats.watchdog_fired);
+  bool degraded = can_degrade &&
+                  (cfg_.sampling_only ||
+                   (!stopped && !stats.exhausted && !stats.hit_execution_cap &&
+                    (hit_time_budget_ || hit_memory_budget_ ||
+                     stats.watchdog_fired)));
   if (degraded) {
     if (hit_memory_budget_) arena_.release();  // restart from a small footprint
     active_deadline_ = cfg_.time_budget_seconds;  // sampling gets the remainder
@@ -458,11 +462,15 @@ void Engine::run_one(const TestFn& test) {
         }
       }
     }
-    // Executing `pick`'s operation wakes every sleeper it conflicts with.
+    // Executing `pick`'s operation wakes every sleeper it conflicts with
+    // (the kSleepSetNeverWakes sabotage hook skips the conflict wake-ups,
+    // turning the reduction unsound; the fuzzer must catch that).
     {
       const PendingOp& ex = threads_[static_cast<std::size_t>(pick)].pending;
+      const bool wake_conflicts =
+          cfg_.unsound_hook != UnsoundHook::kSleepSetNeverWakes;
       std::erase_if(sleep_, [&](const SleepEntry& e) {
-        return e.tid == pick || conflicts(e.op, ex);
+        return e.tid == pick || (wake_conflicts && conflicts(e.op, ex));
       });
     }
     current_ = pick;
@@ -631,7 +639,8 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
   Location& L = locs_[loc];
   ThreadMMState& t = cur_mm();
   std::uint32_t floor = t.cur.view.get(loc);
-  if (is_seq_cst(o)) {
+  if (is_seq_cst(o) &&
+      cfg_.unsound_hook != UnsoundHook::kScLoadIgnoresFloor) {
     floor = std::max(floor, L.sc_write_floor);
     floor = std::max(floor, L.sc_read_floor);
   }
@@ -789,7 +798,8 @@ bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
   // Failure candidates: any coherence-eligible message whose value differs
   // from `expected` (a failed CAS is just an atomic load).
   std::uint32_t floor = t.cur.view.get(loc);
-  if (is_seq_cst(failure)) {
+  if (is_seq_cst(failure) &&
+      cfg_.unsound_hook != UnsoundHook::kScLoadIgnoresFloor) {
     floor = std::max(floor, L.sc_write_floor);
     floor = std::max(floor, L.sc_read_floor);
   }

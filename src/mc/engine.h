@@ -125,6 +125,16 @@ class Engine {
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const char* location_name(std::uint32_t loc) const;
 
+  // Behavior-set extraction (used by the fuzzer's differential oracles):
+  // the locations of the execution being checked and the final (latest in
+  // modification order) value of each. Valid from an execution listener.
+  [[nodiscard]] std::uint32_t location_count() const {
+    return static_cast<std::uint32_t>(locs_.size());
+  }
+  [[nodiscard]] std::uint64_t location_final_value(std::uint32_t loc) const {
+    return locs_[loc].latest().value;
+  }
+
   // Reporting channel shared by built-in checks and the spec layer.
   void report_violation(ViolationKind k, std::string detail);
 

@@ -1,0 +1,148 @@
+// Property tests for the injection framework's memory-order lattice:
+// weakened() walks strictly down to relaxed through per-kind legal forms,
+// strengthen() walks strictly up to seq_cst, and the two directions are
+// consistent.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "inject/inject.h"
+#include "mc/memory_order.h"
+
+namespace cds {
+namespace {
+
+using inject::OpKind;
+using inject::Site;
+using mc::MemoryOrder;
+
+constexpr OpKind kKinds[] = {OpKind::kLoad, OpKind::kStore, OpKind::kRmw,
+                             OpKind::kFence};
+constexpr MemoryOrder kOrders[] = {MemoryOrder::relaxed, MemoryOrder::acquire,
+                                   MemoryOrder::release, MemoryOrder::acq_rel,
+                                   MemoryOrder::seq_cst};
+
+Site site_of(OpKind kind, MemoryOrder def) {
+  return Site{0, "prop", "site", def, kind};
+}
+
+// Synchronization strength: every legal weakening step must strictly
+// decrease it (strict descent => termination).
+int rank(MemoryOrder o) {
+  switch (o) {
+    case MemoryOrder::relaxed: return 0;
+    case MemoryOrder::acquire: return 1;
+    case MemoryOrder::release: return 1;
+    case MemoryOrder::acq_rel: return 2;
+    case MemoryOrder::seq_cst: return 3;
+  }
+  return -1;
+}
+
+bool legal_for(OpKind kind, MemoryOrder o) {
+  switch (kind) {
+    case OpKind::kLoad:
+      return !is_release(o) || o == MemoryOrder::seq_cst;
+    case OpKind::kStore:
+      return !is_acquire(o) || o == MemoryOrder::seq_cst;
+    case OpKind::kRmw:
+      return true;
+    case OpKind::kFence:
+      return o != MemoryOrder::relaxed;
+  }
+  return false;
+}
+
+TEST(InjectProperty, WeakenedIsLegalForEveryKind) {
+  // Table-driven: the weakened form of any legal parameter is itself a
+  // legal parameter for the same operation kind — no acquire-form stores,
+  // no release-form loads, ever.
+  for (OpKind kind : kKinds) {
+    for (MemoryOrder def : kOrders) {
+      if (!legal_for(kind, def)) continue;
+      MemoryOrder w = site_of(kind, def).weakened();
+      if (kind == OpKind::kFence && w == MemoryOrder::relaxed) {
+        // The walk may weaken a release fence away entirely; a relaxed
+        // fence is a no-op, which is the point of that injection.
+        continue;
+      }
+      EXPECT_TRUE(legal_for(kind, w))
+          << to_string(def) << " weakened to illegal " << to_string(w)
+          << " for kind " << static_cast<int>(kind);
+      if (kind == OpKind::kLoad) {
+        EXPECT_FALSE(w == MemoryOrder::release || w == MemoryOrder::acq_rel);
+      }
+      if (kind == OpKind::kStore) {
+        EXPECT_FALSE(w == MemoryOrder::acquire || w == MemoryOrder::acq_rel);
+      }
+    }
+  }
+}
+
+TEST(InjectProperty, WeakeningDescendsStrictlyToRelaxed) {
+  for (OpKind kind : kKinds) {
+    for (MemoryOrder def : kOrders) {
+      if (!legal_for(kind, def)) continue;
+      MemoryOrder o = def;
+      int steps = 0;
+      while (true) {
+        Site s = site_of(kind, o);
+        MemoryOrder w = s.weakened();
+        if (w == o) {
+          EXPECT_FALSE(s.injectable());
+          break;
+        }
+        EXPECT_TRUE(s.injectable());
+        EXPECT_LT(rank(w), rank(o)) << "weakening must strictly descend";
+        o = w;
+        ASSERT_LE(++steps, 4) << "descent must terminate";
+      }
+      // Every chain bottoms out at relaxed (for fences that final step
+      // weakens the fence away into a no-op).
+      EXPECT_EQ(o, MemoryOrder::relaxed);
+    }
+  }
+}
+
+TEST(InjectProperty, StrengtheningAscendsStrictlyToSeqCst) {
+  for (OpKind kind : kKinds) {
+    for (MemoryOrder def : kOrders) {
+      if (!legal_for(kind, def)) continue;
+      MemoryOrder o = def;
+      int steps = 0;
+      while (o != MemoryOrder::seq_cst) {
+        MemoryOrder s = inject::strengthen(kind, o);
+        EXPECT_TRUE(legal_for(kind, s))
+            << to_string(o) << " strengthened to illegal " << to_string(s);
+        EXPECT_GT(rank(s), rank(o)) << "strengthening must strictly ascend";
+        o = s;
+        ASSERT_LE(++steps, 4) << "ascent must terminate";
+      }
+      EXPECT_EQ(inject::strengthen(kind, MemoryOrder::seq_cst),
+                MemoryOrder::seq_cst)
+          << "seq_cst is the fixpoint";
+      EXPECT_FALSE(site_of(kind, MemoryOrder::seq_cst).strengthenable());
+    }
+  }
+}
+
+TEST(InjectProperty, StrengthenInvertsWeakenOneStep) {
+  // Weakening one step from any synchronizing order, then strengthening,
+  // never lands below the original (the walks are inverse up to the
+  // acquire/release split collapsing into acq_rel).
+  for (OpKind kind : kKinds) {
+    for (MemoryOrder def : kOrders) {
+      if (!legal_for(kind, def) || def == MemoryOrder::relaxed) continue;
+      Site s = site_of(kind, def);
+      MemoryOrder w = s.weakened();
+      if (w == def) continue;
+      MemoryOrder back = inject::strengthen(kind, w);
+      EXPECT_GE(rank(back), rank(def) - (def == MemoryOrder::seq_cst ? 1 : 0))
+          << "round trip lost strength: " << to_string(def) << " -> "
+          << to_string(w) << " -> " << to_string(back);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cds

@@ -1,0 +1,365 @@
+// cdsspec-fuzz — differential-oracle self-validation of the exploration
+// engine (the correctness-tooling layer: the checker checking itself).
+//
+//   cdsspec-fuzz --trials N [--seed S] [--timeout SECS] [--out DIR] [--json]
+//   cdsspec-fuzz --replay FILE...        re-check repro/corpus programs
+//   cdsspec-fuzz --replay-dir DIR        re-check every *.litmus in DIR
+//
+// Each trial generates a seeded random litmus program and cross-checks the
+// engine's behavior set three ways (see src/fuzz/oracle.h): brute-force
+// interleavings on the seq_cst fragment, metamorphic memory-order
+// monotonicity, and DFS-vs-sampling containment. Any disagreement is
+// auto-minimized and written to --out as a self-contained .litmus repro.
+//
+// Exit codes: 0 all oracles agreed, 1 disagreement found (repro written),
+//             2 usage error.
+//
+// --unsound-hook {sc-floor|sleep-wake} arms a deliberately broken engine
+// variant (test-only): the run must then FIND disagreements; used by the
+// self-validation tests to prove the oracles have teeth.
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+
+#include "fuzz/generator.h"
+#include "fuzz/minimize.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+#include "support/rng.h"
+
+namespace {
+
+constexpr int kExitAgreed = 0;
+constexpr int kExitDisagreed = 1;
+constexpr int kExitUsage = 2;
+
+void usage() {
+  std::printf(
+      "usage: cdsspec-fuzz --trials N [--seed S] [--timeout SECS]\n"
+      "                    [--out DIR] [--json] [--unsound-hook NAME]\n"
+      "       cdsspec-fuzz --replay FILE...\n"
+      "       cdsspec-fuzz --replay-dir DIR\n"
+      "unsound hooks (self-validation only): sc-floor, sleep-wake\n"
+      "exit codes: 0 all oracles agreed, 1 disagreement found, 2 usage\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || v < 0.0) return false;
+  *out = v;
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Trial profiles alternate: even trials draw from the seq_cst-only pool
+// (exact interleaving oracle), odd trials from the mixed-order pool
+// (monotonicity + sampling oracles).
+cds::fuzz::GenParams profile_for(std::uint64_t trial) {
+  cds::fuzz::GenParams gp;
+  if (trial % 2 == 0) {
+    gp.sc_only = true;
+    gp.max_threads = 3;
+    gp.max_total_ops = 8;
+  } else {
+    gp.sc_only = false;
+    gp.max_threads = 3;
+    gp.max_total_ops = 8;
+  }
+  return gp;
+}
+
+struct Repro {
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  cds::fuzz::OracleKind oracle{};
+  std::string detail;
+  cds::fuzz::Program program;  // minimized
+  std::string path;            // where it was written ("" if write failed)
+};
+
+// Re-runs the oracles on a candidate and reports whether the disagreement
+// of the same kind persists (the minimizer's predicate).
+bool reproduces(const cds::fuzz::Program& cand, cds::fuzz::OracleKind kind,
+                const cds::fuzz::OracleConfig& cfg) {
+  std::string why;
+  if (cand.total_ops() == 0 || !cand.validate(&why)) return false;
+  auto res = cds::fuzz::check_program(cand, cfg);
+  for (const auto& d : res.disagreements) {
+    if (d.oracle == kind) return true;
+  }
+  return false;
+}
+
+std::string write_repro(const std::string& out_dir, const Repro& r) {
+  std::ostringstream name;
+  name << out_dir << "/repro-" << cds::fuzz::to_string(r.oracle) << "-seed"
+       << r.seed << ".litmus";
+  std::ofstream f(name.str());
+  if (!f) return "";
+  f << "# cdsspec-fuzz minimized repro\n";
+  f << "# oracle: " << cds::fuzz::to_string(r.oracle) << "\n";
+  f << "# detail: ";
+  for (char c : r.detail) f << (c == '\n' ? ' ' : c);
+  f << "\n";
+  f << "# trial " << r.trial << " seed " << r.seed << "\n";
+  f << r.program.to_string();
+  return f ? name.str() : "";
+}
+
+int replay_files(const std::vector<std::string>& files,
+                 const cds::fuzz::OracleConfig& cfg, bool json) {
+  int disagreed = 0, failed = 0;
+  for (const std::string& path : files) {
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cdsspec-fuzz: cannot open '%s'\n", path.c_str());
+      ++failed;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    cds::fuzz::Program p;
+    std::string err;
+    if (!cds::fuzz::Program::parse(buf.str(), &p, &err)) {
+      std::fprintf(stderr, "cdsspec-fuzz: %s: parse error: %s\n", path.c_str(),
+                   err.c_str());
+      ++failed;
+      continue;
+    }
+    auto res = cds::fuzz::check_program(p, cfg);
+    if (res.skipped) {
+      std::fprintf(stderr, "cdsspec-fuzz: %s: skipped: %s\n", path.c_str(),
+                   res.skip_reason.c_str());
+      ++failed;
+      continue;
+    }
+    if (!res.disagreements.empty()) {
+      ++disagreed;
+      for (const auto& d : res.disagreements) {
+        std::printf("%s: DISAGREEMENT [%s] %s\n", path.c_str(),
+                    to_string(d.oracle), d.detail.c_str());
+      }
+    } else if (!json) {
+      std::printf("%s: ok (%d oracle checks)\n", path.c_str(),
+                  res.oracles_run);
+    }
+  }
+  if (failed > 0) return kExitUsage;
+  return disagreed > 0 ? kExitDisagreed : kExitAgreed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t trials = 0;
+  std::uint64_t base_seed = 1;
+  double timeout = 0.0;
+  bool json = false;
+  std::string out_dir = ".";
+  cds::fuzz::OracleConfig cfg;
+  std::vector<std::string> replay;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cdsspec-fuzz: %s requires a value\n", flag);
+        usage();
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (a == "--trials") {
+      if (!parse_u64(value("--trials"), &trials)) return kExitUsage;
+    } else if (a == "--seed") {
+      if (!parse_u64(value("--seed"), &base_seed)) return kExitUsage;
+    } else if (a == "--timeout") {
+      if (!parse_double(value("--timeout"), &timeout)) return kExitUsage;
+    } else if (a == "--out") {
+      out_dir = value("--out");
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--unsound-hook") {
+      std::string h = value("--unsound-hook");
+      if (h == "sc-floor") {
+        cfg.unsound_hook = cds::mc::UnsoundHook::kScLoadIgnoresFloor;
+      } else if (h == "sleep-wake") {
+        cfg.unsound_hook = cds::mc::UnsoundHook::kSleepSetNeverWakes;
+      } else {
+        std::fprintf(stderr, "cdsspec-fuzz: unknown hook '%s'\n", h.c_str());
+        return kExitUsage;
+      }
+    } else if (a == "--replay") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') replay.push_back(argv[++i]);
+      if (replay.empty()) {
+        std::fprintf(stderr, "cdsspec-fuzz: --replay wants files\n");
+        return kExitUsage;
+      }
+    } else if (a == "--replay-dir") {
+      std::string dir = value("--replay-dir");
+      DIR* d = opendir(dir.c_str());
+      if (d == nullptr) {
+        std::fprintf(stderr, "cdsspec-fuzz: cannot open dir '%s'\n",
+                     dir.c_str());
+        return kExitUsage;
+      }
+      while (dirent* ent = readdir(d)) {
+        std::string n = ent->d_name;
+        if (n.size() > 7 && n.substr(n.size() - 7) == ".litmus") {
+          replay.push_back(dir + "/" + n);
+        }
+      }
+      closedir(d);
+      if (replay.empty()) {
+        std::fprintf(stderr, "cdsspec-fuzz: no .litmus files in '%s'\n",
+                     dir.c_str());
+        return kExitUsage;
+      }
+    } else {
+      std::fprintf(stderr, "cdsspec-fuzz: unknown flag '%s'\n", a.c_str());
+      usage();
+      return kExitUsage;
+    }
+  }
+
+  if (!replay.empty()) {
+    // Deterministic order regardless of directory enumeration order.
+    std::sort(replay.begin(), replay.end());
+    return replay_files(replay, cfg, json);
+  }
+  if (trials == 0) {
+    usage();
+    return kExitUsage;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::uint64_t done = 0, skipped = 0, checks = 0;
+  bool timed_out = false;
+  std::vector<Repro> repros;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    if (timeout > 0.0 && elapsed() >= timeout) {
+      timed_out = true;
+      break;
+    }
+    // Per-trial seeds derive from the base seed alone, so one number
+    // reproduces the campaign and text/JSON modes see identical streams.
+    std::uint64_t seed = cds::fuzz::trial_seed(base_seed, trial);
+    cds::fuzz::OracleConfig tcfg = cfg;
+    tcfg.seed = seed;
+    cds::fuzz::Program p = cds::fuzz::generate(profile_for(trial), seed);
+    auto res = cds::fuzz::check_program(p, tcfg);
+    ++done;
+    checks += static_cast<std::uint64_t>(res.oracles_run);
+    if (res.skipped) {
+      ++skipped;
+      continue;
+    }
+    for (const auto& d : res.disagreements) {
+      Repro r;
+      r.trial = trial;
+      r.seed = seed;
+      r.oracle = d.oracle;
+      r.detail = d.detail;
+      // Minimize the base program while the same oracle kind still fires.
+      cds::fuzz::MinimizeStats ms;
+      r.program = cds::fuzz::minimize(
+          p, [&](const cds::fuzz::Program& c) {
+            return reproduces(c, d.oracle, tcfg);
+          },
+          &ms);
+      r.path = write_repro(out_dir, r);
+      if (!json) {
+        std::printf("trial %llu seed %llu: DISAGREEMENT [%s]\n  %s\n"
+                    "  minimized to %d ops (%d probes)%s%s\n",
+                    static_cast<unsigned long long>(trial),
+                    static_cast<unsigned long long>(seed),
+                    to_string(d.oracle), d.detail.c_str(),
+                    r.program.total_ops(), ms.probes,
+                    r.path.empty() ? "" : ", repro: ",
+                    r.path.c_str());
+      }
+      repros.push_back(std::move(r));
+    }
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"seed\": %llu,\n",
+                static_cast<unsigned long long>(base_seed));
+    std::printf("  \"trials_requested\": %llu,\n",
+                static_cast<unsigned long long>(trials));
+    std::printf("  \"trials_completed\": %llu,\n",
+                static_cast<unsigned long long>(done));
+    std::printf("  \"trials_skipped\": %llu,\n",
+                static_cast<unsigned long long>(skipped));
+    std::printf("  \"oracle_checks\": %llu,\n",
+                static_cast<unsigned long long>(checks));
+    std::printf("  \"timed_out\": %s,\n", timed_out ? "true" : "false");
+    std::printf("  \"seconds\": %.2f,\n", elapsed());
+    std::printf("  \"disagreements\": [\n");
+    for (std::size_t i = 0; i < repros.size(); ++i) {
+      const Repro& r = repros[i];
+      std::printf(
+          "    {\"trial\": %llu, \"seed\": %llu, \"oracle\": \"%s\", "
+          "\"ops\": %d, \"repro\": \"%s\", \"detail\": \"%s\"}%s\n",
+          static_cast<unsigned long long>(r.trial),
+          static_cast<unsigned long long>(r.seed),
+          to_string(r.oracle), r.program.total_ops(),
+          json_escape(r.path).c_str(), json_escape(r.detail).c_str(),
+          i + 1 < repros.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf(
+        "%llu/%llu trials (%llu skipped), %llu oracle checks, "
+        "%zu disagreements%s in %.1fs (seed %llu)\n",
+        static_cast<unsigned long long>(done),
+        static_cast<unsigned long long>(trials),
+        static_cast<unsigned long long>(skipped),
+        static_cast<unsigned long long>(checks), repros.size(),
+        timed_out ? " (timeout)" : "", elapsed(),
+        static_cast<unsigned long long>(base_seed));
+  }
+  return repros.empty() ? kExitAgreed : kExitDisagreed;
+}
