@@ -1,5 +1,8 @@
 #include "fiber/fiber.h"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -12,24 +15,70 @@ namespace {
 // checker runs on one OS thread, so this cannot race.
 Fiber* g_starting = nullptr;
 void (*g_fallthrough)(Fiber&) = nullptr;
+
+std::size_t round_up_to_page(std::size_t n) {
+  long page = ::sysconf(_SC_PAGESIZE);
+  auto p = page > 0 ? static_cast<std::size_t>(page) : std::size_t{4096};
+  return (n + p - 1) / p * p;
+}
 }  // namespace
 
 void Fiber::set_fallthrough_handler(void (*handler)(Fiber&)) {
   g_fallthrough = handler;
 }
 
+Fiber::~Fiber() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void Fiber::allocate_stack() {
+  guard_bytes_ = round_up_to_page(kGuardSize);
+  map_bytes_ = guard_bytes_ + round_up_to_page(kStackSize);
+  void* m = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (m != MAP_FAILED && ::mprotect(m, guard_bytes_, PROT_NONE) == 0) {
+    map_ = static_cast<char*>(m);
+    return;
+  }
+  if (m != MAP_FAILED) ::munmap(m, map_bytes_);
+  map_ = nullptr;
+  map_bytes_ = 0;
+  guard_bytes_ = 0;
+  heap_stack_ = std::make_unique<char[]>(kStackSize);
+}
+
 void Fiber::reset(std::function<void()> entry) {
   assert(!native_);
-  if (!stack_) stack_ = std::make_unique<char[]>(kStackSize);
+  if (map_ == nullptr && !heap_stack_) allocate_stack();
   entry_ = std::move(entry);
   started_ = false;
   finished_ = false;
   armed_ = true;
   getcontext(&ctx_);
-  ctx_.uc_stack.ss_sp = stack_.get();
-  ctx_.uc_stack.ss_size = kStackSize;
+  if (map_ != nullptr) {
+    ctx_.uc_stack.ss_sp = map_ + guard_bytes_;
+    ctx_.uc_stack.ss_size = map_bytes_ - guard_bytes_;
+  } else {
+    ctx_.uc_stack.ss_sp = heap_stack_.get();
+    ctx_.uc_stack.ss_size = kStackSize;
+  }
   ctx_.uc_link = nullptr;  // fibers always switch out explicitly
   makecontext(&ctx_, &Fiber::trampoline, 0);
+}
+
+bool Fiber::guard_contains(const void* p) const {
+  if (map_ == nullptr) return false;
+  const char* c = static_cast<const char*>(p);
+  return c >= map_ && c < map_ + guard_bytes_;
+}
+
+bool Fiber::stack_contains(const void* p) const {
+  const char* c = static_cast<const char*>(p);
+  if (map_ != nullptr) {
+    return c >= map_ + guard_bytes_ && c < map_ + map_bytes_;
+  }
+  return heap_stack_ && c >= heap_stack_.get() &&
+         c < heap_stack_.get() + kStackSize;
 }
 
 void Fiber::trampoline() {

@@ -10,6 +10,13 @@
 // context plus one fiber per modeled thread. All switches are
 // scheduler <-> thread; a modeled thread's entry wrapper must switch back
 // to the scheduler (after calling mark_finished()) instead of returning.
+//
+// Stacks are mmap'd with a PROT_NONE guard region below them, so a test
+// body that overflows its fiber stack faults deterministically in the
+// guard instead of silently corrupting a neighboring allocation; the
+// engine's crash containment turns that fault into a diagnosed violation
+// (see guard_contains()). When mmap is unavailable the stack falls back to
+// a plain heap allocation without a guard.
 #ifndef CDS_FIBER_FIBER_H
 #define CDS_FIBER_FIBER_H
 
@@ -24,9 +31,11 @@ namespace cds::fiber {
 class Fiber {
  public:
   static constexpr std::size_t kStackSize = 256 * 1024;
+  // Rounded up to the page size at allocation time.
+  static constexpr std::size_t kGuardSize = 16 * 1024;
 
   Fiber() = default;
-  ~Fiber() = default;
+  ~Fiber();
   // Not movable: glibc's ucontext_t stores an internal self-pointer
   // (uc_mcontext.fpregs aims into the struct), so a Fiber must stay at a
   // stable address once reset() has run. Hold fibers by unique_ptr.
@@ -49,6 +58,13 @@ class Fiber {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] bool armed() const { return armed_; }
 
+  // True iff `p` falls inside this fiber's PROT_NONE stack guard — i.e. a
+  // fault at `p` is this fiber's stack overflowing. Always false for
+  // guard-less (heap-fallback) stacks.
+  [[nodiscard]] bool guard_contains(const void* p) const;
+  // True iff `p` is inside the usable stack itself.
+  [[nodiscard]] bool stack_contains(const void* p) const;
+
   // Wraps the calling OS thread's own context (no stack/entry of its own).
   void init_native() {
     native_ = true;
@@ -64,9 +80,16 @@ class Fiber {
 
  private:
   static void trampoline();
+  void allocate_stack();
 
   ucontext_t ctx_{};
-  std::unique_ptr<char[]> stack_;
+  // mmap'd region: [map_, map_ + guard_bytes_) is the PROT_NONE guard,
+  // [map_ + guard_bytes_, map_ + map_bytes_) the usable stack (grows down
+  // toward the guard). Null when the heap fallback is in use.
+  char* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t guard_bytes_ = 0;
+  std::unique_ptr<char[]> heap_stack_;  // fallback when mmap fails
   std::function<void()> entry_;
   bool started_ = false;
   bool finished_ = false;

@@ -113,6 +113,44 @@ struct Interleaver {
   }
 };
 
+// Stops the exploration at the first execution whose behavior is outside
+// `exclude`, capturing its choice trail (the witness of a set-level
+// disagreement as one replayable execution).
+class WitnessCapture : public mc::ExecutionListener {
+ public:
+  WitnessCapture(const std::vector<std::uint64_t>* obs, int locations,
+                 const BehaviorSet* exclude)
+      : obs_(obs), locations_(locations), exclude_(exclude) {}
+
+  bool on_execution_complete(mc::Engine& e) override {
+    std::vector<std::uint64_t> finals;
+    finals.reserve(static_cast<std::size_t>(locations_));
+    for (int l = 0; l < locations_; ++l) {
+      finals.push_back(e.location_final_value(static_cast<std::uint32_t>(l)));
+    }
+    std::string b = behavior_string(*obs_, finals);
+    if (exclude_->count(b) != 0) return true;
+    found_ = true;
+    behavior_ = std::move(b);
+    choices_ = e.current_trail();
+    return false;
+  }
+
+  [[nodiscard]] bool found() const { return found_; }
+  [[nodiscard]] const std::string& behavior() const { return behavior_; }
+  [[nodiscard]] const std::vector<mc::Choice>& choices() const {
+    return choices_;
+  }
+
+ private:
+  const std::vector<std::uint64_t>* obs_;
+  int locations_;
+  const BehaviorSet* exclude_;
+  bool found_ = false;
+  std::string behavior_;
+  std::vector<mc::Choice> choices_;
+};
+
 mc::Config engine_config(const OracleConfig& cfg, bool sampling_only) {
   mc::Config ec;
   ec.max_executions = sampling_only ? 0 : cfg.max_executions;
@@ -124,6 +162,22 @@ mc::Config engine_config(const OracleConfig& cfg, bool sampling_only) {
   ec.sample_executions = sampling_only ? cfg.sample_executions : 0;
   ec.unsound_hook = cfg.unsound_hook;
   return ec;
+}
+
+// Explores `p` until an execution exhibits a behavior outside `exclude`.
+bool capture_witness(const Program& p, const OracleConfig& cfg,
+                     const BehaviorSet& exclude, bool sampling_only,
+                     WitnessTrail* out) {
+  std::vector<std::uint64_t> obs;
+  mc::Engine engine(engine_config(cfg, sampling_only));
+  WitnessCapture capture(&obs, p.locations, &exclude);
+  engine.set_listener(&capture);
+  (void)engine.explore(p.test_fn(&obs));
+  if (!capture.found()) return false;
+  out->choices = capture.choices();
+  out->behavior = capture.behavior();
+  out->sampling = sampling_only;
+  return true;
 }
 
 std::string diff_sample(const BehaviorSet& extra, const BehaviorSet& base,
@@ -273,6 +327,64 @@ CheckResult check_program(const Program& p, const OracleConfig& cfg) {
         Disagreement{OracleKind::kSampling, os.str(), p});
   }
   return res;
+}
+
+bool witness_trail(const Program& p, const OracleConfig& cfg, OracleKind kind,
+                   WitnessTrail* out) {
+  *out = WitnessTrail{};
+  McBehaviors base = mc_behaviors(p, cfg);
+  if (!base.exhausted) return false;
+  switch (kind) {
+    case OracleKind::kScInterleaving: {
+      // Witnessable only when the engine ADMITS a behavior interleavings
+      // forbid; a missing behavior has no execution to record.
+      BehaviorSet ref;
+      if (!p.sc_only() || !interleaving_behaviors(p, cfg, &ref)) return false;
+      return capture_witness(p, cfg, ref, /*sampling_only=*/false, out);
+    }
+    case OracleKind::kMonotonicity: {
+      for (const StrengthenSite& s : strengthen_sites(p)) {
+        Program q = strengthen_at(p, s);
+        McBehaviors strong = mc_behaviors(q, cfg);
+        if (!strong.exhausted || is_subset(strong.behaviors, base.behaviors)) {
+          continue;
+        }
+        if (!capture_witness(q, cfg, base.behaviors, /*sampling_only=*/false,
+                             out)) {
+          continue;
+        }
+        out->strengthened = true;
+        out->site = s;
+        return true;
+      }
+      return false;
+    }
+    case OracleKind::kSampling:
+      return capture_witness(p, cfg, base.behaviors, /*sampling_only=*/true,
+                             out);
+  }
+  return false;
+}
+
+bool replay_behavior(const Program& p, const OracleConfig& cfg,
+                     const std::vector<mc::Choice>& choices,
+                     std::string* behavior, std::string* err) {
+  std::vector<std::uint64_t> obs;
+  mc::Engine engine(engine_config(cfg, /*sampling_only=*/false));
+  BehaviorSet observed;
+  BehaviorCollector collector(&obs, p.locations, &observed);
+  engine.set_listener(&collector);
+  if (!engine.replay(choices, p.test_fn(&obs), /*strict=*/true, err)) {
+    return false;
+  }
+  if (observed.empty()) {
+    if (err != nullptr) {
+      *err = "replayed execution did not run to completion";
+    }
+    return false;
+  }
+  *behavior = *observed.begin();
+  return true;
 }
 
 }  // namespace cds::fuzz

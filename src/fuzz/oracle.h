@@ -27,6 +27,7 @@
 
 #include "fuzz/program.h"
 #include "mc/config.h"
+#include "mc/trail.h"
 
 namespace cds::fuzz {
 
@@ -107,6 +108,38 @@ struct StrengthenSite {
 // programs, kMonotonicity + kSampling for all programs.
 [[nodiscard]] CheckResult check_program(const Program& p,
                                         const OracleConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// One-execution witnesses (.trail repros, see mc/trace.h)
+// ---------------------------------------------------------------------------
+
+// A single recorded execution that exhibits an offending behavior of a
+// disagreement: the choice trail pins it down exactly, so a repro replays
+// in one execution instead of a full oracle re-run.
+struct WitnessTrail {
+  std::vector<mc::Choice> choices;
+  std::string behavior;       // serialized behavior of the witnessed execution
+  bool sampling = false;      // recorded during the random-walk phase
+  // For kMonotonicity the trail drives strengthen_at(p, site), not p itself.
+  bool strengthened = false;
+  StrengthenSite site;
+};
+
+// After check_program reported a disagreement of `kind` on `p` (typically
+// the minimized program), re-runs the relevant exploration and captures the
+// trail of the first execution whose behavior lies outside the oracle's
+// reference set. Returns false when no single execution witnesses the
+// disagreement (e.g. the engine *misses* behaviors rather than admitting
+// extras) — those repros replay via the full oracle re-run only.
+bool witness_trail(const Program& p, const OracleConfig& cfg, OracleKind kind,
+                   WitnessTrail* out);
+
+// Strictly replays one recorded choice trail of `p` and reports the
+// behavior that execution exhibits. Returns false on replay divergence or
+// a non-completing execution, with the reason in *err.
+bool replay_behavior(const Program& p, const OracleConfig& cfg,
+                     const std::vector<mc::Choice>& choices,
+                     std::string* behavior, std::string* err);
 
 }  // namespace cds::fuzz
 

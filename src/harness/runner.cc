@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "support/rng.h"
@@ -50,10 +51,11 @@ void weaken(mc::Verdict& into, mc::Verdict v) {
 }  // namespace
 
 bool RunResult::detected_builtin() const {
-  return mc.builtin_violation_execs > 0 ||
+  return mc.builtin_violation_execs > 0 || mc.crash_execs > 0 ||
          has_kind(violations, mc::ViolationKind::kDataRace) ||
          has_kind(violations, mc::ViolationKind::kUninitializedLoad) ||
-         has_kind(violations, mc::ViolationKind::kDeadlock);
+         has_kind(violations, mc::ViolationKind::kDeadlock) ||
+         has_kind(violations, mc::ViolationKind::kCrash);
 }
 
 bool RunResult::detected_admissibility() const {
@@ -69,6 +71,11 @@ RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
   mc::Engine engine(opts.engine);
   spec::SpecChecker checker(opts.checker);
   checker.attach(engine);
+  engine.set_checkpoint_base(opts.checkpoint_base);
+  if (opts.resume != nullptr) {
+    checker.restore_from_checkpoint(*opts.resume);
+    engine.set_resume(*opts.resume);
+  }
   RunResult r;
   r.mc = engine.explore(test);
   r.spec = checker.stats();
@@ -95,21 +102,148 @@ const Benchmark* find_benchmark(const std::string& name) {
   return nullptr;
 }
 
+namespace {
+
+// Prior-test accumulations ride inside checkpoints as opaque "prior.*"
+// extras (the engine round-trips them without interpretation), so a
+// kill+resume mid-benchmark restores the totals of every finished test.
+void encode_prior(const RunResult& total, mc::Checkpoint* cp) {
+  auto set = [&](const char* k, std::uint64_t v) {
+    cp->set_extra(std::string("prior.") + k, v);
+  };
+  set("present", 1);
+  set("executions", total.mc.executions);
+  set("feasible", total.mc.feasible);
+  set("pruned_bound", total.mc.pruned_bound);
+  set("pruned_livelock", total.mc.pruned_livelock);
+  set("pruned_redundant", total.mc.pruned_redundant);
+  set("builtin", total.mc.builtin_violation_execs);
+  set("fatal", total.mc.engine_fatal_execs);
+  set("crash", total.mc.crash_execs);
+  set("sampled", total.mc.sampled);
+  set("violations_total", total.mc.violations_total);
+  set("seconds_ms", static_cast<std::uint64_t>(total.mc.seconds * 1000.0));
+  set("max_depth", total.mc.max_trail_depth);
+  set("cap", total.mc.hit_execution_cap ? 1 : 0);
+  set("time", total.mc.hit_time_budget ? 1 : 0);
+  set("mem", total.mc.hit_memory_budget ? 1 : 0);
+  set("watchdog", total.mc.watchdog_fired ? 1 : 0);
+  set("stopped", total.mc.stopped_early ? 1 : 0);
+  set("exhausted", total.mc.exhausted ? 1 : 0);
+  set("verdict", static_cast<std::uint64_t>(total.verdict));
+  set("spec.executions_checked", total.spec.executions_checked);
+  set("spec.inadmissible", total.spec.inadmissible_execs);
+  set("spec.assertions", total.spec.assertion_violation_execs);
+  set("spec.histories", total.spec.histories_checked);
+  set("spec.justifications", total.spec.justification_checks);
+  set("spec.cap_hit", total.spec.history_cap_hit ? 1 : 0);
+  set("spec.r_cycle", total.spec.r_cycle_seen ? 1 : 0);
+}
+
+bool decode_prior(const mc::Checkpoint& cp, RunResult* total) {
+  auto get = [&](const char* k) {
+    return cp.extra_value(std::string("prior.") + k);
+  };
+  if (get("present") == 0) return false;
+  total->mc.executions = get("executions");
+  total->mc.feasible = get("feasible");
+  total->mc.pruned_bound = get("pruned_bound");
+  total->mc.pruned_livelock = get("pruned_livelock");
+  total->mc.pruned_redundant = get("pruned_redundant");
+  total->mc.builtin_violation_execs = get("builtin");
+  total->mc.engine_fatal_execs = get("fatal");
+  total->mc.crash_execs = get("crash");
+  total->mc.sampled = get("sampled");
+  total->mc.violations_total = get("violations_total");
+  total->mc.seconds = static_cast<double>(get("seconds_ms")) / 1000.0;
+  total->mc.max_trail_depth = get("max_depth");
+  total->mc.hit_execution_cap = get("cap") != 0;
+  total->mc.hit_time_budget = get("time") != 0;
+  total->mc.hit_memory_budget = get("mem") != 0;
+  total->mc.watchdog_fired = get("watchdog") != 0;
+  total->mc.stopped_early = get("stopped") != 0;
+  total->mc.exhausted = get("exhausted") != 0;
+  total->verdict = static_cast<mc::Verdict>(get("verdict"));
+  total->spec.executions_checked = get("spec.executions_checked");
+  total->spec.inadmissible_execs = get("spec.inadmissible");
+  total->spec.assertion_violation_execs = get("spec.assertions");
+  total->spec.histories_checked = get("spec.histories");
+  total->spec.justification_checks = get("spec.justifications");
+  total->spec.history_cap_hit = get("spec.cap_hit") != 0;
+  total->spec.r_cycle_seen = get("spec.r_cycle") != 0;
+  return true;
+}
+
+std::vector<mc::Violation> strip_trails(const std::vector<mc::Violation>& vs) {
+  std::vector<mc::Violation> out = vs;
+  for (mc::Violation& v : out) v.trail.clear();
+  return out;
+}
+
+}  // namespace
+
 RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
   RunResult total;
   total.mc.seed = opts.engine.seed;
   total.mc.exhausted = true;  // weakened below if any test falls short
+  const bool checkpointing = !opts.engine.checkpoint_path.empty();
+
+  // Resume: fast-forward over already-finished tests using the totals
+  // persisted in the checkpoint's "prior.*" extras, then hand the
+  // interrupted test's state to the engine. A checkpoint that does not
+  // belong to this benchmark is ignored (fresh run) rather than trusted.
+  const mc::Checkpoint* resume_cp = opts.resume;
+  std::size_t first_test = 0;
+  if (resume_cp != nullptr) {
+    const std::string want_prefix = b.name + "#";
+    if (resume_cp->test_name.rfind(want_prefix, 0) != 0 ||
+        resume_cp->test_index >= b.tests.size()) {
+      std::fprintf(stderr,
+                   "cds::harness: checkpoint is for '%s', not benchmark '%s'; "
+                   "starting fresh\n",
+                   resume_cp->test_name.c_str(), b.name.c_str());
+      resume_cp = nullptr;
+    } else {
+      first_test = resume_cp->test_index;
+      decode_prior(*resume_cp, &total);
+      total.mc.seed = opts.engine.seed;
+      for (const mc::Violation& v : resume_cp->violations) {
+        if (v.test_index < first_test) total.violations.push_back(v);
+      }
+    }
+  }
+
   // The time budget covers the whole benchmark: each test gets what the
   // previous ones left over. Once it is gone, the remaining tests run with
   // an epsilon budget so they still report (inconclusive) instead of
   // exploring unbounded.
-  double remaining = opts.engine.time_budget_seconds;
-  for (const mc::TestFn& t : b.tests) {
+  double remaining = opts.engine.time_budget_seconds - total.mc.seconds;
+  for (std::size_t i = first_test; i < b.tests.size(); ++i) {
     RunOptions per_test = opts;
+    per_test.resume = nullptr;
+    per_test.engine.test_name = b.name + "#" + std::to_string(i);
+    per_test.engine.test_index = static_cast<std::uint32_t>(i);
     if (opts.engine.time_budget_seconds > 0.0) {
       per_test.engine.time_budget_seconds = remaining > 0.001 ? remaining : 0.001;
     }
-    RunResult r = run_with_spec(t, per_test);
+    // The engine carries the prior tests' totals and violation records
+    // into every checkpoint it writes mid-test.
+    if (checkpointing) {
+      per_test.checkpoint_base = mc::Checkpoint{};
+      encode_prior(total, &per_test.checkpoint_base);
+      per_test.checkpoint_base.violations = strip_trails(total.violations);
+    }
+    mc::Checkpoint engine_resume;
+    if (resume_cp != nullptr && i == first_test &&
+        resume_cp->phase != mc::Checkpoint::Phase::kStart) {
+      engine_resume = *resume_cp;
+      engine_resume.violations.clear();
+      for (const mc::Violation& v : resume_cp->violations) {
+        if (v.test_index == i) engine_resume.violations.push_back(v);
+      }
+      per_test.resume = &engine_resume;
+    }
+    RunResult r = run_with_spec(b.tests[i], per_test);
     remaining -= r.mc.seconds;
     total.mc.executions += r.mc.executions;
     total.mc.feasible += r.mc.feasible;
@@ -118,6 +252,7 @@ RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
     total.mc.pruned_redundant += r.mc.pruned_redundant;
     total.mc.builtin_violation_execs += r.mc.builtin_violation_execs;
     total.mc.engine_fatal_execs += r.mc.engine_fatal_execs;
+    total.mc.crash_execs += r.mc.crash_execs;
     total.mc.sampled += r.mc.sampled;
     total.mc.violations_total += r.mc.violations_total;
     total.mc.seconds += r.mc.seconds;
@@ -140,6 +275,31 @@ RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
     total.spec.r_cycle_seen |= r.spec.r_cycle_seen;
     for (auto& v : r.violations) total.violations.push_back(std::move(v));
     for (auto& s : r.reports) total.reports.push_back(std::move(s));
+
+    // Between tests: a Phase::kStart checkpoint saying "test i+1 has not
+    // begun; here is everything up to it". After the last test the
+    // checkpoint has served its purpose — unless the run ended
+    // inconclusive (a budget or cap cut the exploration short), in which
+    // case the engine's last snapshot stays on disk so --resume can pick
+    // the run back up with a bigger budget.
+    if (checkpointing) {
+      if (i + 1 < b.tests.size()) {
+        mc::Checkpoint cp;
+        cp.fingerprint_from(opts.engine);
+        cp.test_name = b.name + "#" + std::to_string(i + 1);
+        cp.test_index = static_cast<std::uint32_t>(i + 1);
+        cp.phase = mc::Checkpoint::Phase::kStart;
+        encode_prior(total, &cp);
+        cp.violations = strip_trails(total.violations);
+        std::string err;
+        if (!mc::write_checkpoint_file(opts.engine.checkpoint_path, cp, &err)) {
+          std::fprintf(stderr, "cds::harness: checkpoint write failed: %s\n",
+                       err.c_str());
+        }
+      } else if (total.verdict != mc::Verdict::kInconclusive) {
+        std::remove(opts.engine.checkpoint_path.c_str());
+      }
+    }
   }
   total.mc.verdict = total.verdict;
   return total;

@@ -17,6 +17,17 @@ namespace cds::harness {
 struct RunOptions {
   mc::Config engine;
   spec::SpecChecker::Options checker;
+
+  // Resume state loaded from engine.checkpoint_path (non-owning; must stay
+  // alive across the run). The caller is responsible for the fingerprint
+  // check; run_benchmark additionally sanity-checks the test identity and
+  // falls back to a fresh run on mismatch.
+  const mc::Checkpoint* resume = nullptr;
+
+  // Template for checkpoints written during this run: its `extra` entries
+  // and violation records (the harness's accumulated prior-test state) are
+  // carried into every checkpoint file. Populated by run_benchmark.
+  mc::Checkpoint checkpoint_base;
 };
 
 struct RunResult {
@@ -57,6 +68,15 @@ void register_benchmark(Benchmark b);
 
 // Runs every unit test of a benchmark; sums exploration stats and merges
 // detections.
+//
+// With engine.checkpoint_path set, the engine checkpoints periodically
+// inside each test, the harness writes a Phase::kStart checkpoint between
+// tests (carrying the accumulated totals of the finished ones), and the
+// file is deleted once the whole benchmark completes. Passing the loaded
+// checkpoint back through RunOptions::resume skips already-finished tests
+// and resumes the interrupted one mid-exploration; the resumed run
+// converges to the same aggregate stats and verdict as an uninterrupted
+// one (violation records restored from the checkpoint carry no trails).
 RunResult run_benchmark(const Benchmark& b, const RunOptions& opts = {});
 
 // ---------------------------------------------------------------------------

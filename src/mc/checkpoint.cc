@@ -1,0 +1,440 @@
+#include "mc/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "mc/trace.h"
+
+namespace cds::mc {
+
+namespace {
+
+bool parse_u64_tok(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_tok(const std::string& s, double* out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string flatten(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+std::vector<std::string> significant_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::size_t start = raw.find_first_not_of(" \t");
+    if (start == std::string::npos || raw[start] == '#') continue;
+    lines.push_back(raw);
+  }
+  return lines;
+}
+
+bool fail(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+bool take_keyword(const std::string& line, const char* key, std::string* rest) {
+  std::size_t klen = std::strlen(key);
+  if (line.compare(0, klen, key) != 0) return false;
+  if (line.size() == klen) {
+    rest->clear();
+    return true;
+  }
+  if (line[klen] != ' ') return false;
+  *rest = line.substr(klen + 1);
+  return true;
+}
+
+// Parses a "k1=v1 k2=v2 ..." payload against a fixed table of u64 slots,
+// requiring every key exactly once. Shared by the stats and flags lines.
+struct KeySlot {
+  const char* key;
+  std::uint64_t* slot;
+};
+
+bool parse_kv_line(const std::string& rest, const char* what,
+                   const std::vector<KeySlot>& slots, std::string* err) {
+  std::vector<bool> seen(slots.size(), false);
+  std::istringstream cs(rest);
+  std::string kv;
+  while (cs >> kv) {
+    std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return fail(err, std::string(what) + ": malformed entry '" + kv + "'");
+    }
+    std::string key = kv.substr(0, eq);
+    std::uint64_t val = 0;
+    if (!parse_u64_tok(kv.substr(eq + 1), &val)) {
+      return fail(err, std::string(what) + ": malformed value in '" + kv + "'");
+    }
+    bool matched = false;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (key == slots[s].key) {
+        *slots[s].slot = val;
+        seen[s] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return fail(err, std::string(what) + ": unknown key '" + key + "'");
+    }
+  }
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!seen[s]) {
+      return fail(err, std::string(what) + ": missing key '" +
+                           slots[s].key + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Checkpoint::Phase p) {
+  switch (p) {
+    case Checkpoint::Phase::kStart:
+      return "start";
+    case Checkpoint::Phase::kDfs:
+      return "dfs";
+    case Checkpoint::Phase::kSampling:
+      return "sampling";
+  }
+  return "?";
+}
+
+void Checkpoint::fingerprint_from(const Config& cfg) {
+  seed = cfg.seed;
+  stale_read_bound = cfg.stale_read_bound;
+  max_steps = cfg.max_steps;
+  strengthen_to_sc = cfg.strengthen_to_sc;
+  enable_sleep_sets = cfg.enable_sleep_sets;
+  if (!cfg.test_name.empty()) test_name = cfg.test_name;
+  test_index = cfg.test_index;
+}
+
+std::string Checkpoint::fingerprint_mismatch(const Config& cfg) const {
+  // A checkpoint's fingerprint fields mirror a TrailFile's, so the
+  // comparison logic is shared with it.
+  TrailFile fp;
+  fp.test_name = test_name;
+  fp.seed = seed;
+  fp.stale_read_bound = stale_read_bound;
+  fp.max_steps = max_steps;
+  fp.strengthen_to_sc = strengthen_to_sc;
+  fp.enable_sleep_sets = enable_sleep_sets;
+  return fp.fingerprint_mismatch(cfg);
+}
+
+std::uint64_t Checkpoint::extra_value(const std::string& key,
+                                      std::uint64_t fallback) const {
+  for (const auto& [k, v] : extra) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void Checkpoint::set_extra(const std::string& key, std::uint64_t value) {
+  for (auto& [k, v] : extra) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  extra.emplace_back(key, value);
+}
+
+std::string render_checkpoint(const Checkpoint& cp) {
+  std::ostringstream os;
+  os << "cdsspec-checkpoint v" << Checkpoint::kVersion << '\n';
+  os << "test " << cp.test_name << '\n';
+  os << "test_index " << cp.test_index << '\n';
+  os << "seed " << cp.seed << '\n';
+  os << "phase " << to_string(cp.phase) << '\n';
+  os << "rng " << cp.rng_state << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", cp.elapsed_seconds);
+  os << "elapsed " << buf << '\n';
+  os << "config stale=" << cp.stale_read_bound << " max_steps=" << cp.max_steps
+     << " strengthen_sc=" << (cp.strengthen_to_sc ? 1 : 0)
+     << " sleep_sets=" << (cp.enable_sleep_sets ? 1 : 0) << '\n';
+  const ExplorationStats& st = cp.stats;
+  os << "stats executions=" << st.executions << " feasible=" << st.feasible
+     << " pruned_bound=" << st.pruned_bound
+     << " pruned_livelock=" << st.pruned_livelock
+     << " pruned_redundant=" << st.pruned_redundant
+     << " builtin=" << st.builtin_violation_execs
+     << " fatal=" << st.engine_fatal_execs << " crash=" << st.crash_execs
+     << " violations=" << st.violations_total << " sampled=" << st.sampled
+     << " max_depth=" << st.max_trail_depth
+     << " last_progress=" << cp.last_progress_exec << '\n';
+  os << "flags cap=" << (st.hit_execution_cap ? 1 : 0)
+     << " time=" << (st.hit_time_budget ? 1 : 0)
+     << " mem=" << (st.hit_memory_budget ? 1 : 0)
+     << " watchdog=" << (st.watchdog_fired ? 1 : 0)
+     << " exhausted=" << (st.exhausted ? 1 : 0)
+     << " stopped=" << (st.stopped_early ? 1 : 0) << '\n';
+  os << "violations " << cp.violations.size() << '\n';
+  for (const Violation& v : cp.violations) {
+    os << "v " << wire_name(v.kind) << ' ' << v.execution_index << ' '
+       << v.test_index << ' ' << flatten(v.detail) << '\n';
+  }
+  os << "extra " << cp.extra.size() << '\n';
+  for (const auto& [k, v] : cp.extra) {
+    os << "x " << k << ' ' << v << '\n';
+  }
+  os << "trail " << cp.trail.size() << '\n';
+  os << render_choices(cp.trail);
+  os << "end\n";
+  return os.str();
+}
+
+bool parse_checkpoint(const std::string& text, Checkpoint* out,
+                      std::string* err) {
+  *out = Checkpoint{};
+  std::vector<std::string> lines = significant_lines(text);
+  std::size_t i = 0;
+  auto need = [&](const char* what) {
+    return fail(err, std::string("truncated checkpoint: missing ") + what);
+  };
+
+  if (lines.empty()) return fail(err, "empty checkpoint file");
+  std::string rest;
+  if (!take_keyword(lines[i], "cdsspec-checkpoint", &rest)) {
+    return fail(err, "not a checkpoint file (expected 'cdsspec-checkpoint v" +
+                         std::to_string(Checkpoint::kVersion) + "' header)");
+  }
+  std::uint64_t ver = 0;
+  if (rest.size() < 2 || rest[0] != 'v' ||
+      !parse_u64_tok(rest.substr(1), &ver)) {
+    return fail(err, "malformed checkpoint version '" + rest + "'");
+  }
+  if (ver != Checkpoint::kVersion) {
+    return fail(err, "unsupported checkpoint version v" + std::to_string(ver) +
+                         " (this build reads v" +
+                         std::to_string(Checkpoint::kVersion) +
+                         "; delete the file to start fresh)");
+  }
+  ++i;
+
+  if (i >= lines.size() || !take_keyword(lines[i], "test", &out->test_name)) {
+    return need("'test <name>'");
+  }
+  ++i;
+  if (i >= lines.size() || !take_keyword(lines[i], "test_index", &rest) ||
+      !parse_u64_tok(rest, &out->test_index)) {
+    return need("'test_index <n>'");
+  }
+  ++i;
+  if (i >= lines.size() || !take_keyword(lines[i], "seed", &rest) ||
+      !parse_u64_tok(rest, &out->seed)) {
+    return need("'seed <n>'");
+  }
+  ++i;
+  if (i >= lines.size() || !take_keyword(lines[i], "phase", &rest)) {
+    return need("'phase start|dfs|sampling'");
+  }
+  if (rest == "start") {
+    out->phase = Checkpoint::Phase::kStart;
+  } else if (rest == "dfs") {
+    out->phase = Checkpoint::Phase::kDfs;
+  } else if (rest == "sampling") {
+    out->phase = Checkpoint::Phase::kSampling;
+  } else {
+    return fail(err, "unknown phase '" + rest + "'");
+  }
+  ++i;
+  if (i >= lines.size() || !take_keyword(lines[i], "rng", &rest) ||
+      !parse_u64_tok(rest, &out->rng_state)) {
+    return need("'rng <state>'");
+  }
+  ++i;
+  if (i >= lines.size() || !take_keyword(lines[i], "elapsed", &rest) ||
+      !parse_double_tok(rest, &out->elapsed_seconds)) {
+    return need("'elapsed <seconds>'");
+  }
+  ++i;
+
+  if (i >= lines.size() || !take_keyword(lines[i], "config", &rest)) {
+    return need("'config ...'");
+  }
+  {
+    std::uint64_t stale = 0, steps = 0, sc = 0, sleeps = 0;
+    if (!parse_kv_line(rest, "config",
+                       {{"stale", &stale},
+                        {"max_steps", &steps},
+                        {"strengthen_sc", &sc},
+                        {"sleep_sets", &sleeps}},
+                       err)) {
+      return false;
+    }
+    out->stale_read_bound = static_cast<std::uint32_t>(stale);
+    out->max_steps = steps;
+    out->strengthen_to_sc = sc != 0;
+    out->enable_sleep_sets = sleeps != 0;
+  }
+  ++i;
+
+  if (i >= lines.size() || !take_keyword(lines[i], "stats", &rest)) {
+    return need("'stats ...'");
+  }
+  ExplorationStats& st = out->stats;
+  if (!parse_kv_line(rest, "stats",
+                     {{"executions", &st.executions},
+                      {"feasible", &st.feasible},
+                      {"pruned_bound", &st.pruned_bound},
+                      {"pruned_livelock", &st.pruned_livelock},
+                      {"pruned_redundant", &st.pruned_redundant},
+                      {"builtin", &st.builtin_violation_execs},
+                      {"fatal", &st.engine_fatal_execs},
+                      {"crash", &st.crash_execs},
+                      {"violations", &st.violations_total},
+                      {"sampled", &st.sampled},
+                      {"max_depth", &st.max_trail_depth},
+                      {"last_progress", &out->last_progress_exec}},
+                     err)) {
+    return false;
+  }
+  st.seed = out->seed;
+  ++i;
+
+  if (i >= lines.size() || !take_keyword(lines[i], "flags", &rest)) {
+    return need("'flags ...'");
+  }
+  {
+    std::uint64_t cap = 0, time = 0, mem = 0, wd = 0, exh = 0, stop = 0;
+    if (!parse_kv_line(rest, "flags",
+                       {{"cap", &cap},
+                        {"time", &time},
+                        {"mem", &mem},
+                        {"watchdog", &wd},
+                        {"exhausted", &exh},
+                        {"stopped", &stop}},
+                       err)) {
+      return false;
+    }
+    st.hit_execution_cap = cap != 0;
+    st.hit_time_budget = time != 0;
+    st.hit_memory_budget = mem != 0;
+    st.watchdog_fired = wd != 0;
+    st.exhausted = exh != 0;
+    st.stopped_early = stop != 0;
+  }
+  ++i;
+
+  std::uint64_t n = 0;
+  if (i >= lines.size() || !take_keyword(lines[i], "violations", &rest) ||
+      !parse_u64_tok(rest, &n)) {
+    return need("'violations <count>'");
+  }
+  ++i;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    if (i >= lines.size() || !take_keyword(lines[i], "v", &rest)) {
+      return fail(err, "truncated checkpoint: expected " + std::to_string(n) +
+                           " violation lines but found only " +
+                           std::to_string(k));
+    }
+    // "v <kind> <exec_index> <test_index> <detail...>"
+    std::istringstream vs(rest);
+    std::string kind_tok, exec_tok, tidx_tok;
+    if (!(vs >> kind_tok >> exec_tok >> tidx_tok)) {
+      return fail(err, "malformed violation line 'v " + rest + "'");
+    }
+    Violation v;
+    std::uint64_t tidx = 0;
+    if (!parse_violation_kind(kind_tok, &v.kind) ||
+        !parse_u64_tok(exec_tok, &v.execution_index) ||
+        !parse_u64_tok(tidx_tok, &tidx)) {
+      return fail(err, "malformed violation line 'v " + rest + "'");
+    }
+    v.test_index = static_cast<std::uint32_t>(tidx);
+    std::getline(vs, v.detail);
+    if (!v.detail.empty() && v.detail[0] == ' ') v.detail.erase(0, 1);
+    out->violations.push_back(std::move(v));
+    ++i;
+  }
+
+  if (i >= lines.size() || !take_keyword(lines[i], "extra", &rest) ||
+      !parse_u64_tok(rest, &n)) {
+    return need("'extra <count>'");
+  }
+  ++i;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    if (i >= lines.size() || !take_keyword(lines[i], "x", &rest)) {
+      return fail(err, "truncated checkpoint: expected " + std::to_string(n) +
+                           " extra lines but found only " + std::to_string(k));
+    }
+    std::size_t sp = rest.find(' ');
+    std::uint64_t val = 0;
+    if (sp == std::string::npos || sp == 0 ||
+        !parse_u64_tok(rest.substr(sp + 1), &val)) {
+      return fail(err, "malformed extra line 'x " + rest + "'");
+    }
+    out->extra.emplace_back(rest.substr(0, sp), val);
+    ++i;
+  }
+
+  if (i >= lines.size() || !take_keyword(lines[i], "trail", &rest) ||
+      !parse_u64_tok(rest, &n)) {
+    return need("'trail <count>'");
+  }
+  ++i;
+  if (!parse_choices(lines, &i, static_cast<std::size_t>(n), &out->trail,
+                     err)) {
+    if (err != nullptr) *err = "checkpoint trail: " + *err;
+    return false;
+  }
+
+  if (i >= lines.size() || lines[i] != "end") {
+    return fail(err,
+                "truncated checkpoint: missing 'end' terminator (file was cut "
+                "off mid-write?)");
+  }
+  if (i + 1 != lines.size()) {
+    return fail(err, "trailing garbage after 'end'");
+  }
+  return true;
+}
+
+bool write_checkpoint_file(const std::string& path, const Checkpoint& cp,
+                           std::string* err) {
+  return write_text_file_atomic(path, render_checkpoint(cp), err);
+}
+
+bool load_checkpoint_file(const std::string& path, Checkpoint* out,
+                          std::string* err) {
+  std::string text;
+  if (!read_text_file(path, &text, err)) return false;
+  if (!parse_checkpoint(text, out, err)) {
+    if (err != nullptr) *err = path + ": " + *err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cds::mc

@@ -1,0 +1,117 @@
+// Checkpoint/resume for the exploration engine.
+//
+// Because the explorer is stateless, the entire DFS frontier is the current
+// trail: each recorded Choice carries its alternative count, so "where the
+// enumeration is" and "what remains" are both implied by one choice
+// sequence. A checkpoint is therefore small — the trail, the exploration
+// counters, the sampling RNG state, and the elapsed budget — and a resumed
+// run converges to the exact stats and verdict of an uninterrupted one.
+//
+// Files are written atomically (write-to-temp + rename, see mc/trace.h), so
+// a SIGKILL or power loss mid-write leaves either the previous complete
+// checkpoint or a stray .tmp, never a torn file; the parser still rejects
+// truncated/corrupted input cleanly so a damaged file degrades to a fresh
+// start instead of a crash.
+//
+// Format (line-oriented, '#' comments, order fixed):
+//   cdsspec-checkpoint v1
+//   test msqueue#1
+//   test_index 1
+//   seed 11400714819323198485
+//   phase dfs                       # start | dfs | sampling
+//   rng 88172645463325252
+//   elapsed 1.250000
+//   config stale=3 max_steps=20000 strengthen_sc=0 sleep_sets=1
+//   stats executions=1000 feasible=940 ... last_progress=1000
+//   flags cap=0 time=0 mem=0 watchdog=0 exhausted=0 stopped=0
+//   violations 1
+//   v data-race 17 0 read of 'head' races with write by T2
+//   extra 2
+//   x spec.cur.histories_checked 4200
+//   x prior.executions 312
+//   trail 3
+//   S 1/2
+//   R 0/3
+//   S 0/2
+//   end
+#ifndef CDS_MC_CHECKPOINT_H
+#define CDS_MC_CHECKPOINT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/config.h"
+#include "mc/stats.h"
+#include "mc/trail.h"
+#include "mc/violation.h"
+
+namespace cds::mc {
+
+struct Checkpoint {
+  static constexpr int kVersion = 1;
+
+  // Where the interrupted run was:
+  //   kStart    — about to begin this test from scratch (the harness writes
+  //               these between a benchmark's unit tests);
+  //   kDfs      — mid-DFS; `trail` is the frontier, resume advances past it;
+  //   kSampling — DFS is over (budget/watchdog), mid random-walk phase.
+  enum class Phase : std::uint8_t { kStart, kDfs, kSampling };
+
+  std::string test_name;  // fingerprint, e.g. "msqueue#1"
+  std::uint64_t test_index = 0;
+  std::uint64_t seed = 0;
+  Phase phase = Phase::kStart;
+  std::uint64_t rng_state = 0;    // sampling RNG mid-stream state
+  double elapsed_seconds = 0.0;   // wall time already spent (budget offset)
+
+  // Config fingerprint (same fields as TrailFile): resume rejects a
+  // checkpoint recorded under different exploration parameters.
+  std::uint32_t stale_read_bound = 3;
+  std::uint64_t max_steps = 20000;
+  bool strengthen_to_sc = false;
+  bool enable_sleep_sets = true;
+
+  // Counters and flags of the current (partial) test. `seconds` and
+  // `verdict` are recomputed on resume; the integer fields and budget
+  // flags carry over exactly.
+  ExplorationStats stats;
+  std::uint64_t last_progress_exec = 0;  // watchdog bookkeeping
+
+  // Recorded violation diagnostics (details flattened to one line; their
+  // trails are not persisted — the counts in `stats` are what the verdict
+  // and detection classification rest on).
+  std::vector<Violation> violations;
+
+  // Opaque counters from layers above the engine (the spec checker's
+  // stats, the harness's accumulated prior-test totals). Keys contain no
+  // whitespace; the engine round-trips them without interpretation.
+  std::vector<std::pair<std::string, std::uint64_t>> extra;
+
+  // The DFS frontier (kDfs only; empty otherwise).
+  std::vector<Choice> trail;
+
+  void fingerprint_from(const Config& cfg);
+  // "" when `cfg` matches; otherwise a description of the first mismatch.
+  [[nodiscard]] std::string fingerprint_mismatch(const Config& cfg) const;
+
+  [[nodiscard]] std::uint64_t extra_value(const std::string& key,
+                                          std::uint64_t fallback = 0) const;
+  void set_extra(const std::string& key, std::uint64_t value);
+};
+
+[[nodiscard]] const char* to_string(Checkpoint::Phase p);
+
+[[nodiscard]] std::string render_checkpoint(const Checkpoint& cp);
+bool parse_checkpoint(const std::string& text, Checkpoint* out,
+                      std::string* err);
+
+// Atomic write (temp + rename) / load with clean rejection of torn files.
+bool write_checkpoint_file(const std::string& path, const Checkpoint& cp,
+                           std::string* err);
+bool load_checkpoint_file(const std::string& path, Checkpoint* out,
+                          std::string* err);
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_CHECKPOINT_H

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace cds::mc {
 
@@ -99,6 +100,33 @@ struct Config {
   // randomizes). Echoed in ExplorationStats so degraded runs are
   // reproducible.
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  // ---- persistence & containment ----------------------------------------
+
+  // When non-empty, the engine periodically writes its DFS frontier (plus
+  // counters and RNG state) to this file via write-to-temp+rename, so a
+  // killed exploration resumes from the last checkpoint instead of
+  // restarting (see mc/checkpoint.h and Engine::set_resume).
+  std::string checkpoint_path;
+
+  // Checkpoint cadence: write every this many executions, in both the DFS
+  // and sampling phases (a checkpoint is also forced whenever a budget
+  // exhausts or the watchdog fires).
+  std::uint64_t checkpoint_every_execs = 1000;
+
+  // Identity fingerprint stamped into checkpoints and .trail repros, e.g.
+  // "msqueue#2" (benchmark name '#' unit-test index). Resume and replay
+  // reject files whose fingerprint does not match the current run.
+  std::string test_name;
+  std::uint32_t test_index = 0;
+
+  // Signal-to-verdict containment: catch SIGSEGV/SIGBUS/SIGFPE/SIGABRT
+  // raised while a modeled-thread fiber runs (i.e. inside the test body),
+  // convert the crash into a Violation{kCrash} carrying the current trail,
+  // and end the exploration with Verdict::kFalsified instead of letting
+  // the signal kill the checker process. Disable only to debug the
+  // containment layer itself with a native debugger.
+  bool contain_crashes = true;
 
   // ---- self-validation hooks (src/fuzz, tools/cdsspec-fuzz) -------------
 

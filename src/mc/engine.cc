@@ -1,5 +1,8 @@
 #include "mc/engine.h"
 
+#include <csetjmp>
+#include <csignal>
+
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +17,53 @@ Engine* g_engine = nullptr;
 [[noreturn]] void fatal(const char* msg) {
   std::fprintf(stderr, "cds::mc fatal: %s\n", msg);
   std::abort();
+}
+
+// --- signal-to-verdict containment ----------------------------------------
+// A fatal signal raised while a modeled-thread fiber runs (the only place
+// user test code executes) lands here, records what happened, and longjmps
+// back onto the scheduler's native stack frame in run_one, abandoning the
+// fiber mid-flight. The jump buffer is armed only across the
+// switch-into-fiber window; a fault anywhere else (the checker itself) is
+// re-raised with the default disposition — containment must never mask a
+// bug in the engine.
+//
+// The handler runs on a dedicated sigaltstack so that a fiber-stack
+// overflow (whose own stack is unusable, by definition) can still be
+// caught. sigsetjmp(.., 1) saves the signal mask, so the siglongjmp also
+// unblocks the signal being handled.
+sigjmp_buf g_crash_jmp;
+volatile sig_atomic_t g_crash_armed = 0;
+volatile sig_atomic_t g_crash_sig = 0;
+void* volatile g_crash_addr = nullptr;
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGABRT};
+constexpr int kNumCrashSignals =
+    static_cast<int>(sizeof(kCrashSignals) / sizeof(kCrashSignals[0]));
+struct sigaction g_old_actions[kNumCrashSignals];
+stack_t g_old_altstack;
+alignas(16) char g_altstack[64 * 1024];
+
+void crash_signal_handler(int sig, siginfo_t* info, void*) {
+  if (g_crash_armed == 0) {
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  g_crash_armed = 0;
+  g_crash_sig = sig;
+  g_crash_addr = info != nullptr ? info->si_addr : nullptr;
+  siglongjmp(g_crash_jmp, 1);
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+  }
+  return "fatal signal";
 }
 }  // namespace
 
@@ -65,7 +115,16 @@ void Engine::report_violation(ViolationKind k, std::string detail) {
                  k == ViolationKind::kDeadlock;
   if (builtin) had_builtin_ = true;
   if (violations_.size() < cfg_.max_recorded_violations) {
-    violations_.push_back(Violation{k, std::move(detail), exec_index_});
+    Violation v;
+    v.kind = k;
+    v.detail = std::move(detail);
+    v.execution_index = exec_index_;
+    // Every recorded violation carries the choice sequence that produced
+    // it: a replayable one-execution repro (exported as a .trail file by
+    // the CLI). Violations restored from a checkpoint have no trail.
+    v.trail = trail_.consumed();
+    v.test_index = cfg_.test_index;
+    violations_.push_back(std::move(v));
   }
 }
 
@@ -127,8 +186,11 @@ std::string Engine::format_trace() const {
 // ---------------------------------------------------------------------------
 
 double Engine::seconds_since_start() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
-      .count();
+  // Includes the elapsed time restored from a checkpoint, so wall-clock
+  // budgets keep counting across a kill+resume instead of resetting.
+  return resume_elapsed_ +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+             .count();
 }
 
 std::size_t Engine::memory_usage_estimate() const {
@@ -172,6 +234,9 @@ bool Engine::tally_execution(ExplorationStats& stats) {
     case Outcome::kEngineFatal:
       ++stats.engine_fatal_execs;
       break;
+    case Outcome::kCrash:
+      ++stats.crash_execs;
+      break;
     case Outcome::kPrunedBound:
       ++stats.pruned_bound;
       break;
@@ -187,6 +252,92 @@ bool Engine::tally_execution(ExplorationStats& stats) {
   return keep_going;
 }
 
+void Engine::install_crash_handlers() {
+  if (!cfg_.contain_crashes || crash_handlers_active_) return;
+  stack_t ss{};
+  ss.ss_sp = g_altstack;
+  ss.ss_size = sizeof g_altstack;
+  ss.ss_flags = 0;
+  ::sigaltstack(&ss, &g_old_altstack);
+  struct sigaction sa{};
+  sa.sa_sigaction = &crash_signal_handler;
+  sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  sigemptyset(&sa.sa_mask);
+  for (int i = 0; i < kNumCrashSignals; ++i) {
+    ::sigaction(kCrashSignals[i], &sa, &g_old_actions[i]);
+  }
+  g_crash_armed = 0;
+  crash_handlers_active_ = true;
+}
+
+void Engine::restore_crash_handlers() {
+  if (!crash_handlers_active_) return;
+  for (int i = 0; i < kNumCrashSignals; ++i) {
+    ::sigaction(kCrashSignals[i], &g_old_actions[i], nullptr);
+  }
+  if (g_old_altstack.ss_sp != nullptr && (g_old_altstack.ss_flags & SS_DISABLE) == 0) {
+    ::sigaltstack(&g_old_altstack, nullptr);
+  } else {
+    stack_t off{};
+    off.ss_flags = SS_DISABLE;
+    ::sigaltstack(&off, nullptr);
+  }
+  g_crash_armed = 0;
+  crash_handlers_active_ = false;
+}
+
+void Engine::contain_crash(int sig, const void* addr) {
+  std::ostringstream d;
+  d << "test body crashed with " << signal_name(sig) << " on modeled thread T"
+    << current_;
+  if (addr != nullptr && (sig == SIGSEGV || sig == SIGBUS)) {
+    d << " (fault address " << addr << ")";
+    for (int i = 0; i < spawned_; ++i) {
+      if (threads_[static_cast<std::size_t>(i)].fib->guard_contains(addr)) {
+        d << ": stack overflow of T" << i << "'s "
+          << fiber::Fiber::kStackSize / 1024 << " KiB fiber stack";
+        break;
+      }
+    }
+  }
+  report_violation(ViolationKind::kCrash, d.str());
+  outcome_ = Outcome::kCrash;
+}
+
+void Engine::write_checkpoint(Checkpoint::Phase phase,
+                              const ExplorationStats& stats,
+                              std::uint64_t last_progress_exec) {
+  if (cfg_.checkpoint_path.empty()) return;
+  Checkpoint cp = cp_base_;
+  cp.fingerprint_from(cfg_);
+  if (cp.test_name.empty()) cp.test_name = "test";
+  cp.phase = phase;
+  cp.rng_state = rng_.state();
+  cp.elapsed_seconds = seconds_since_start();
+  cp.stats = stats;
+  cp.stats.violations_total = violations_total_;
+  cp.stats.hit_time_budget = hit_time_budget_;
+  cp.stats.hit_memory_budget = hit_memory_budget_;
+  cp.last_progress_exec = last_progress_exec;
+  // cp_base_.violations holds the harness's prior-test records; append
+  // this test's own on top. Trails are per-violation repro artifacts, not
+  // resume state; dropping them keeps checkpoints small and their absence
+  // after a resume is documented behavior.
+  cp.violations = cp_base_.violations;
+  for (const Violation& v : violations_) {
+    Violation copy = v;
+    copy.trail.clear();
+    cp.violations.push_back(std::move(copy));
+  }
+  if (listener_ != nullptr) listener_->on_checkpoint(cp.extra);
+  cp.trail = phase == Checkpoint::Phase::kDfs ? trail_.raw()
+                                              : std::vector<Choice>{};
+  std::string err;
+  if (!write_checkpoint_file(cfg_.checkpoint_path, cp, &err)) {
+    std::fprintf(stderr, "cds::mc: checkpoint write failed: %s\n", err.c_str());
+  }
+}
+
 ExplorationStats Engine::explore(const TestFn& test) {
   if (g_engine != nullptr) fatal("nested Engine::explore on one OS thread");
   g_engine = this;
@@ -199,6 +350,45 @@ ExplorationStats Engine::explore(const TestFn& test) {
   t0_ = std::chrono::steady_clock::now();
   hit_time_budget_ = false;
   hit_memory_budget_ = false;
+  resume_elapsed_ = 0.0;
+  install_crash_handlers();
+
+  std::uint64_t last_progress_exec = 0;
+  bool stopped = false;
+  bool skip_dfs = false;
+  bool resume_sampling = false;
+
+  // Resume: restore the interrupted exploration's counters, violation
+  // records, RNG stream, elapsed budget, and DFS frontier. Checkpoints are
+  // written after an execution is tallied and before the trail advances,
+  // so restoring the trail and advancing past it continues exactly where
+  // the killed run would have gone next; a resumed run therefore converges
+  // to the same stats and verdict as an uninterrupted one.
+  if (resume_.has_value() && resume_->phase != Checkpoint::Phase::kStart) {
+    const Checkpoint& rc = *resume_;
+    stats = rc.stats;
+    stats.seed = cfg_.seed;
+    stats.verdict = Verdict::kInconclusive;
+    stats.seconds = 0.0;
+    violations_ = rc.violations;
+    violations_total_ = rc.stats.violations_total;
+    last_progress_exec = rc.last_progress_exec;
+    rng_.set_state(rc.rng_state);
+    resume_elapsed_ = rc.elapsed_seconds;
+    hit_time_budget_ = rc.stats.hit_time_budget;
+    hit_memory_budget_ = rc.stats.hit_memory_budget;
+    if (rc.phase == Checkpoint::Phase::kDfs) {
+      trail_.restore(rc.trail);
+      if (!trail_.advance()) {
+        stats.exhausted = true;
+        skip_dfs = true;
+      }
+    } else {
+      skip_dfs = true;
+      resume_sampling = true;
+    }
+  }
+  resume_.reset();
 
   // When degradation is possible, the DFS phase gets only a fraction of
   // the wall budget so the sampling phase has time left to run.
@@ -217,9 +407,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
   // Phase 1: exhaustive DFS (skipped entirely under sampling_only, which
   // the fuzzer's DFS-vs-sampling oracle uses to drive the random-walk
   // phase on its own).
-  std::uint64_t last_progress_exec = 0;
-  bool stopped = false;
-  for (; !cfg_.sampling_only;) {
+  for (; !cfg_.sampling_only && !skip_dfs;) {
     exec_index_ = stats.executions;
     std::uint64_t violations_before = violations_total_;
     run_one(test);
@@ -227,7 +415,22 @@ ExplorationStats Engine::explore(const TestFn& test) {
     if (outcome_ == Outcome::kComplete || outcome_ == Outcome::kBuiltinViolation) {
       last_progress_exec = stats.executions;
     }
+    // Periodic checkpoint: after the tally, before any stop decision or
+    // trail advance, so a resume re-enters the loop at the next
+    // unexplored execution.
+    if (cfg_.checkpoint_every_execs != 0 &&
+        stats.executions % cfg_.checkpoint_every_execs == 0) {
+      write_checkpoint(Checkpoint::Phase::kDfs, stats, last_progress_exec);
+    }
 
+    if (outcome_ == Outcome::kCrash) {
+      // The crash is already a recorded kCrash violation carrying its
+      // trail; the in-process engine always stops here (the harness's
+      // fork-isolated sweep mode provides keep-going crash semantics).
+      stats.stopped_early = true;
+      stopped = true;
+      break;
+    }
     if (cfg_.stop_on_first_violation && violations_total_ > violations_before) {
       stats.stopped_early = true;
       stopped = true;
@@ -262,7 +465,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
   // covered — switch to seeded random-walk sampling instead of stopping
   // cold, so the remaining time still hunts for counterexamples.
   bool degraded = can_degrade &&
-                  (cfg_.sampling_only ||
+                  (cfg_.sampling_only || resume_sampling ||
                    (!stopped && !stats.exhausted && !stats.hit_execution_cap &&
                     (hit_time_budget_ || hit_memory_budget_ ||
                      stats.watchdog_fired)));
@@ -270,6 +473,12 @@ ExplorationStats Engine::explore(const TestFn& test) {
     if (hit_memory_budget_) arena_.release();  // restart from a small footprint
     active_deadline_ = cfg_.time_budget_seconds;  // sampling gets the remainder
     trail_.set_mode(Trail::Mode::kRandom, &rng_);
+    // A budget exhaustion is itself a checkpoint-worthy event: the DFS
+    // frontier is gone for good, so a kill during sampling must resume
+    // into the sampling phase, not redo the DFS.
+    if (!resume_sampling) {
+      write_checkpoint(Checkpoint::Phase::kSampling, stats, last_progress_exec);
+    }
     while (stats.sampled < cfg_.sample_executions) {
       if (active_deadline_ > 0.0 && seconds_since_start() >= active_deadline_) break;
       exec_index_ = stats.executions;
@@ -277,6 +486,15 @@ ExplorationStats Engine::explore(const TestFn& test) {
       run_one(test);
       ++stats.sampled;
       bool keep_going = tally_execution(stats);
+      if (cfg_.checkpoint_every_execs != 0 &&
+          stats.executions % cfg_.checkpoint_every_execs == 0) {
+        write_checkpoint(Checkpoint::Phase::kSampling, stats,
+                         last_progress_exec);
+      }
+      if (outcome_ == Outcome::kCrash) {
+        stats.stopped_early = true;
+        break;
+      }
       if (cfg_.stop_on_first_violation && violations_total_ > violations_before) {
         stats.stopped_early = true;
         break;
@@ -305,16 +523,45 @@ ExplorationStats Engine::explore(const TestFn& test) {
   }
   stats.seconds = seconds_since_start();
   active_deadline_ = 0.0;
+  restore_crash_handlers();
   g_engine = nullptr;
   return stats;
 }
 
-void Engine::replay(const std::vector<Choice>& saved, const TestFn& test) {
+bool Engine::replay(const std::vector<Choice>& saved, const TestFn& test,
+                    bool strict, std::string* divergence) {
   if (g_engine != nullptr) fatal("replay during an active exploration");
   g_engine = this;
-  trail_.restore(saved);
+  violations_.clear();
+  violations_total_ = 0;
+  exec_index_ = 0;
+  install_crash_handlers();
+  trail_.restore(saved, strict);
   run_one(test);
+  // Re-run the attached layer's completion check (the spec checker re-files
+  // its violation through report_violation), so a replayed spec-level
+  // finding reproduces just like a built-in one.
+  if (listener_ != nullptr && outcome_ == Outcome::kComplete) {
+    (void)listener_->on_execution_complete(*this);
+  }
+  bool ok = true;
+  if (strict) {
+    if (trail_.replay_diverged()) {
+      ok = false;
+      if (divergence != nullptr) *divergence = trail_.divergence();
+    } else if (!trail_.fully_consumed()) {
+      ok = false;
+      if (divergence != nullptr) {
+        *divergence = "execution finished without consuming the whole trail (" +
+                      std::to_string(saved.size()) +
+                      " recorded choices); the trail was recorded against a "
+                      "different test or build";
+      }
+    }
+  }
+  restore_crash_handlers();
   g_engine = nullptr;
+  return ok;
 }
 
 void Engine::reset_execution_state() {
@@ -474,7 +721,23 @@ void Engine::run_one(const TestFn& test) {
       });
     }
     current_ = pick;
-    threads_[static_cast<std::size_t>(pick)].fib->switch_to(sched_fiber_);
+    fiber::Fiber& fib = *threads_[static_cast<std::size_t>(pick)].fib;
+    if (crash_handlers_active_) {
+      // Containment window: only test-body code runs between this switch
+      // and the fiber's switch back. A fatal signal inside it siglongjmps
+      // here (onto the scheduler's native stack, abandoning the fiber) and
+      // becomes a kCrash violation instead of killing the process.
+      if (sigsetjmp(g_crash_jmp, 1) == 0) {
+        g_crash_armed = 1;
+        fib.switch_to(sched_fiber_);
+        g_crash_armed = 0;
+      } else {
+        contain_crash(static_cast<int>(g_crash_sig), g_crash_addr);
+        break;
+      }
+    } else {
+      fib.switch_to(sched_fiber_);
+    }
 
     if (abandoned_) {
       outcome_ = fatal_abandon_ ? Outcome::kEngineFatal : Outcome::kBuiltinViolation;

@@ -17,17 +17,22 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fiber/fiber.h"
+#include "mc/checkpoint.h"
 #include "mc/config.h"
 #include "mc/location.h"
 #include "mc/memory_order.h"
+#include "mc/stats.h"
 #include "mc/thread_state.h"
 #include "mc/trail.h"
 #include "mc/violation.h"
 #include "support/arena.h"
+#include "support/rng.h"
 #include "support/vector_clock.h"
 
 namespace cds::mc {
@@ -43,30 +48,12 @@ class ExecutionListener {
   // Called for every feasible execution that completed without a built-in
   // violation. Return false to stop exploring.
   virtual bool on_execution_complete(Engine&) { return true; }
-};
-
-struct ExplorationStats {
-  std::uint64_t executions = 0;        // total explored (DFS + sampled)
-  std::uint64_t feasible = 0;          // completed (checkable) executions
-  std::uint64_t pruned_bound = 0;      // hit the step bound or a budget
-  std::uint64_t pruned_livelock = 0;   // only yielded spinners remained
-  std::uint64_t pruned_redundant = 0;  // sleep-set: prefix covered elsewhere
-  std::uint64_t builtin_violation_execs = 0;
-  std::uint64_t engine_fatal_execs = 0;  // discarded: internal checker error
-  std::uint64_t violations_total = 0;  // built-in + spec-layer reports
-  bool hit_execution_cap = false;
-  bool stopped_early = false;
-  double seconds = 0.0;
-
-  // --- budgets, degradation, and the verdict ---------------------------
-  std::uint64_t sampled = 0;        // executions from the random-walk phase
-  std::uint64_t max_trail_depth = 0;  // deepest choice sequence (coverage)
-  std::uint64_t seed = 0;           // RNG seed (reproduces sampled runs)
-  bool hit_time_budget = false;
-  bool hit_memory_budget = false;
-  bool watchdog_fired = false;      // no-progress DFS detected
-  bool exhausted = false;           // DFS enumerated the whole bounded tree
-  Verdict verdict = Verdict::kInconclusive;
+  // Called while the engine assembles a checkpoint: append (or overwrite)
+  // any counters this layer needs to survive a kill+resume. The engine
+  // round-trips them opaquely; restore them from the Checkpoint's `extra`
+  // on resume.
+  virtual void on_checkpoint(
+      std::vector<std::pair<std::string, std::uint64_t>>&) {}
 };
 
 struct TraceEvent {
@@ -116,6 +103,17 @@ class Engine {
 
   void set_listener(ExecutionListener* l) { listener_ = l; }
 
+  // Resume a previous exploration from a loaded checkpoint (see
+  // mc/checkpoint.h). Must be called before explore(); the caller is
+  // responsible for checking Checkpoint::fingerprint_mismatch first. A
+  // Phase::kStart checkpoint is treated as a fresh exploration.
+  void set_resume(Checkpoint cp) { resume_ = std::move(cp); }
+
+  // Template for checkpoints this engine writes: its `extra` entries (e.g.
+  // the harness's accumulated prior-test totals) are carried into every
+  // checkpoint file, ahead of whatever the listener's on_checkpoint adds.
+  void set_checkpoint_base(Checkpoint cp) { cp_base_ = std::move(cp); }
+
   // --- introspection (valid while an execution is live or being checked) --
   [[nodiscard]] int current_thread() const { return current_; }
   [[nodiscard]] int thread_count() const { return spawned_; }
@@ -154,7 +152,15 @@ class Engine {
   // replay() to re-run exactly this execution (e.g. to re-examine a
   // violation with richer tracing).
   [[nodiscard]] std::vector<Choice> current_trail() const { return trail_.raw(); }
-  void replay(const std::vector<Choice>& saved, const TestFn& test);
+  // Re-runs exactly one execution from a saved choice sequence. With
+  // `strict` set (the --replay-trail path), the debug-build determinism
+  // assertion is promoted to a runtime check: any divergence between the
+  // trail and the execution it drives — a mismatched choice kind or
+  // alternative count, running past the end of the trail, or finishing
+  // without consuming it — is reported through `divergence` and the call
+  // returns false instead of asserting.
+  bool replay(const std::vector<Choice>& saved, const TestFn& test,
+              bool strict = false, std::string* divergence = nullptr);
 
   // --- modeled-code API (called from inside test fibers) ---------------
   // Engine driving the calling fiber; null outside explore().
@@ -259,6 +265,7 @@ class Engine {
   enum class Outcome : std::uint8_t {
     kRunning, kComplete, kPrunedBound, kPrunedLivelock, kPrunedRedundant,
     kBuiltinViolation, kEngineFatal,
+    kCrash,  // test body took a fatal signal; contained, never checkable
   };
 
   // Fiber fall-through recovery (installed as fiber::Fiber's handler).
@@ -273,6 +280,21 @@ class Engine {
   // Shared tally of one finished execution; updates stats and returns the
   // listener's keep-going decision.
   bool tally_execution(ExplorationStats& stats);
+
+  // Signal-to-verdict containment (see Config::contain_crashes): handlers
+  // live for the duration of explore()/replay(); run_one arms a sigsetjmp
+  // window around each switch into a test fiber.
+  void install_crash_handlers();
+  void restore_crash_handlers();
+  // Builds the kCrash violation for a fault caught in the armed window and
+  // marks the execution's outcome. `sig`/`addr` come from the handler.
+  void contain_crash(int sig, const void* addr);
+
+  // Assembles and atomically writes a checkpoint (no-op when
+  // cfg_.checkpoint_path is empty); failures warn on stderr and the
+  // exploration continues.
+  void write_checkpoint(Checkpoint::Phase phase, const ExplorationStats& stats,
+                        std::uint64_t last_progress_exec);
 
   Config cfg_;
   ExecutionListener* listener_ = nullptr;
@@ -307,6 +329,14 @@ class Engine {
   double active_deadline_ = 0.0;  // seconds since t0_; 0 = no deadline
   bool hit_time_budget_ = false;
   bool hit_memory_budget_ = false;
+
+  // Checkpoint/resume state.
+  std::optional<Checkpoint> resume_;
+  Checkpoint cp_base_;
+  double resume_elapsed_ = 0.0;  // folded into seconds_since_start()
+
+  // Crash containment state (valid while handlers are installed).
+  bool crash_handlers_active_ = false;
 };
 
 // Facade handed to test bodies.

@@ -1,0 +1,40 @@
+// Exploration statistics, shared by the engine, the checkpoint layer, and
+// the harness (lives outside engine.h so mc/checkpoint.h can persist it
+// without pulling in the whole engine).
+#ifndef CDS_MC_STATS_H
+#define CDS_MC_STATS_H
+
+#include <cstdint>
+
+#include "mc/violation.h"
+
+namespace cds::mc {
+
+struct ExplorationStats {
+  std::uint64_t executions = 0;        // total explored (DFS + sampled)
+  std::uint64_t feasible = 0;          // completed (checkable) executions
+  std::uint64_t pruned_bound = 0;      // hit the step bound or a budget
+  std::uint64_t pruned_livelock = 0;   // only yielded spinners remained
+  std::uint64_t pruned_redundant = 0;  // sleep-set: prefix covered elsewhere
+  std::uint64_t builtin_violation_execs = 0;
+  std::uint64_t engine_fatal_execs = 0;  // discarded: internal checker error
+  std::uint64_t crash_execs = 0;  // test body crashed; contained (kCrash)
+  std::uint64_t violations_total = 0;  // built-in + spec-layer reports
+  bool hit_execution_cap = false;
+  bool stopped_early = false;
+  double seconds = 0.0;
+
+  // --- budgets, degradation, and the verdict ---------------------------
+  std::uint64_t sampled = 0;        // executions from the random-walk phase
+  std::uint64_t max_trail_depth = 0;  // deepest choice sequence (coverage)
+  std::uint64_t seed = 0;           // RNG seed (reproduces sampled runs)
+  bool hit_time_budget = false;
+  bool hit_memory_budget = false;
+  bool watchdog_fired = false;      // no-progress DFS detected
+  bool exhausted = false;           // DFS enumerated the whole bounded tree
+  Verdict verdict = Verdict::kInconclusive;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_STATS_H

@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/rng.h"
@@ -41,6 +42,8 @@ class Trail {
     v_.clear();
     pos_ = 0;
     mode_ = Mode::kDfs;
+    strict_ = false;
+    divergence_.clear();
   }
 
   void begin_execution() {
@@ -62,11 +65,27 @@ class Trail {
     if (num == 1) return 0;
     if (pos_ < v_.size()) {
       const Choice& c = v_[pos_];
+      if (strict_ && (c.kind != kind || c.num != num)) {
+        note_divergence("choice " + std::to_string(pos_) + ": trail recorded " +
+                        describe(c.kind, c.num) + " but the execution reached " +
+                        describe(kind, num));
+        ++pos_;
+        // Clamp so the replay can keep going and report at the end.
+        return c.chosen < num ? c.chosen : num - 1;
+      }
       assert(c.kind == kind && c.num == num &&
              "non-deterministic replay: test bodies must be pure functions "
              "of the trail");
       ++pos_;
       return c.chosen;
+    }
+    if (strict_) {
+      // A strictly replayed trail covers a whole execution (trails are
+      // captured at the execution's end or its crash/violation point), so
+      // running past its end means the replay diverged.
+      note_divergence("execution requests choice " + std::to_string(pos_) +
+                      " past the end of the trail (" +
+                      std::to_string(v_.size()) + " recorded choices)");
     }
     std::uint16_t pick =
         mode_ == Mode::kRandom
@@ -88,19 +107,52 @@ class Trail {
   [[nodiscard]] std::size_t depth() const { return v_.size(); }
   [[nodiscard]] const std::vector<Choice>& raw() const { return v_; }
 
+  // The prefix the current execution has actually consumed. Mid-execution
+  // this can be shorter than raw(): after advance(), the vector still
+  // holds the tail inherited from the previous execution, which the
+  // current one has not reached yet. Violation repros must capture only
+  // the consumed prefix, or their strict replay would spuriously diverge.
+  [[nodiscard]] std::vector<Choice> consumed() const {
+    return std::vector<Choice>(v_.begin(),
+                               v_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+
   // Restore a previously captured trail (used to replay a violating
-  // execution for diagnostics). Replay is a pure prefix walk, so DFS mode.
-  void restore(std::vector<Choice> saved) {
+  // execution for diagnostics, or to resume a checkpointed DFS). Replay is
+  // a pure prefix walk, so DFS mode. With `strict`, the debug-build
+  // determinism assertion is promoted to a runtime check: any mismatch
+  // between the recorded choices and the choice points the execution
+  // actually reaches is recorded (see replay_diverged()) instead of
+  // asserting, so release-build replays of stale or corrupted trails fail
+  // with a diagnostic rather than silently exploring a different execution.
+  void restore(std::vector<Choice> saved, bool strict = false) {
     v_ = std::move(saved);
     pos_ = 0;
     mode_ = Mode::kDfs;
+    strict_ = strict;
+    divergence_.clear();
   }
 
+  [[nodiscard]] bool replay_diverged() const { return !divergence_.empty(); }
+  [[nodiscard]] const std::string& divergence() const { return divergence_; }
+  // True when the replayed execution consumed every recorded choice.
+  [[nodiscard]] bool fully_consumed() const { return pos_ >= v_.size(); }
+
  private:
+  [[nodiscard]] static std::string describe(ChoiceKind k, std::uint32_t num) {
+    return std::string(k == ChoiceKind::kSchedule ? "schedule" : "reads-from") +
+           "/" + std::to_string(num);
+  }
+  void note_divergence(std::string what) {
+    if (divergence_.empty()) divergence_ = std::move(what);
+  }
+
   std::vector<Choice> v_;
   std::size_t pos_ = 0;
   Mode mode_ = Mode::kDfs;
   support::Xorshift64* rng_ = nullptr;
+  bool strict_ = false;
+  std::string divergence_;
 };
 
 }  // namespace cds::mc

@@ -4,7 +4,11 @@
 #ifndef CDS_MC_VIOLATION_H
 #define CDS_MC_VIOLATION_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
+
+#include "mc/trail.h"
 
 namespace cds::mc {
 
@@ -12,6 +16,8 @@ enum class ViolationKind {
   kDataRace,           // unordered conflicting plain accesses
   kUninitializedLoad,  // atomic load observes the pre-init message
   kDeadlock,           // every live thread is blocked
+  kCrash,              // test body raised SIGSEGV/SIGBUS/SIGFPE/SIGABRT;
+                       // contained by the engine's signal-to-verdict layer
   kInadmissible,       // execution outside the spec's admissibility (warn)
   kSpecAssertion,      // sequential-history / justification check failed
   kUserAssertion,      // mc::model_assert failed (CDSChecker-style assert)
@@ -24,12 +30,44 @@ enum class ViolationKind {
     case ViolationKind::kDataRace: return "data race";
     case ViolationKind::kUninitializedLoad: return "uninitialized load";
     case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kCrash: return "crash";
     case ViolationKind::kInadmissible: return "inadmissible execution";
     case ViolationKind::kSpecAssertion: return "specification violation";
     case ViolationKind::kUserAssertion: return "assertion failure";
     case ViolationKind::kEngineFatal: return "engine fatal";
   }
   return "?";
+}
+
+// Stable wire names for .trail / checkpoint files (the display strings
+// above contain spaces). parse_violation_kind accepts exactly these.
+[[nodiscard]] constexpr const char* wire_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kDataRace: return "data-race";
+    case ViolationKind::kUninitializedLoad: return "uninit-load";
+    case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kCrash: return "crash";
+    case ViolationKind::kInadmissible: return "inadmissible";
+    case ViolationKind::kSpecAssertion: return "spec-assertion";
+    case ViolationKind::kUserAssertion: return "user-assertion";
+    case ViolationKind::kEngineFatal: return "engine-fatal";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline bool parse_violation_kind(const std::string& s,
+                                               ViolationKind* out) {
+  for (ViolationKind k :
+       {ViolationKind::kDataRace, ViolationKind::kUninitializedLoad,
+        ViolationKind::kDeadlock, ViolationKind::kCrash,
+        ViolationKind::kInadmissible, ViolationKind::kSpecAssertion,
+        ViolationKind::kUserAssertion, ViolationKind::kEngineFatal}) {
+    if (s == wire_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 // What an exploration proved. `kVerifiedExhaustive` means the DFS ran the
@@ -55,6 +93,14 @@ struct Violation {
   ViolationKind kind;
   std::string detail;
   std::uint64_t execution_index = 0;  // which explored execution produced it
+  // Choice sequence of the violating execution: replaying it (mc/trace.h,
+  // cdsspec-run --replay-trail) deterministically re-runs exactly this
+  // execution. Empty for violations restored from a checkpoint, whose
+  // trails are not persisted.
+  std::vector<Choice> trail;
+  // Index of the unit test within its benchmark (set by the harness when
+  // aggregating; identifies the TestFn a trail repro must replay).
+  std::uint32_t test_index = 0;
 };
 
 }  // namespace cds::mc

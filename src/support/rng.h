@@ -24,6 +24,11 @@ class Xorshift64 {
   // Uniform in [0, n). n must be > 0.
   std::uint64_t below(std::uint64_t n) { return next() % n; }
 
+  // Full internal state, for checkpoint/resume: a run restored with
+  // set_state() draws the exact stream the interrupted run would have.
+  [[nodiscard]] std::uint64_t state() const { return s_; }
+  void set_state(std::uint64_t s) { s_ = s ? s : 1u; }
+
  private:
   std::uint64_t s_;
 };

@@ -74,9 +74,13 @@ TEST(Harness, DetectionNames) {
 #if defined(__unix__) || defined(__APPLE__)
 
 // A deliberately hostile synthetic benchmark for the sweep fail-safes:
-// one site aborts the trial process, one hangs it (a non-parking native
-// loop the engine cannot preempt), one behaves. Registered at static-init
-// time like real benchmark sites.
+// one site kills the trial process outright (SIGKILL is uncatchable, so
+// the engine's signal containment cannot intervene — this exercises the
+// fork-isolation backstop), one hangs it (a non-parking native loop the
+// engine cannot preempt), one behaves, and one aborts *inside the test
+// body*, which the containment layer turns into a classified kCrash
+// detection instead of a dead child. Registered at static-init time like
+// real benchmark sites.
 const inject::SiteId kCrashSite =
     inject::register_site("sweep-survival", "crash.store",
                           mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
@@ -86,6 +90,9 @@ const inject::SiteId kHangSite =
 const inject::SiteId kOkSite =
     inject::register_site("sweep-survival", "ok.store",
                           mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
+const inject::SiteId kAbortSite =
+    inject::register_site("sweep-survival", "abort.store",
+                          mc::MemoryOrder::seq_cst, inject::OpKind::kStore);
 
 TEST(Harness, SweepSurvivesCrashingAndHangingTrials) {
   harness::Benchmark hostile;
@@ -93,7 +100,8 @@ TEST(Harness, SweepSurvivesCrashingAndHangingTrials) {
   hostile.display = "Sweep survival (synthetic)";
   hostile.spec = nullptr;
   hostile.tests.push_back([](mc::Exec& x) {
-    if (inject::active_injection() == kCrashSite) std::abort();
+    if (inject::active_injection() == kCrashSite) raise(SIGKILL);
+    if (inject::active_injection() == kAbortSite) std::abort();
     if (inject::active_injection() == kHangSite) {
       volatile int spin = 1;
       while (spin != 0) {
@@ -109,19 +117,26 @@ TEST(Harness, SweepSurvivesCrashingAndHangingTrials) {
   sweep.timeout_retries = 1;
   auto sum = harness::run_injection_experiment(hostile, opts, sweep);
 
-  // The campaign survives both hostile trials and still completes and
-  // classifies the remaining site.
-  EXPECT_EQ(sum.injections, 3);
+  // The campaign survives every hostile trial: the raw kill and the hang
+  // are recorded as process-level outcomes, the contained abort and the
+  // well-behaved site classify normally.
+  EXPECT_EQ(sum.injections, 4);
   EXPECT_EQ(sum.crashed, 1);
   EXPECT_EQ(sum.timed_out, 1);
-  EXPECT_EQ(sum.completed(), 1);
+  EXPECT_EQ(sum.completed(), 2);
   EXPECT_EQ(sum.undetected, 1);  // the ok site has no spec to violate
-  ASSERT_EQ(sum.outcomes.size(), 3u);
+  ASSERT_EQ(sum.outcomes.size(), 4u);
   EXPECT_EQ(sum.outcomes[0].status, harness::TrialStatus::kCrashed);
-  EXPECT_EQ(sum.outcomes[0].term_signal, SIGABRT);
+  EXPECT_EQ(sum.outcomes[0].term_signal, SIGKILL);
   EXPECT_EQ(sum.outcomes[1].status, harness::TrialStatus::kTimedOut);
   EXPECT_TRUE(sum.outcomes[1].retried) << "one retry at a tighter cap";
   EXPECT_EQ(sum.outcomes[2].status, harness::TrialStatus::kCompleted);
+  EXPECT_EQ(sum.outcomes[2].how, harness::Detection::kNone);
+  // The in-body abort is contained: the trial *completes* with the crash
+  // classified as a built-in detection, rather than killing the child.
+  EXPECT_EQ(sum.outcomes[3].status, harness::TrialStatus::kCompleted);
+  EXPECT_EQ(sum.outcomes[3].how, harness::Detection::kBuiltin);
+  EXPECT_EQ(sum.outcomes[3].verdict, mc::Verdict::kFalsified);
   EXPECT_EQ(inject::active_injection(), -1);
 }
 

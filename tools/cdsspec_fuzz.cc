@@ -34,6 +34,7 @@
 #include "fuzz/minimize.h"
 #include "fuzz/oracle.h"
 #include "fuzz/program.h"
+#include "mc/trace.h"
 #include "support/rng.h"
 
 namespace {
@@ -111,7 +112,50 @@ struct Repro {
   std::string detail;
   cds::fuzz::Program program;  // minimized
   std::string path;            // where it was written ("" if write failed)
+  std::string trail_path;      // witness .trail beside it ("" if none)
 };
+
+// .trail "test" field for a witness execution: "litmus" for the repro
+// program itself, "litmus+t<T>.op<I>[.fail]" when the trail drives the
+// variant with that one site strengthened (monotonicity witnesses).
+std::string witness_test_name(const cds::fuzz::WitnessTrail& wt) {
+  if (!wt.strengthened) return "litmus";
+  std::string n = "litmus+t" + std::to_string(wt.site.thread) + ".op" +
+                  std::to_string(wt.site.index);
+  if (wt.site.failure_order) n += ".fail";
+  return n;
+}
+
+// Inverse of witness_test_name: rewrites `p` into the program the trail
+// was recorded against. False when the name is malformed or out of range
+// for this program.
+bool apply_witness_test_name(const std::string& name, cds::fuzz::Program* p) {
+  if (name == "litmus") return true;
+  if (name.rfind("litmus+t", 0) != 0) return false;
+  std::string rest = name.substr(8);
+  std::size_t dot = rest.find(".op");
+  if (dot == std::string::npos) return false;
+  cds::fuzz::StrengthenSite site;
+  site.failure_order = false;
+  std::string idx = rest.substr(dot + 3);
+  if (idx.size() > 5 && idx.substr(idx.size() - 5) == ".fail") {
+    site.failure_order = true;
+    idx = idx.substr(0, idx.size() - 5);
+  }
+  std::uint64_t t = 0, i = 0;
+  if (!parse_u64(rest.substr(0, dot).c_str(), &t) ||
+      !parse_u64(idx.c_str(), &i)) {
+    return false;
+  }
+  site.thread = static_cast<int>(t);
+  site.index = static_cast<int>(i);
+  if (site.thread >= p->threads() ||
+      i >= p->ops[static_cast<std::size_t>(site.thread)].size()) {
+    return false;
+  }
+  *p = cds::fuzz::strengthen_at(*p, site);
+  return true;
+}
 
 // Re-runs the oracles on a candidate and reports whether the disagreement
 // of the same kind persists (the minimizer's predicate).
@@ -161,6 +205,56 @@ int replay_files(const std::vector<std::string>& files,
                    err.c_str());
       ++failed;
       continue;
+    }
+    // Trail fast-path: a witness .trail beside the .litmus replays the one
+    // recorded offending execution deterministically. Divergence or a
+    // changed behavior (the engine moved since the recording) falls back
+    // to the authoritative full oracle re-run below.
+    if (path.size() > 7 && path.substr(path.size() - 7) == ".litmus") {
+      std::string tpath = path.substr(0, path.size() - 7) + ".trail";
+      cds::mc::TrailFile tf;
+      std::string terr;
+      if (std::ifstream(tpath).good()) {
+        if (!cds::mc::load_trail_file(tpath, &tf, &terr)) {
+          std::fprintf(stderr,
+                       "cdsspec-fuzz: %s; re-running full oracles\n",
+                       terr.c_str());
+        } else {
+          cds::fuzz::Program wp = p;
+          if (!apply_witness_test_name(tf.test_name, &wp)) {
+            std::fprintf(stderr,
+                         "cdsspec-fuzz: %s: witness test '%s' does not fit "
+                         "this program; re-running full oracles\n",
+                         tpath.c_str(), tf.test_name.c_str());
+          } else {
+            cds::fuzz::OracleConfig rcfg = cfg;
+            rcfg.seed = tf.seed;
+            rcfg.stale_read_bound = tf.stale_read_bound;
+            rcfg.max_steps = tf.max_steps;
+            std::string behavior, rerr;
+            if (!cds::fuzz::replay_behavior(wp, rcfg, tf.choices, &behavior,
+                                            &rerr)) {
+              std::fprintf(stderr,
+                           "cdsspec-fuzz: %s: trail replay diverged (%s); "
+                           "re-running full oracles\n",
+                           tpath.c_str(), rerr.c_str());
+            } else if (behavior != tf.detail) {
+              std::fprintf(stderr,
+                           "cdsspec-fuzz: %s: witness behavior changed "
+                           "(recorded %s, replayed %s); re-running full "
+                           "oracles\n",
+                           tpath.c_str(), tf.detail.c_str(), behavior.c_str());
+            } else {
+              ++disagreed;
+              std::printf("%s: witness reproduced via trail [%s]: %s "
+                          "(%zu choices)\n",
+                          path.c_str(), tf.kind.c_str(), behavior.c_str(),
+                          tf.choices.size());
+              continue;
+            }
+          }
+        }
+      }
     }
     auto res = cds::fuzz::check_program(p, cfg);
     if (res.skipped) {
@@ -309,15 +403,40 @@ int main(int argc, char** argv) {
           },
           &ms);
       r.path = write_repro(out_dir, r);
+      // Pin the disagreement down to one replayable execution: a .trail
+      // beside the .litmus lets --replay confirm the witness in a single
+      // deterministic run instead of a full oracle sweep.
+      if (!r.path.empty()) {
+        cds::fuzz::WitnessTrail wt;
+        if (cds::fuzz::witness_trail(r.program, tcfg, d.oracle, &wt)) {
+          cds::mc::TrailFile tf;
+          tf.test_name = witness_test_name(wt);
+          tf.seed = tcfg.seed;
+          tf.stale_read_bound = tcfg.stale_read_bound;
+          tf.max_steps = tcfg.max_steps;
+          tf.kind = cds::fuzz::to_string(d.oracle);
+          tf.detail = wt.behavior;
+          tf.choices = wt.choices;
+          std::string tpath = r.path.substr(0, r.path.size() - 7) + ".trail";
+          std::string terr;
+          if (cds::mc::write_trail_file(tpath, tf, &terr)) {
+            r.trail_path = tpath;
+          } else {
+            std::fprintf(stderr, "cdsspec-fuzz: cannot write '%s': %s\n",
+                         tpath.c_str(), terr.c_str());
+          }
+        }
+      }
       if (!json) {
         std::printf("trial %llu seed %llu: DISAGREEMENT [%s]\n  %s\n"
-                    "  minimized to %d ops (%d probes)%s%s\n",
+                    "  minimized to %d ops (%d probes)%s%s%s%s\n",
                     static_cast<unsigned long long>(trial),
                     static_cast<unsigned long long>(seed),
                     to_string(d.oracle), d.detail.c_str(),
                     r.program.total_ops(), ms.probes,
-                    r.path.empty() ? "" : ", repro: ",
-                    r.path.c_str());
+                    r.path.empty() ? "" : ", repro: ", r.path.c_str(),
+                    r.trail_path.empty() ? "" : ", trail: ",
+                    r.trail_path.c_str());
       }
       repros.push_back(std::move(r));
     }
@@ -342,12 +461,13 @@ int main(int argc, char** argv) {
       const Repro& r = repros[i];
       std::printf(
           "    {\"trial\": %llu, \"seed\": %llu, \"oracle\": \"%s\", "
-          "\"ops\": %d, \"repro\": \"%s\", \"detail\": \"%s\"}%s\n",
+          "\"ops\": %d, \"repro\": \"%s\", \"trail\": \"%s\", "
+          "\"detail\": \"%s\"}%s\n",
           static_cast<unsigned long long>(r.trial),
           static_cast<unsigned long long>(r.seed),
           to_string(r.oracle), r.program.total_ops(),
-          json_escape(r.path).c_str(), json_escape(r.detail).c_str(),
-          i + 1 < repros.size() ? "," : "");
+          json_escape(r.path).c_str(), json_escape(r.trail_path).c_str(),
+          json_escape(r.detail).c_str(), i + 1 < repros.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
   } else {

@@ -5,14 +5,19 @@
 //   cdsspec-run <benchmark> --inject <i>    weaken the i-th injectable site
 //   cdsspec-run <benchmark> --sites         list the benchmark's sites
 //   cdsspec-run <benchmark> --sweep         run the injection experiment
+//   cdsspec-run --replay-trail <file>       re-execute one recorded execution
 //
 // Flags: --cap N (execution cap), --stale N (stale-read bound),
 //        --timeout SECS (wall-clock budget; degrades to sampling),
 //        --mem-cap MB (memory budget), --seed N (RNG seed),
+//        --checkpoint FILE (periodic resumable snapshots),
+//        --resume (continue from the --checkpoint file),
+//        --trail-out FILE (write a .trail repro of the found violation),
 //        --json (machine-readable results),
 //        --no-sleep-sets, --stop-on-violation, --reports
 //
-// Exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error,
+// Exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error
+//             (also: replay divergence, resume fingerprint mismatch),
 //             3 inconclusive (budget/cap hit; sampled without a finding).
 #include <cerrno>
 #include <cstdio>
@@ -24,6 +29,8 @@
 #include "ds/suite.h"
 #include "harness/runner.h"
 #include "inject/inject.h"
+#include "mc/checkpoint.h"
+#include "mc/trace.h"
 #include "spec/checker.h"
 #include "spec/render.h"
 #include "support/rng.h"
@@ -40,10 +47,12 @@ void usage() {
       "usage: cdsspec-run --list\n"
       "       cdsspec-run <benchmark> [--inject I | --sites | --sweep]\n"
       "                   [--cap N] [--stale N] [--timeout SECS] [--mem-cap MB]\n"
-      "                   [--seed N] [--json] [--no-sleep-sets]\n"
+      "                   [--seed N] [--checkpoint FILE] [--resume]\n"
+      "                   [--trail-out FILE] [--json] [--no-sleep-sets]\n"
       "                   [--stop-on-violation] [--reports] [--dot]\n"
-      "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error,\n"
-      "            3 inconclusive\n");
+      "       cdsspec-run --replay-trail FILE\n"
+      "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error\n"
+      "            (also replay divergence / resume mismatch), 3 inconclusive\n");
 }
 
 // Strict numeric parsing: the whole argument must be a non-negative
@@ -86,6 +95,119 @@ bool flag_value(int argc, char** argv, int* i, const char* name, T* out,
     return false;
   }
   return true;
+}
+
+// String-valued flag: takes argv[i+1] verbatim and advances i.
+bool flag_str(int argc, char** argv, int* i, const char* name,
+              std::string* out) {
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "cdsspec-run: %s requires a value\n", name);
+    usage();
+    return false;
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+// `cdsspec-run --replay-trail FILE`: load a .trail repro, resolve its
+// "<benchmark>#<index>" test, apply the recorded config fingerprint, and
+// strictly re-execute that single execution — the debug-build replay
+// determinism assertion is a runtime divergence check here. Exit 1 when the
+// recorded violation reproduces, 0 on a clean replay, 2 on any divergence
+// or file problem.
+int replay_trail(const std::string& path) {
+  cds::mc::TrailFile tf;
+  std::string err;
+  if (!cds::mc::load_trail_file(path, &tf, &err)) {
+    std::fprintf(stderr, "cdsspec-run: cannot replay '%s': %s\n", path.c_str(),
+                 err.c_str());
+    return kExitUsage;
+  }
+  auto hash = tf.test_name.find('#');
+  std::uint64_t test_idx = 0;
+  if (hash == std::string::npos ||
+      !parse_u64(tf.test_name.c_str() + hash + 1, &test_idx)) {
+    std::fprintf(stderr,
+                 "cdsspec-run: trail '%s' is for test '%s', not a "
+                 "'<benchmark>#<index>' registry test (litmus trails replay "
+                 "with cdsspec-fuzz --replay)\n",
+                 path.c_str(), tf.test_name.c_str());
+    return kExitUsage;
+  }
+  const std::string bench = tf.test_name.substr(0, hash);
+  const auto* b = cds::harness::find_benchmark(bench);
+  if (b == nullptr) {
+    std::fprintf(stderr,
+                 "cdsspec-run: trail '%s' names unknown benchmark '%s' "
+                 "(try --list)\n",
+                 path.c_str(), bench.c_str());
+    return kExitUsage;
+  }
+  if (test_idx >= b->tests.size()) {
+    std::fprintf(stderr,
+                 "cdsspec-run: trail '%s' names unit test %llu but '%s' has "
+                 "%zu tests; the trail was recorded against a different "
+                 "build\n",
+                 path.c_str(), static_cast<unsigned long long>(test_idx),
+                 bench.c_str(), b->tests.size());
+    return kExitUsage;
+  }
+
+  // The trail was recorded with this injection active; the weakened memory
+  // order shapes the choice tree, so replay needs it too.
+  if (!tf.inject_site.empty()) {
+    bool found = false;
+    for (const auto& s : cds::inject::sites_for(bench)) {
+      if (s.name == tf.inject_site) {
+        cds::inject::inject(s.id);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "cdsspec-run: trail '%s' was recorded with injection site "
+                   "'%s', which this build does not have (try --sites)\n",
+                   path.c_str(), tf.inject_site.c_str());
+      return kExitUsage;
+    }
+    std::printf("re-activating injection: %s\n", tf.inject_site.c_str());
+  }
+
+  cds::mc::Config cfg;
+  tf.apply_fingerprint(&cfg);
+  cfg.test_index = static_cast<std::uint32_t>(test_idx);
+  cds::mc::Engine engine(cfg);
+  cds::spec::SpecChecker::Options copts;
+  copts.seed = cds::support::derive_seed(cfg.seed, 1);
+  cds::spec::SpecChecker checker(copts);
+  checker.attach(engine);
+  std::string divergence;
+  bool ok = engine.replay(tf.choices, b->tests[test_idx], /*strict=*/true,
+                          &divergence);
+  std::uint64_t reproduced = engine.violations_total();
+  std::vector<cds::mc::Violation> violations = engine.violations();
+  checker.detach();
+  cds::inject::clear_injection();
+  if (!ok) {
+    std::fprintf(stderr, "cdsspec-run: replay of '%s' diverged: %s\n",
+                 path.c_str(), divergence.c_str());
+    return kExitUsage;
+  }
+  if (!tf.kind.empty()) {
+    std::printf("trail records: %s%s%s\n", tf.kind.c_str(),
+                tf.detail.empty() ? "" : " -- ", tf.detail.c_str());
+  }
+  std::printf("replayed %zu recorded choices deterministically (test %s)\n",
+              tf.choices.size(), tf.test_name.c_str());
+  if (reproduced > 0) {
+    for (const auto& v : violations) {
+      std::printf("reproduced: %s: %s\n", to_string(v.kind), v.detail.c_str());
+    }
+    return kExitFalsified;
+  }
+  std::printf("no violation on this execution\n");
+  return kExitVerified;
 }
 
 std::string json_escape(const std::string& s) {
@@ -246,6 +368,14 @@ int main(int argc, char** argv) {
   }
 
   std::string cmd = argv[1];
+  if (cmd == "--replay-trail") {
+    if (argc != 3) {
+      std::fprintf(stderr, "cdsspec-run: --replay-trail requires a file\n");
+      usage();
+      return kExitUsage;
+    }
+    return replay_trail(argv[2]);
+  }
   if (cmd == "--list") {
     for (const auto& b : cds::harness::benchmarks()) {
       std::printf("%-22s %s (%zu unit tests, %zu injectable sites)\n",
@@ -273,6 +403,8 @@ int main(int argc, char** argv) {
   bool have_timeout = false;
   std::uint64_t inject_idx_u = 0;
   bool have_inject = false;
+  bool want_resume = false;
+  std::string trail_out;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--sites") sites = true;
@@ -314,6 +446,15 @@ int main(int argc, char** argv) {
       if (!flag_value(argc, argv, &i, "--seed", &opts.engine.seed, parse_u64))
         return kExitUsage;
       sweep_opts.seed = opts.engine.seed;
+    } else if (a == "--checkpoint") {
+      if (!flag_str(argc, argv, &i, "--checkpoint",
+                    &opts.engine.checkpoint_path))
+        return kExitUsage;
+    } else if (a == "--resume") {
+      want_resume = true;
+    } else if (a == "--trail-out") {
+      if (!flag_str(argc, argv, &i, "--trail-out", &trail_out))
+        return kExitUsage;
     } else {
       std::fprintf(stderr, "cdsspec-run: unknown flag '%s'\n", a.c_str());
       usage();
@@ -329,6 +470,58 @@ int main(int argc, char** argv) {
   if (opts.engine.time_budget_seconds > 0 ||
       opts.engine.memory_budget_bytes > 0) {
     opts.engine.watchdog_no_progress_execs = 100000;
+  }
+
+  if ((sweep || dot) && (!opts.engine.checkpoint_path.empty() || want_resume ||
+                         !trail_out.empty())) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --checkpoint/--resume/--trail-out apply to "
+                 "plain runs, not --sweep or --dot\n");
+    return kExitUsage;
+  }
+  if (want_resume && opts.engine.checkpoint_path.empty()) {
+    std::fprintf(stderr, "cdsspec-run: --resume requires --checkpoint FILE\n");
+    return kExitUsage;
+  }
+
+  // Load the resume state. A missing file is a fresh start (first run of a
+  // campaign); a torn or corrupted file degrades to a fresh start with a
+  // warning (the atomic writer makes this near-impossible, but a damaged
+  // disk must not wedge the tool); a config mismatch is a hard error — the
+  // checkpoint belongs to a run with different exploration parameters and
+  // silently restarting would discard the user's intent.
+  cds::mc::Checkpoint resume_cp;
+  if (want_resume) {
+    std::string err;
+    std::string text;
+    if (!cds::mc::read_text_file(opts.engine.checkpoint_path, &text, &err)) {
+      std::fprintf(stderr,
+                   "cdsspec-run: no checkpoint at '%s' (%s); starting fresh\n",
+                   opts.engine.checkpoint_path.c_str(), err.c_str());
+    } else if (!cds::mc::parse_checkpoint(text, &resume_cp, &err)) {
+      std::fprintf(stderr,
+                   "cdsspec-run: checkpoint '%s' is unusable (%s); "
+                   "starting fresh\n",
+                   opts.engine.checkpoint_path.c_str(), err.c_str());
+    } else {
+      std::string mismatch = resume_cp.fingerprint_mismatch(opts.engine);
+      if (!mismatch.empty()) {
+        std::fprintf(stderr,
+                     "cdsspec-run: checkpoint '%s' was recorded under "
+                     "different flags (%s); rerun with the original flags or "
+                     "delete the file to start fresh\n",
+                     opts.engine.checkpoint_path.c_str(), mismatch.c_str());
+        return kExitUsage;
+      }
+      opts.resume = &resume_cp;
+      std::fprintf(stderr,
+                   "cdsspec-run: resuming from '%s' (test %s, phase %s, "
+                   "%llu executions in)\n",
+                   opts.engine.checkpoint_path.c_str(),
+                   resume_cp.test_name.c_str(), to_string(resume_cp.phase),
+                   static_cast<unsigned long long>(
+                       resume_cp.stats.executions));
+    }
   }
 
   if (sites) {
@@ -373,6 +566,7 @@ int main(int argc, char** argv) {
                                                   : kExitVerified;
   }
 
+  std::string injected_site_name;
   if (have_inject) {
     std::uint64_t i = 0;
     bool found = false;
@@ -382,6 +576,7 @@ int main(int argc, char** argv) {
         std::printf("injecting: %s (%s -> %s)\n", s.name.c_str(),
                     to_string(s.def), to_string(s.weakened()));
         cds::inject::inject(s.id);
+        injected_site_name = s.name;
         found = true;
         break;
       }
@@ -415,6 +610,42 @@ int main(int argc, char** argv) {
     print_result_json(b->name, r);
   } else {
     print_result(r, reports);
+  }
+
+  // Persist a one-execution repro of the found violation. Crashes win the
+  // tie-break: a contained SIGSEGV is the finding most worth replaying
+  // under a debugger. Violations restored from a checkpoint carry no trail
+  // and are skipped.
+  if (!trail_out.empty()) {
+    const cds::mc::Violation* pick = nullptr;
+    for (const auto& v : r.violations) {
+      if (v.trail.empty()) continue;
+      if (pick == nullptr || (v.kind == cds::mc::ViolationKind::kCrash &&
+                              pick->kind != cds::mc::ViolationKind::kCrash)) {
+        pick = &v;
+      }
+    }
+    if (pick == nullptr) {
+      std::fprintf(stderr,
+                   "cdsspec-run: --trail-out: no violation with a recorded "
+                   "trail this run; nothing written\n");
+    } else {
+      cds::mc::TrailFile tf;
+      tf.fingerprint_from(opts.engine);
+      tf.test_name = b->name + "#" + std::to_string(pick->test_index);
+      tf.kind = cds::mc::wire_name(pick->kind);
+      tf.detail = pick->detail;
+      tf.inject_site = injected_site_name;
+      tf.choices = pick->trail;
+      std::string err;
+      if (!cds::mc::write_trail_file(trail_out, tf, &err)) {
+        std::fprintf(stderr, "cdsspec-run: cannot write '%s': %s\n",
+                     trail_out.c_str(), err.c_str());
+      } else {
+        std::printf("wrote repro trail: %s (%s in %s)\n", trail_out.c_str(),
+                    tf.kind.c_str(), tf.test_name.c_str());
+      }
+    }
   }
   return exit_code_for(r.verdict);
 }
