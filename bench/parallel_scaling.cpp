@@ -1,0 +1,166 @@
+// Parallel exploration scaling: exhaustive DFS behavior collection on two
+// widened seed litmus shapes at --jobs 1/2/4/8, reported as executions/sec
+// and speedup over the serial run (BENCH_parallel.json).
+//
+// The sharded run enumerates exactly the serial run's executions (disjoint
+// subtree prefixes; see src/mc/shard.h), so speedup is pure wall-clock —
+// the bench asserts the execution counts and behavior sets agree before
+// reporting. The host CPU count is recorded alongside: on a single-core
+// container the workers serialize and speedup ~1x is the honest result;
+// the nightly CI runners are multi-core.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace {
+
+struct Shape {
+  const char* name;
+  const char* text;
+};
+
+// Widened variants of the seed corpus shapes (tests/corpus/): enough
+// threads and conflicting operations that the DFS tree dwarfs the fork and
+// shard-probe overhead.
+const Shape kShapes[] = {
+    {"mp_relacq_wide",
+     "litmus v1\n"
+     "locations 3\n"
+     "t0 store x 1 relaxed\n"
+     "t0 store y 1 release\n"
+     "t1 load y acquire\n"
+     "t1 load x relaxed\n"
+     "t2 store z 1 release\n"
+     "t2 load y acquire\n"
+     "t2 store x 3 relaxed\n"
+     "t3 load z acquire\n"
+     "t3 store x 2 relaxed\n"
+     "t3 load y relaxed\n"
+     "t3 store z 2 relaxed\n"},
+    {"casloop_wide",
+     "litmus v1\n"
+     "locations 2\n"
+     "t0 cas x 0 1 acq_rel relaxed\n"
+     "t0 store y 1 release\n"
+     "t1 cas x 0 2 seq_cst acquire\n"
+     "t1 load y acquire\n"
+     "t2 rmw x 1 acq_rel\n"
+     "t2 load y acquire\n"
+     "t3 cas y 1 2 acq_rel relaxed\n"
+     "t3 load x acquire\n"
+     "t3 store y 3 relaxed\n"},
+};
+
+struct Point {
+  int jobs;
+  double seconds;
+  double execs_per_sec;
+  double speedup;
+  std::uint64_t executions;
+};
+
+int cpu_count() {
+#if defined(__unix__) || defined(__APPLE__)
+  long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const int jobs_axis[] = {1, 2, 4, 8};
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"parallel_scaling\",\n";
+  json += "  \"cpus\": " + std::to_string(cpu_count()) + ",\n";
+  json += "  \"shapes\": [\n";
+
+  bool first_shape = true;
+  for (const Shape& s : kShapes) {
+    cds::fuzz::Program p;
+    std::string err;
+    if (!cds::fuzz::Program::parse(s.text, &p, &err)) {
+      std::fprintf(stderr, "parallel_scaling: bad shape %s: %s\n", s.name,
+                   err.c_str());
+      return 1;
+    }
+    std::printf("%s:\n", s.name);
+    std::vector<Point> points;
+    cds::fuzz::McBehaviors serial;
+    for (int jobs : jobs_axis) {
+      cds::fuzz::OracleConfig cfg;
+      cfg.jobs = jobs;
+      auto t0 = std::chrono::steady_clock::now();
+      cds::fuzz::McBehaviors r = cds::fuzz::mc_behaviors(p, cfg);
+      auto t1 = std::chrono::steady_clock::now();
+      double secs = std::chrono::duration<double>(t1 - t0).count();
+      if (jobs == 1) {
+        serial = r;
+      } else if (r.behaviors != serial.behaviors ||
+                 r.executions != serial.executions ||
+                 r.exhausted != serial.exhausted) {
+        std::fprintf(stderr,
+                     "parallel_scaling: jobs=%d diverged from serial on %s\n",
+                     jobs, s.name);
+        return 1;
+      }
+      Point pt;
+      pt.jobs = jobs;
+      pt.seconds = secs;
+      pt.executions = r.executions;
+      pt.execs_per_sec = secs > 0 ? static_cast<double>(r.executions) / secs
+                                  : 0.0;
+      pt.speedup = points.empty() || secs <= 0
+                       ? 1.0
+                       : points.front().seconds / secs;
+      points.push_back(pt);
+      std::printf("  jobs=%d  %8llu execs  %7.3fs  %10.0f execs/s  %.2fx\n",
+                  jobs, static_cast<unsigned long long>(r.executions), secs,
+                  pt.execs_per_sec, pt.speedup);
+    }
+
+    json += first_shape ? "    {\n" : "    ,{\n";
+    first_shape = false;
+    json += "      \"name\": \"" + std::string(s.name) + "\",\n";
+    json += "      \"executions\": " + std::to_string(serial.executions) +
+            ",\n";
+    json += "      \"exhausted\": ";
+    json += serial.exhausted ? "true" : "false";
+    json += ",\n      \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "        {\"jobs\": %d, \"seconds\": %.4f, "
+                    "\"execs_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                    points[i].jobs, points[i].seconds,
+                    points[i].execs_per_sec, points[i].speedup,
+                    i + 1 < points.size() ? "," : "");
+      json += buf;
+    }
+    json += "      ]\n    }\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "parallel_scaling: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "fuzz/oracle.h"
 
+#include <cstdlib>
 #include <sstream>
+
+#include "mc/shard.h"
 
 namespace cds::fuzz {
 
@@ -217,6 +220,62 @@ const char* to_string(OracleKind k) {
 McBehaviors mc_behaviors(const Program& p, const OracleConfig& cfg,
                          bool sampling_only) {
   McBehaviors out;
+  if (!sampling_only && cfg.jobs > 1) {
+    // Sharded DFS (mc/shard.h): disjoint subtree prefixes fan out to forked
+    // workers; behavior sets union, executions sum, exhausted ANDs. A
+    // crashed worker means its subtree went unexplored: not exhausted.
+    mc::Config ec = engine_config(cfg, false);
+    auto make_test = [&p](std::vector<std::uint64_t>* o) {
+      return p.test_fn(o);
+    };
+    std::vector<std::uint64_t> probe_obs;
+    mc::ShardPlan plan = mc::enumerate_shard_prefixes(
+        ec, make_test(&probe_obs), 2,
+        static_cast<std::size_t>(cfg.jobs) * 4);
+    auto work = [&](std::size_t i) -> std::string {
+      std::vector<std::uint64_t> obs;
+      BehaviorSet shard_set;
+      mc::Engine engine(ec);
+      engine.set_subtree(plan.prefixes[i]);
+      BehaviorCollector collector(&obs, p.locations, &shard_set);
+      engine.set_listener(&collector);
+      auto stats = engine.explore(make_test(&obs));
+      std::ostringstream os;
+      os << "exhausted " << (stats.exhausted ? 1 : 0) << "\n"
+         << "executions " << stats.executions << "\n";
+      for (const std::string& b : shard_set) os << b << "\n";
+      return os.str();
+    };
+    mc::ForkMapOptions fopts;
+    fopts.jobs = cfg.jobs;
+    std::vector<mc::UnitResult> results =
+        mc::fork_map(plan.prefixes.size(), work, fopts);
+    out.exhausted = true;
+    for (const mc::UnitResult& r : results) {
+      if (!r.ran) {
+        out.exhausted = false;
+        continue;
+      }
+      std::istringstream is(r.text);
+      std::string line;
+      bool header_ok = false;
+      if (std::getline(is, line) && line.rfind("exhausted ", 0) == 0) {
+        if (line.substr(10) != "1") out.exhausted = false;
+        if (std::getline(is, line) && line.rfind("executions ", 0) == 0) {
+          out.executions += std::strtoull(line.c_str() + 11, nullptr, 10);
+          header_ok = true;
+        }
+      }
+      if (!header_ok) {
+        out.exhausted = false;
+        continue;
+      }
+      while (std::getline(is, line)) {
+        if (!line.empty()) out.behaviors.insert(line);
+      }
+    }
+    return out;
+  }
   std::vector<std::uint64_t> obs;
   mc::Engine engine(engine_config(cfg, sampling_only));
   BehaviorCollector collector(&obs, p.locations, &out.behaviors);

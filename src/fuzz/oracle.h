@@ -44,6 +44,10 @@ struct OracleConfig {
   // Random-walk executions for the sampling oracle.
   std::uint64_t sample_executions = 256;
   std::uint64_t seed = 1;
+  // Worker processes for the exhaustive-DFS collection phase (mc/shard.h).
+  // 1 = in-process serial exploration; sharding changes neither the
+  // behavior set nor the exhausted flag, only wall-clock time.
+  int jobs = 1;
   // Node cap for the brute-force interleaving enumerator.
   std::uint64_t max_interleaving_nodes = 4000000;
   // Self-validation sabotage, threaded through to the engine.

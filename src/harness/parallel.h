@@ -1,0 +1,67 @@
+// Parallel benchmark driver: shards each unit test's DFS tree into
+// disjoint subtree prefixes (mc/shard.h), fans the shards out to forked
+// worker processes, and merges per-shard results into one RunResult with a
+// deterministic verdict:
+//
+//   - falsified   if any shard falsified; shards merge in DFS order, so
+//                 the surfaced witness is the serial run's first violation;
+//   - verified-exhaustive only if EVERY shard exhausted its subtree, no
+//                 shard hit an internal engine error, and no worker died;
+//   - inconclusive otherwise (including any crashed worker: its shard's
+//                 subtree was not covered).
+//
+// A worker-process death (crash, OOM-kill, SIGKILL) is contained as that
+// shard's outcome — the shard is recorded crashed, never retried, and the
+// remaining workers keep draining the queue.
+//
+// For exhaustive runs the merged execution counters are bit-identical to a
+// serial (--jobs 1) run: disjoint prefixes partition the execution tree
+// and per-execution state (sleep sets, stale-read budgets) is a pure
+// function of the trail, so each worker enumerates exactly the executions
+// serial DFS visits under its prefix.
+#ifndef CDS_HARNESS_PARALLEL_H
+#define CDS_HARNESS_PARALLEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.h"
+
+namespace cds::harness {
+
+struct ParallelOptions {
+  int jobs = 1;
+  // Prefix-enumeration depth: shards are subtrees rooted at most this many
+  // choice points below the root. Deeper = more, finer shards (better load
+  // balance, more probe executions).
+  int shard_depth = 2;
+  // Cap on shard count per unit test; 0 = jobs * 4.
+  std::size_t max_shards = 0;
+  // Forwarded to mc::ForkMapOptions::spool_dir (per-test subdirectories
+  // are created underneath). Empty = no spooling.
+  std::string spool_dir;
+  // Test hook: SIGKILL the worker holding this shard index (applies to
+  // every unit test; use single-test benchmarks in containment tests).
+  std::ptrdiff_t sigkill_shard = -1;
+};
+
+struct ParallelRunResult {
+  RunResult merged;
+  int jobs = 1;
+  std::uint64_t shards = 0;          // work units across all unit tests
+  std::uint64_t crashed_shards = 0;  // worker died / result unparseable
+  std::uint64_t spooled_shards = 0;  // satisfied from the spool directory
+  std::uint64_t probe_executions = 0;
+};
+
+// Parallel analog of run_benchmark(). Checkpoint/resume options in `opts`
+// are ignored (sharded runs do not checkpoint); the engine time budget, if
+// any, applies per shard rather than across the whole benchmark.
+ParallelRunResult run_benchmark_parallel(const Benchmark& b,
+                                         const RunOptions& opts,
+                                         const ParallelOptions& par);
+
+}  // namespace cds::harness
+
+#endif  // CDS_HARNESS_PARALLEL_H

@@ -72,6 +72,7 @@ RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
   spec::SpecChecker checker(opts.checker);
   checker.attach(engine);
   engine.set_checkpoint_base(opts.checkpoint_base);
+  if (!opts.subtree.empty()) engine.set_subtree(opts.subtree);
   if (opts.resume != nullptr) {
     checker.restore_from_checkpoint(*opts.resume);
     engine.set_resume(*opts.resume);

@@ -28,6 +28,12 @@ struct RunOptions {
   // and violation records (the harness's accumulated prior-test state) are
   // carried into every checkpoint file. Populated by run_benchmark.
   mc::Checkpoint checkpoint_base;
+
+  // Subtree-restriction prefix for parallel sharding (see
+  // harness/parallel.h): when non-empty, the engine explores only the
+  // executions extending this pinned choice prefix. Incompatible with
+  // `resume`.
+  std::vector<mc::Choice> subtree;
 };
 
 struct RunResult {

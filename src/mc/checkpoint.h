@@ -14,7 +14,7 @@
 // start instead of a crash.
 //
 // Format (line-oriented, '#' comments, order fixed):
-//   cdsspec-checkpoint v1
+//   cdsspec-checkpoint v2
 //   test msqueue#1
 //   test_index 1
 //   seed 11400714819323198485
@@ -49,7 +49,9 @@
 namespace cds::mc {
 
 struct Checkpoint {
-  static constexpr int kVersion = 1;
+  // v2: RNG stream change (rejection-sampled Xorshift64::below); resuming a
+  // v1 sampling-phase checkpoint would not reproduce the interrupted run.
+  static constexpr int kVersion = 2;
 
   // Where the interrupted run was:
   //   kStart    — about to begin this test from scratch (the harness writes

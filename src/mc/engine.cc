@@ -390,6 +390,15 @@ ExplorationStats Engine::explore(const TestFn& test) {
   }
   resume_.reset();
 
+  // Subtree restriction: seed the trail with the shard's prefix and pin it
+  // so DFS (and the degraded sampling phase) never leaves this subtree.
+  if (!subtree_.empty()) {
+    assert(!skip_dfs && !resume_sampling &&
+           "set_subtree and set_resume are mutually exclusive");
+    trail_.restore(subtree_);
+    trail_.set_pinned(subtree_.size());
+  }
+
   // When degradation is possible, the DFS phase gets only a fraction of
   // the wall budget so the sampling phase has time left to run.
   const bool can_degrade = cfg_.sample_executions > 0;
@@ -611,15 +620,23 @@ void Engine::run_one(const TestFn& test) {
   });
   spawned_ = 1;
 
+  // Sized from spawned_, not a fixed cap: a hard `enabled[64]` here once
+  // silently dropped runnable threads 65+, making exploration incomplete
+  // with no diagnostic. Hoisted out of the loop so the per-step cost is a
+  // clear(), not an allocation.
+  std::vector<int> enabled;
+  std::vector<int> cands;
   for (;;) {
-    int enabled[64];
+    enabled.clear();
+    enabled.reserve(static_cast<std::size_t>(spawned_));
     int n = 0;
     bool any_yielded = false;
     bool any_blocked = false;
     for (int i = 0; i < spawned_; ++i) {
       switch (threads_[static_cast<std::size_t>(i)].status) {
         case ThreadStatus::kRunnable:
-          if (n < 64) enabled[n++] = i;
+          enabled.push_back(i);
+          ++n;
           break;
         case ThreadStatus::kYielded:
           any_yielded = true;
@@ -681,7 +698,7 @@ void Engine::run_one(const TestFn& test) {
       }
     }
     if (pick < 0) {
-      int cands[64];
+      cands.clear();
       int nc = 0;
       for (int i = 0; i < n; ++i) {
         bool asleep = false;
@@ -693,7 +710,10 @@ void Engine::run_one(const TestFn& test) {
             }
           }
         }
-        if (!asleep) cands[nc++] = enabled[i];
+        if (!asleep) {
+          cands.push_back(enabled[i]);
+          ++nc;
+        }
       }
       if (nc == 0) {
         outcome_ = Outcome::kPrunedRedundant;
@@ -911,13 +931,17 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
   assert(floor <= hi);
   bool budget = t.stale_reads < cfg_.stale_read_bound;
 
-  std::uint32_t cands[128];
+  std::vector<std::uint32_t>& cands = rf_scratch_;
+  cands.clear();
   std::uint32_t n = 0;
   for (std::uint32_t i = hi;; --i) {
     const Message& m = L.history[i];
     bool stale = i != hi;
     bool excluded = use_exclude && m.value == exclude_value;
-    if (!excluded && (!stale || budget) && n < 128) cands[n++] = i;
+    if (!excluded && (!stale || budget)) {
+      cands.push_back(i);
+      ++n;
+    }
     if (i == floor) break;
   }
 
@@ -1068,12 +1092,16 @@ bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
   }
   std::uint32_t hi = L.last_ts();
   bool budget = t.stale_reads < cfg_.stale_read_bound;
-  std::uint32_t fails[128];
+  std::vector<std::uint32_t>& fails = rf_scratch_;
+  fails.clear();
   std::uint32_t nf = 0;
   for (std::uint32_t i = hi;; --i) {
     const Message& m = L.history[i];
     bool stale = i != hi;
-    if (m.value != expected && (!stale || budget) && nf < 128) fails[nf++] = i;
+    if (m.value != expected && (!stale || budget)) {
+      fails.push_back(i);
+      ++nf;
+    }
     if (i == floor) break;
   }
 

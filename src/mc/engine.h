@@ -114,6 +114,15 @@ class Engine {
   // checkpoint file, ahead of whatever the listener's on_checkpoint adds.
   void set_checkpoint_base(Checkpoint cp) { cp_base_ = std::move(cp); }
 
+  // Subtree-restriction mode (parallel sharding): explore() pins `prefix`
+  // at the bottom of the trail and enumerates only the executions that
+  // extend it. Because executions are deterministic functions of their
+  // choice sequence, the subtrees of a set of disjoint prefixes partition
+  // the full DFS tree; stats.exhausted then means "this subtree is
+  // exhausted". Must be set before explore(); incompatible with
+  // set_resume(). Pass an empty prefix to clear.
+  void set_subtree(std::vector<Choice> prefix) { subtree_ = std::move(prefix); }
+
   // --- introspection (valid while an execution is live or being checked) --
   [[nodiscard]] int current_thread() const { return current_; }
   [[nodiscard]] int thread_count() const { return spawned_; }
@@ -310,6 +319,10 @@ class Engine {
 
   Trail trail_;
   std::vector<SleepEntry> sleep_;
+  // Reads-from candidate scratch, reused across choice points so the hot
+  // path never allocates; sized by the visible history span, replacing a
+  // fixed cap that silently dropped eligible writes past entry 128.
+  std::vector<std::uint32_t> rf_scratch_;
   support::Arena arena_;
   std::vector<TraceEvent> trace_;
 
@@ -329,6 +342,9 @@ class Engine {
   double active_deadline_ = 0.0;  // seconds since t0_; 0 = no deadline
   bool hit_time_budget_ = false;
   bool hit_memory_budget_ = false;
+
+  // Subtree-restriction prefix; empty = explore the whole tree.
+  std::vector<Choice> subtree_;
 
   // Checkpoint/resume state.
   std::optional<Checkpoint> resume_;

@@ -1,0 +1,369 @@
+#include "mc/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "mc/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CDS_MC_SHARD_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace cds::mc {
+
+ShardPlan enumerate_shard_prefixes(const Config& cfg, const TestFn& test,
+                                   int depth, std::size_t max_units) {
+  ShardPlan plan;
+  if (max_units == 0) max_units = 1;
+
+  // Probe config: one execution per probe, no degradation, no budgets, no
+  // checkpointing — only the tree-shaping knobs survive.
+  Config pcfg = cfg;
+  pcfg.max_executions = 1;
+  pcfg.sample_executions = 0;
+  pcfg.sampling_only = false;
+  pcfg.time_budget_seconds = 0.0;
+  pcfg.memory_budget_bytes = 0;
+  pcfg.watchdog_no_progress_execs = 0;
+  pcfg.stop_on_first_violation = false;
+  pcfg.checkpoint_path.clear();
+  pcfg.checkpoint_every_execs = 0;
+  Engine probe(pcfg);
+
+  struct Node {
+    std::vector<Choice> prefix;
+    bool leaf = false;  // probe ended exactly at |prefix|: one execution
+  };
+  std::vector<Node> units(1);
+
+  for (int level = 0; level < depth && units.size() < max_units; ++level) {
+    std::vector<Node> next;
+    next.reserve(units.size());
+    bool expanded = false;
+    for (Node& u : units) {
+      if (u.leaf || next.size() >= max_units) {
+        next.push_back(std::move(u));
+        continue;
+      }
+      probe.set_subtree(u.prefix);
+      (void)probe.explore(test);
+      ++plan.probe_executions;
+      std::vector<Choice> t = probe.current_trail();
+      if (t.size() <= u.prefix.size()) {
+        // The prefix already covers a whole execution — a leaf unit.
+        u.leaf = true;
+        next.push_back(std::move(u));
+        continue;
+      }
+      // Split at the first choice point below the prefix: one child per
+      // alternative, in DFS order.
+      const Choice& branch = t[u.prefix.size()];
+      expanded = true;
+      for (std::uint16_t a = 0; a < branch.num; ++a) {
+        Node child;
+        child.prefix = u.prefix;
+        child.prefix.push_back(Choice{branch.kind, a, branch.num});
+        next.push_back(std::move(child));
+      }
+    }
+    units = std::move(next);
+    if (!expanded) break;
+  }
+
+  plan.prefixes.reserve(units.size());
+  for (Node& u : units) plan.prefixes.push_back(std::move(u.prefix));
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// fork_map
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string spool_path(const std::string& dir, std::size_t i) {
+  return dir + "/unit-" + std::to_string(i) + ".result";
+}
+
+#ifdef CDS_MC_SHARD_HAS_FORK
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::string& s) {
+  return write_all(fd, s.data(), s.size());
+}
+
+// Worker loop: read "u <idx>\n" assignments off `in`, answer each with an
+// "r <idx> <len>\n<len payload bytes>" frame on `out`; "q\n" (or EOF, or
+// any malformed input) ends the process. Never returns.
+[[noreturn]] void worker_loop(int in, int out,
+                              const std::function<std::string(std::size_t)>& work,
+                              std::ptrdiff_t sigkill_on_unit) {
+  std::string line;
+  for (;;) {
+    line.clear();
+    char c;
+    for (;;) {
+      ssize_t k = read(in, &c, 1);
+      if (k < 0 && errno == EINTR) continue;
+      if (k <= 0) _exit(0);
+      if (c == '\n') break;
+      line.push_back(c);
+    }
+    if (line == "q") _exit(0);
+    if (line.size() < 3 || line[0] != 'u' || line[1] != ' ') _exit(1);
+    char* end = nullptr;
+    std::size_t idx =
+        static_cast<std::size_t>(std::strtoull(line.c_str() + 2, &end, 10));
+    if (end == nullptr || *end != '\0') _exit(1);
+    if (static_cast<std::ptrdiff_t>(idx) == sigkill_on_unit) {
+      raise(SIGKILL);  // test hook: die holding the assignment
+    }
+    std::string text = work(idx);
+    std::string hdr = "r " + std::to_string(idx) + " " +
+                      std::to_string(text.size()) + "\n";
+    if (!write_all(out, hdr) || !write_all(out, text)) _exit(0);
+  }
+}
+
+#endif  // CDS_MC_SHARD_HAS_FORK
+
+}  // namespace
+
+std::vector<UnitResult> fork_map(
+    std::size_t n, const std::function<std::string(std::size_t)>& work,
+    const ForkMapOptions& opts) {
+  std::vector<UnitResult> out(n);
+  std::vector<char> done(n, 0);
+
+  if (!opts.spool_dir.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string text, err;
+      if (read_text_file(spool_path(opts.spool_dir, i), &text, &err)) {
+        out[i].ran = true;
+        out[i].from_spool = true;
+        out[i].text = std::move(text);
+        done[i] = 1;
+      }
+    }
+  }
+
+  auto spool_write = [&](std::size_t i) {
+    if (opts.spool_dir.empty()) return;
+    std::string err;
+    if (!write_text_file_atomic(spool_path(opts.spool_dir, i), out[i].text,
+                                &err)) {
+      std::fprintf(stderr, "cds::mc::fork_map: spool write failed: %s\n",
+                   err.c_str());
+    }
+  };
+
+  // Sequential fallback; also sweeps up units left unassigned if every
+  // worker dies. Units already marked done (spool hits, crashed shards)
+  // are left alone.
+  auto run_inline = [&]() {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      out[i].text = work(i);
+      out[i].ran = true;
+      done[i] = 1;
+      spool_write(i);
+    }
+  };
+
+#ifndef CDS_MC_SHARD_HAS_FORK
+  run_inline();
+  return out;
+#else
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < n; ++i) pending += done[i] ? 0u : 1u;
+  if (opts.jobs <= 1 || pending <= 1) {
+    run_inline();
+    return out;
+  }
+
+  struct Worker {
+    pid_t pid = -1;
+    int work_fd = -1;    // coordinator writes assignments
+    int result_fd = -1;  // coordinator reads result frames
+    std::ptrdiff_t assigned = -1;
+    std::string buf;
+    bool alive = false;
+  };
+  std::vector<Worker> ws;
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(opts.jobs), pending);
+
+  // A worker can die while the coordinator writes to it; that must surface
+  // as an EPIPE (handled), not a fatal SIGPIPE.
+  struct sigaction ign {};
+  struct sigaction old_pipe {};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  sigaction(SIGPIPE, &ign, &old_pipe);
+
+  for (std::size_t w = 0; w < want; ++w) {
+    int wfd[2], rfd[2];
+    if (pipe(wfd) != 0) break;
+    if (pipe(rfd) != 0) {
+      close(wfd[0]);
+      close(wfd[1]);
+      break;
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(wfd[0]);
+      close(wfd[1]);
+      close(rfd[0]);
+      close(rfd[1]);
+      break;
+    }
+    if (pid == 0) {
+      close(wfd[1]);
+      close(rfd[0]);
+      for (const Worker& o : ws) {  // siblings' ends are not ours to hold
+        close(o.work_fd);
+        close(o.result_fd);
+      }
+      worker_loop(wfd[0], rfd[1], work, opts.sigkill_on_unit);
+    }
+    close(wfd[0]);
+    close(rfd[1]);
+    Worker wk;
+    wk.pid = pid;
+    wk.work_fd = wfd[1];
+    wk.result_fd = rfd[0];
+    wk.alive = true;
+    ws.push_back(wk);
+  }
+
+  if (ws.empty()) {
+    sigaction(SIGPIPE, &old_pipe, nullptr);
+    run_inline();  // spool-backed sequential fallback
+    return out;
+  }
+
+  std::size_t next_unit = 0;
+  auto next_pending = [&]() -> std::ptrdiff_t {
+    while (next_unit < n && done[next_unit]) ++next_unit;
+    return next_unit < n ? static_cast<std::ptrdiff_t>(next_unit++) : -1;
+  };
+  auto assign = [&](Worker& w) {
+    std::ptrdiff_t u = next_pending();
+    if (u < 0) {
+      (void)write_all(w.work_fd, "q\n");
+      close(w.work_fd);
+      w.work_fd = -1;
+      w.assigned = -1;
+      return;
+    }
+    w.assigned = u;
+    (void)write_all(w.work_fd, "u " + std::to_string(u) + "\n");
+    // If the write failed the worker is dying; its EOF below records the
+    // unit as crashed.
+  };
+  for (Worker& w : ws) assign(w);
+
+  std::size_t alive = ws.size();
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> order;
+  while (alive > 0) {
+    pfds.clear();
+    order.clear();
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      if (!ws[wi].alive) continue;
+      pfds.push_back(pollfd{ws[wi].result_fd, POLLIN, 0});
+      order.push_back(wi);
+    }
+    int pr = poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = ws[order[k]];
+      char tmp[65536];
+      ssize_t got = read(w.result_fd, tmp, sizeof tmp);
+      if (got < 0 && errno == EINTR) continue;
+      if (got > 0) {
+        w.buf.append(tmp, static_cast<std::size_t>(got));
+        for (;;) {  // drain complete frames
+          std::size_t nl = w.buf.find('\n');
+          if (nl == std::string::npos) break;
+          unsigned long long idx = 0, len = 0;
+          if (std::sscanf(w.buf.c_str(), "r %llu %llu", &idx, &len) != 2 ||
+              idx >= n) {
+            // Protocol corruption: drop the worker, crash its unit below.
+            got = 0;
+            break;
+          }
+          if (w.buf.size() < nl + 1 + len) break;  // frame incomplete
+          out[idx].text = w.buf.substr(nl + 1, len);
+          out[idx].ran = true;
+          done[idx] = 1;
+          spool_write(idx);
+          w.buf.erase(0, nl + 1 + len);
+          w.assigned = -1;
+          assign(w);
+        }
+      }
+      if (got <= 0) {
+        // EOF (worker exited or died) or corruption. An in-flight
+        // assignment becomes a crashed unit — recorded, never retried, so
+        // the merged outcome is deterministic.
+        w.alive = false;
+        --alive;
+        if (w.work_fd >= 0) {
+          close(w.work_fd);
+          w.work_fd = -1;
+        }
+        close(w.result_fd);
+        w.result_fd = -1;
+        if (w.assigned >= 0) {
+          done[static_cast<std::size_t>(w.assigned)] = 1;
+          out[static_cast<std::size_t>(w.assigned)].ran = false;
+          w.assigned = -1;
+        }
+        if (w.pid > 0) {
+          kill(w.pid, SIGKILL);  // no-op if it exited cleanly
+        }
+      }
+    }
+  }
+
+  for (Worker& w : ws) {
+    if (w.work_fd >= 0) close(w.work_fd);
+    if (w.result_fd >= 0) close(w.result_fd);
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+  }
+  sigaction(SIGPIPE, &old_pipe, nullptr);
+
+  // Units never assigned (all workers died early) still get computed.
+  run_inline();
+  return out;
+#endif
+}
+
+}  // namespace cds::mc

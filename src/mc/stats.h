@@ -35,6 +35,39 @@ struct ExplorationStats {
   Verdict verdict = Verdict::kInconclusive;
 };
 
+// Folds one shard's stats into an aggregate. Disjoint subtree shards
+// partition the executions of a serial run, so counters sum exactly
+// (merged counts from an exhaustive sharded run are bit-identical to the
+// serial run's); budget/stop flags are sticky ORs, exhaustion is an AND
+// (every shard must finish its subtree), and depth is a max. `seconds`
+// sums shard CPU time, so it exceeds wall time when shards ran
+// concurrently. The verdict is NOT merged here — it needs run-level
+// context (crashed workers, falsifying shard priority); see the parallel
+// driver.
+inline void merge_shard_stats(ExplorationStats& into,
+                              const ExplorationStats& shard) {
+  into.executions += shard.executions;
+  into.feasible += shard.feasible;
+  into.pruned_bound += shard.pruned_bound;
+  into.pruned_livelock += shard.pruned_livelock;
+  into.pruned_redundant += shard.pruned_redundant;
+  into.builtin_violation_execs += shard.builtin_violation_execs;
+  into.engine_fatal_execs += shard.engine_fatal_execs;
+  into.crash_execs += shard.crash_execs;
+  into.violations_total += shard.violations_total;
+  into.hit_execution_cap = into.hit_execution_cap || shard.hit_execution_cap;
+  into.stopped_early = into.stopped_early || shard.stopped_early;
+  into.seconds += shard.seconds;
+  into.sampled += shard.sampled;
+  if (shard.max_trail_depth > into.max_trail_depth) {
+    into.max_trail_depth = shard.max_trail_depth;
+  }
+  into.hit_time_budget = into.hit_time_budget || shard.hit_time_budget;
+  into.hit_memory_budget = into.hit_memory_budget || shard.hit_memory_budget;
+  into.watchdog_fired = into.watchdog_fired || shard.watchdog_fired;
+  into.exhausted = into.exhausted && shard.exhausted;
+}
+
 }  // namespace cds::mc
 
 #endif  // CDS_MC_STATS_H

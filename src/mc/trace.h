@@ -10,7 +10,7 @@
 // determinism assertion promoted to a runtime divergence check.
 //
 // Format (line-oriented, '#' starts a comment, order fixed):
-//   cdsspec-trail v1
+//   cdsspec-trail v2
 //   test msqueue#2
 //   seed 11400714819323198485
 //   kind data-race                       # optional: wire_name(ViolationKind)
@@ -34,7 +34,11 @@
 namespace cds::mc {
 
 struct TrailFile {
-  static constexpr int kVersion = 1;
+  // v2: Xorshift64::below() switched from modulo reduction to rejection
+  // sampling, changing every random-mode choice stream; v1 trails recorded
+  // from sampled executions would silently replay a different schedule, so
+  // the version gates them out.
+  static constexpr int kVersion = 2;
 
   // Identity: which test body this trail drives ("<benchmark>#<index>" for
   // registry benchmarks, "litmus" for fuzzer programs).

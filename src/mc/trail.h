@@ -41,15 +41,28 @@ class Trail {
   void reset_all() {
     v_.clear();
     pos_ = 0;
+    pinned_ = 0;
     mode_ = Mode::kDfs;
     strict_ = false;
     divergence_.clear();
   }
 
   void begin_execution() {
-    if (mode_ == Mode::kRandom) v_.clear();
+    // Random mode redraws every unpinned choice each execution; a pinned
+    // prefix survives so sampling stays confined to its subtree.
+    if (mode_ == Mode::kRandom) v_.resize(pinned_);
     pos_ = 0;
   }
+
+  // Pin the first `n` recorded choices: advance() will neither flip nor pop
+  // them, so DFS is restricted to the subtree below that prefix and reports
+  // exhaustion once every continuation of the prefix has been explored.
+  // This is how parallel workers each own a disjoint shard of the tree.
+  void set_pinned(std::size_t n) {
+    assert(n <= v_.size());
+    pinned_ = n;
+  }
+  [[nodiscard]] std::size_t pinned() const { return pinned_; }
 
   void set_mode(Mode m, support::Xorshift64* rng = nullptr) {
     mode_ = m;
@@ -96,10 +109,13 @@ class Trail {
     return pick;
   }
 
-  // Move to the next DFS leaf. Returns false when the tree is exhausted.
+  // Move to the next DFS leaf. Returns false when the tree (or, with a
+  // pinned prefix, the pinned subtree) is exhausted.
   bool advance() {
-    while (!v_.empty() && v_.back().chosen + 1u >= v_.back().num) v_.pop_back();
-    if (v_.empty()) return false;
+    while (v_.size() > pinned_ && v_.back().chosen + 1u >= v_.back().num) {
+      v_.pop_back();
+    }
+    if (v_.size() <= pinned_) return false;
     ++v_.back().chosen;
     return true;
   }
@@ -128,6 +144,7 @@ class Trail {
   void restore(std::vector<Choice> saved, bool strict = false) {
     v_ = std::move(saved);
     pos_ = 0;
+    pinned_ = 0;  // callers pin after restoring, if sharding
     mode_ = Mode::kDfs;
     strict_ = strict;
     divergence_.clear();
@@ -149,6 +166,7 @@ class Trail {
 
   std::vector<Choice> v_;
   std::size_t pos_ = 0;
+  std::size_t pinned_ = 0;
   Mode mode_ = Mode::kDfs;
   support::Xorshift64* rng_ = nullptr;
   bool strict_ = false;

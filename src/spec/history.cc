@@ -1,5 +1,7 @@
 #include "spec/history.h"
 
+#include <algorithm>
+
 #include "support/rng.h"
 
 namespace cds::spec {
@@ -32,9 +34,14 @@ struct TopoCtx {
   const std::function<bool(const std::vector<const CallRecord*>&)>* cb;
 };
 
-// Classic all-topological-sorts backtracking; each recursion level picks
-// every currently-available node in turn.
-bool topo_rec(TopoCtx& c) {
+// All-topological-sorts backtracking with an explicit available-set: each
+// level receives the sorted list of indeg-0 nodes instead of rescanning all
+// n indegrees per level (the old O(n)-per-level scan dominated on long
+// histories where only a couple of calls are ever available at once).
+// `avail` is kept in increasing node-index order, which is exactly the
+// order the old full scan visited candidates in, so the stream of emitted
+// orders is bit-for-bit identical.
+bool topo_rec(TopoCtx& c, const std::vector<int>& avail) {
   const int n = static_cast<int>(c.calls->size());
   if (static_cast<int>(c.order.size()) == n) {
     ++c.res.count;
@@ -48,22 +55,34 @@ bool topo_rec(TopoCtx& c) {
     }
     return true;
   }
-  bool found = false;
-  for (int v = 0; v < n; ++v) {
-    if (c.indeg[static_cast<std::size_t>(v)] != 0) continue;
-    found = true;
-    c.indeg[static_cast<std::size_t>(v)] = -1;  // taken
+  if (avail.empty()) {
+    c.res.cycle = true;  // nodes remain but every one has a predecessor left
+    return true;
+  }
+  std::vector<int> child;
+  child.reserve(avail.size() + 4);
+  for (int v : avail) {
     for (int w : (*c.succ)[static_cast<std::size_t>(v)]) --c.indeg[static_cast<std::size_t>(w)];
     c.order.push_back((*c.calls)[static_cast<std::size_t>(v)]);
 
-    bool keep = topo_rec(c);
+    // Child set = avail \ {v} ∪ successors that just became available,
+    // merged in index order.
+    child.clear();
+    for (int u : avail) {
+      if (u != v) child.push_back(u);
+    }
+    for (int w : (*c.succ)[static_cast<std::size_t>(v)]) {
+      if (c.indeg[static_cast<std::size_t>(w)] == 0) {
+        child.insert(std::lower_bound(child.begin(), child.end(), w), w);
+      }
+    }
+
+    bool keep = topo_rec(c, child);
 
     c.order.pop_back();
     for (int w : (*c.succ)[static_cast<std::size_t>(v)]) ++c.indeg[static_cast<std::size_t>(w)];
-    c.indeg[static_cast<std::size_t>(v)] = 0;
     if (!keep) return false;
   }
-  if (!found && static_cast<int>(c.order.size()) < n) c.res.cycle = true;
   return true;
 }
 
@@ -88,7 +107,11 @@ TopoResult for_each_topo_order(
   c.cap = cap == 0 ? UINT64_MAX : cap;
   c.cb = &cb;
   c.order.reserve(calls.size());
-  topo_rec(c);
+  std::vector<int> avail;
+  for (int v = 0; v < static_cast<int>(calls.size()); ++v) {
+    if (c.indeg[static_cast<std::size_t>(v)] == 0) avail.push_back(v);
+  }
+  topo_rec(c, avail);
   return c.res;
 }
 

@@ -21,8 +21,20 @@ class Xorshift64 {
     return s_;
   }
 
-  // Uniform in [0, n). n must be > 0.
-  std::uint64_t below(std::uint64_t n) { return next() % n; }
+  // Uniform in [0, n). n must be > 0. Rejection sampling: a plain
+  // `next() % n` over-weights the low residues whenever 2^64 is not a
+  // multiple of n (severe for large n). Discarding draws below
+  // `2^64 mod n` leaves a range that divides evenly, so every residue is
+  // exactly equally likely. The loop rejects < 1 draw in expectation for
+  // any n and is deterministic given the seed.
+  std::uint64_t below(std::uint64_t n) {
+    std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    std::uint64_t x;
+    do {
+      x = next();
+    } while (x < threshold);
+    return (x - threshold) % n;
+  }
 
   // Full internal state, for checkpoint/resume: a run restored with
   // set_state() draws the exact stream the interrupted run would have.

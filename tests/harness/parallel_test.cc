@@ -1,0 +1,164 @@
+// Parallel sharded exploration: the merged result of a --jobs N run must
+// be bit-identical (executions, prunes, spec counters, verdict) to the
+// serial run on exhaustive workloads, and a worker killed mid-shard must be
+// contained as that shard's outcome without taking the run down.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ds/suite.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+#include "harness/parallel.h"
+#include "harness/runner.h"
+#include "inject/inject.h"
+#include "mc/atomic.h"
+
+namespace cds {
+namespace {
+
+void expect_merged_equals_serial(const harness::RunResult& serial,
+                                 const harness::RunResult& merged) {
+  EXPECT_EQ(merged.mc.executions, serial.mc.executions);
+  EXPECT_EQ(merged.mc.feasible, serial.mc.feasible);
+  EXPECT_EQ(merged.mc.pruned_livelock, serial.mc.pruned_livelock);
+  EXPECT_EQ(merged.mc.pruned_bound, serial.mc.pruned_bound);
+  EXPECT_EQ(merged.mc.pruned_redundant, serial.mc.pruned_redundant);
+  EXPECT_EQ(merged.mc.engine_fatal_execs, serial.mc.engine_fatal_execs);
+  EXPECT_EQ(merged.mc.violations_total, serial.mc.violations_total);
+  EXPECT_EQ(merged.mc.max_trail_depth, serial.mc.max_trail_depth);
+  EXPECT_EQ(merged.mc.exhausted, serial.mc.exhausted);
+  EXPECT_EQ(merged.verdict, serial.verdict);
+  EXPECT_EQ(merged.spec.executions_checked, serial.spec.executions_checked);
+  EXPECT_EQ(merged.spec.histories_checked, serial.spec.histories_checked);
+  EXPECT_EQ(merged.spec.justification_checks,
+            serial.spec.justification_checks);
+  EXPECT_EQ(merged.spec.inadmissible_execs, serial.spec.inadmissible_execs);
+  EXPECT_EQ(merged.spec.assertion_violation_execs,
+            serial.spec.assertion_violation_execs);
+  EXPECT_EQ(merged.detected_builtin(), serial.detected_builtin());
+  EXPECT_EQ(merged.detected_admissibility(),
+            serial.detected_admissibility());
+  EXPECT_EQ(merged.detected_assertion(), serial.detected_assertion());
+}
+
+TEST(ParallelHarness, MergedStatsMatchSerialOnCleanBenchmarks) {
+  ds::register_all_benchmarks();
+  for (const char* name : {"ticket-lock", "peterson-lock"}) {
+    const auto* b = harness::find_benchmark(name);
+    ASSERT_NE(b, nullptr) << name;
+    harness::RunOptions opts;
+    harness::RunResult serial = harness::run_benchmark(*b, opts);
+    harness::ParallelOptions par;
+    par.jobs = 4;
+    harness::ParallelRunResult pr =
+        harness::run_benchmark_parallel(*b, opts, par);
+    SCOPED_TRACE(name);
+    EXPECT_GT(pr.shards, 1u) << "sharding should split the DFS tree";
+    EXPECT_EQ(pr.crashed_shards, 0u);
+    expect_merged_equals_serial(serial, pr.merged);
+    EXPECT_EQ(pr.merged.verdict, mc::Verdict::kVerifiedExhaustive);
+  }
+}
+
+TEST(ParallelHarness, MergedStatsMatchSerialOnFalsifiedBenchmark) {
+  // Weaken the first injectable ticket-lock site: both the serial and the
+  // sharded run must falsify with the same violation totals.
+  ds::register_all_benchmarks();
+  const auto* b = harness::find_benchmark("ticket-lock");
+  ASSERT_NE(b, nullptr);
+  bool injected = false;
+  for (const auto& s : inject::sites_for(b->name)) {
+    if (!s.injectable()) continue;
+    inject::inject(s.id);
+    injected = true;
+    break;
+  }
+  ASSERT_TRUE(injected);
+  harness::RunOptions opts;
+  harness::RunResult serial = harness::run_benchmark(*b, opts);
+  harness::ParallelOptions par;
+  par.jobs = 4;
+  harness::ParallelRunResult pr =
+      harness::run_benchmark_parallel(*b, opts, par);
+  inject::clear_injection();
+  expect_merged_equals_serial(serial, pr.merged);
+  EXPECT_EQ(pr.merged.verdict, mc::Verdict::kFalsified);
+  ASSERT_FALSE(pr.merged.violations.empty());
+  ASSERT_FALSE(serial.violations.empty());
+  // Shards merge in DFS order, so the surfaced first witness is the
+  // serial run's first violation (same kind on the same unit test).
+  EXPECT_EQ(pr.merged.violations.front().kind, serial.violations.front().kind);
+  EXPECT_EQ(pr.merged.violations.front().test_index,
+            serial.violations.front().test_index);
+}
+
+TEST(ParallelHarness, FuzzOracleShardedBehaviorsMatchSerial) {
+  for (const char* name : {"mp_relacq", "casloop_mixed", "iriw_sc"}) {
+    std::string path = std::string(CDS_CORPUS_DIR) + "/" + name + ".litmus";
+    std::ifstream f(path);
+    ASSERT_TRUE(f.is_open()) << path;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    fuzz::Program p;
+    std::string err;
+    ASSERT_TRUE(fuzz::Program::parse(buf.str(), &p, &err)) << path << ": "
+                                                           << err;
+    fuzz::OracleConfig serial_cfg;
+    fuzz::McBehaviors serial = fuzz::mc_behaviors(p, serial_cfg);
+    fuzz::OracleConfig par_cfg;
+    par_cfg.jobs = 4;
+    fuzz::McBehaviors sharded = fuzz::mc_behaviors(p, par_cfg);
+    SCOPED_TRACE(name);
+    EXPECT_EQ(sharded.behaviors, serial.behaviors);
+    EXPECT_EQ(sharded.exhausted, serial.exhausted);
+    EXPECT_EQ(sharded.executions, serial.executions);
+  }
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(ParallelSlow, SigkilledWorkerIsContainedAsCrashedShard) {
+  // A worker SIGKILLed while holding a shard must become that shard's
+  // verdict: the run completes, the shard is recorded crashed, and the
+  // merged verdict degrades to inconclusive (its subtree went unexplored).
+  harness::Benchmark victim;
+  victim.name = "parallel-sigkill";
+  victim.display = "Parallel containment (synthetic)";
+  victim.spec = nullptr;
+  victim.tests.push_back([](mc::Exec& x) {
+    auto* a = x.make<mc::Atomic<int>>(0, "a");
+    auto* c = x.make<mc::Atomic<int>>(0, "b");
+    int t1 = x.spawn([a, c] {
+      a->store(1, mc::MemoryOrder::relaxed);
+      (void)c->load(mc::MemoryOrder::relaxed);
+    });
+    int t2 = x.spawn([a, c] {
+      c->store(1, mc::MemoryOrder::relaxed);
+      (void)a->load(mc::MemoryOrder::relaxed);
+    });
+    x.join(t1);
+    x.join(t2);
+  });
+
+  harness::RunOptions opts;
+  harness::ParallelOptions par;
+  par.jobs = 2;
+  par.shard_depth = 3;
+  par.sigkill_shard = 0;
+  harness::ParallelRunResult pr =
+      harness::run_benchmark_parallel(victim, opts, par);
+  EXPECT_GE(pr.shards, 2u);
+  EXPECT_EQ(pr.crashed_shards, 1u);
+  EXPECT_EQ(pr.merged.verdict, mc::Verdict::kInconclusive);
+  EXPECT_FALSE(pr.merged.mc.exhausted);
+  // The surviving workers still covered every other shard.
+  EXPECT_GT(pr.merged.mc.executions, 0u);
+}
+
+#endif  // fork-capable platforms
+
+}  // namespace
+}  // namespace cds

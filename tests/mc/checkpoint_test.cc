@@ -175,7 +175,7 @@ TEST(Checkpoint, CorruptedFieldsAreRejectedWithActionableErrors) {
     EXPECT_NE(err.find(expect_msg), std::string::npos)
         << "'" << from << "' -> '" << to << "': " << err;
   };
-  reject("cdsspec-checkpoint v1", "cdsspec-checkpoint v7",
+  reject("cdsspec-checkpoint v2", "cdsspec-checkpoint v7",
          "unsupported checkpoint version v7");
   reject("phase sampling", "phase lunch", "unknown phase");
   reject("executions=", "exekutions=", "unknown key");

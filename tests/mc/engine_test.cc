@@ -348,6 +348,37 @@ TEST(Engine, SleepSetAblationPreservesBehaviors) {
   EXPECT_LE(son.executions, soff.executions);
 }
 
+TEST(Engine, MoreThanSixtyFourRunnableThreads) {
+  // Regression: the scheduler's enabled-thread scratch was a fixed
+  // enabled[64] array that silently dropped runnable threads past the cap,
+  // so threads 65.. were never scheduled. Spawn 70 concurrently-runnable
+  // threads and require every one of them to run to completion.
+  Config cfg;
+  cfg.max_threads = 80;
+  cfg.max_executions = 1;
+  Engine e(cfg);
+  static constexpr int kThreads = 70;
+  auto stats = e.explore([](Exec& x) {
+    std::vector<Var<int>*> slots;
+    slots.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      slots.push_back(x.make<Var<int>>(0));
+    }
+    std::vector<int> tids;
+    tids.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      Var<int>* s = slots[static_cast<std::size_t>(i)];
+      tids.push_back(x.spawn([s] { s->write(1); }));
+    }
+    for (int tid : tids) x.join(tid);
+    int ran = 0;
+    for (Var<int>* s : slots) ran += s->read();
+    EXPECT_EQ(ran, kThreads) << "some runnable threads were never scheduled";
+  });
+  EXPECT_EQ(stats.engine_fatal_execs, 0u);
+  EXPECT_GE(stats.feasible, 1u);
+}
+
 TEST(Engine, ManyThreadsSpawnJoin) {
   Engine e;
   auto stats = e.explore([](Exec& x) {

@@ -1,0 +1,185 @@
+// Property test for the all-topological-sorts enumerator: the available-set
+// implementation in history.cc must emit the exact order stream (and flags)
+// of the straightforward reference below — a full indegree scan per level,
+// the algorithm history.cc used before the available-set rewrite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "spec/history.h"
+#include "support/rng.h"
+
+namespace cds::spec {
+namespace {
+
+// Reference enumerator: per level, scan every node's indegree and recurse
+// on each unused indeg-0 node in increasing index order. O(n) per level;
+// trusted for being obvious, not fast.
+struct RefCtx {
+  const std::vector<const CallRecord*>* calls;
+  const std::vector<std::vector<int>>* succ;
+  std::vector<int> indeg;
+  std::vector<const CallRecord*> order;
+  std::uint64_t cap;
+  TopoResult res;
+  const std::function<bool(const std::vector<const CallRecord*>&)>* cb;
+};
+
+bool ref_rec(RefCtx& c) {
+  const int n = static_cast<int>(c.calls->size());
+  if (static_cast<int>(c.order.size()) == n) {
+    ++c.res.count;
+    if (!(*c.cb)(c.order)) {
+      c.res.stopped = true;
+      return false;
+    }
+    if (c.res.count >= c.cap) {
+      c.res.capped = true;
+      return false;
+    }
+    return true;
+  }
+  bool any = false;
+  for (int v = 0; v < n; ++v) {
+    if (c.indeg[static_cast<std::size_t>(v)] != 0) continue;
+    any = true;
+    c.indeg[static_cast<std::size_t>(v)] = -1;
+    for (int w : (*c.succ)[static_cast<std::size_t>(v)]) {
+      --c.indeg[static_cast<std::size_t>(w)];
+    }
+    c.order.push_back((*c.calls)[static_cast<std::size_t>(v)]);
+    bool keep = ref_rec(c);
+    c.order.pop_back();
+    for (int w : (*c.succ)[static_cast<std::size_t>(v)]) {
+      ++c.indeg[static_cast<std::size_t>(w)];
+    }
+    c.indeg[static_cast<std::size_t>(v)] = 0;
+    if (!keep) return false;
+  }
+  if (!any) c.res.cycle = true;
+  return true;
+}
+
+TopoResult ref_for_each_topo_order(
+    const std::vector<const CallRecord*>& calls,
+    const std::vector<std::vector<int>>& succ, std::uint64_t cap,
+    const std::function<bool(const std::vector<const CallRecord*>&)>& cb) {
+  RefCtx c;
+  c.calls = &calls;
+  c.succ = &succ;
+  c.indeg.assign(succ.size(), 0);
+  for (const auto& edges : succ) {
+    for (int w : edges) ++c.indeg[static_cast<std::size_t>(w)];
+  }
+  c.cap = cap == 0 ? UINT64_MAX : cap;
+  c.cb = &cb;
+  c.order.reserve(calls.size());
+  ref_rec(c);
+  return c.res;
+}
+
+using Stream = std::vector<std::vector<std::uint32_t>>;
+
+// Runs one enumerator and flattens its emitted orders into id sequences.
+template <typename Fn>
+TopoResult collect(Fn&& fn, const std::vector<const CallRecord*>& calls,
+                   const std::vector<std::vector<int>>& succ,
+                   std::uint64_t cap, std::uint64_t stop_after, Stream* out) {
+  return fn(calls, succ, cap,
+            [&](const std::vector<const CallRecord*>& order) {
+              std::vector<std::uint32_t> ids;
+              ids.reserve(order.size());
+              for (const CallRecord* r : order) ids.push_back(r->id);
+              out->push_back(std::move(ids));
+              return stop_after == 0 || out->size() < stop_after;
+            });
+}
+
+void expect_identical(const std::vector<const CallRecord*>& calls,
+                      const std::vector<std::vector<int>>& succ,
+                      std::uint64_t cap, std::uint64_t stop_after) {
+  Stream got, want;
+  TopoResult rg =
+      collect(for_each_topo_order, calls, succ, cap, stop_after, &got);
+  TopoResult rw =
+      collect(ref_for_each_topo_order, calls, succ, cap, stop_after, &want);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(rg.count, rw.count);
+  EXPECT_EQ(rg.capped, rw.capped);
+  EXPECT_EQ(rg.cycle, rw.cycle);
+  EXPECT_EQ(rg.stopped, rw.stopped);
+}
+
+// A random DAG over a random index permutation, so available-node order is
+// not just 0..n-1.
+std::vector<std::vector<int>> random_dag(int n, support::Xorshift64& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.below(100) < 35) {
+        succ[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])]
+            .push_back(perm[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return succ;
+}
+
+TEST(HistoryTopo, MatchesReferenceOnRandomDags) {
+  support::Xorshift64 rng(0xc0ffee);
+  std::vector<CallRecord> pool(9);
+  for (std::uint32_t i = 0; i < pool.size(); ++i) pool[i].id = i;
+  for (int trial = 0; trial < 200; ++trial) {
+    int n = 2 + static_cast<int>(rng.below(7));
+    std::vector<const CallRecord*> calls;
+    for (int i = 0; i < n; ++i)
+      calls.push_back(&pool[static_cast<std::size_t>(i)]);
+    auto succ = random_dag(n, rng);
+    expect_identical(calls, succ, /*cap=*/0, /*stop_after=*/0);
+  }
+}
+
+TEST(HistoryTopo, MatchesReferenceUnderCapAndEarlyStop) {
+  support::Xorshift64 rng(0xfeedbeef);
+  std::vector<CallRecord> pool(8);
+  for (std::uint32_t i = 0; i < pool.size(); ++i) pool[i].id = i;
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = 3 + static_cast<int>(rng.below(6));
+    std::vector<const CallRecord*> calls;
+    for (int i = 0; i < n; ++i)
+      calls.push_back(&pool[static_cast<std::size_t>(i)]);
+    auto succ = random_dag(n, rng);
+    expect_identical(calls, succ, /*cap=*/1 + rng.below(6), /*stop_after=*/0);
+    expect_identical(calls, succ, /*cap=*/0,
+                     /*stop_after=*/1 + rng.below(4));
+  }
+}
+
+TEST(HistoryTopo, CycleFlagMatchesReference) {
+  std::vector<CallRecord> pool(3);
+  for (std::uint32_t i = 0; i < pool.size(); ++i) pool[i].id = i;
+  std::vector<const CallRecord*> calls{&pool[0], &pool[1], &pool[2]};
+  // 0 -> 1 -> 2 -> 1: node 0 places, then {1,2} cycle.
+  std::vector<std::vector<int>> succ{{1}, {2}, {1}};
+  expect_identical(calls, succ, /*cap=*/0, /*stop_after=*/0);
+  TopoResult r = for_each_topo_order(
+      calls, succ, 0, [](const std::vector<const CallRecord*>&) {
+        ADD_FAILURE() << "cyclic graph must emit no orders";
+        return true;
+      });
+  EXPECT_TRUE(r.cycle);
+  EXPECT_EQ(r.count, 0u);
+}
+
+}  // namespace
+}  // namespace cds::spec

@@ -199,5 +199,36 @@ TEST(Rng, ZeroSeedDoesNotDegenerate) {
   EXPECT_GT(vals.size(), 5u);
 }
 
+TEST(Rng, BelowIsUnbiasedForLargeRanges) {
+  // n = 3 * 2^62 is the worst case for the old modulo reduction: 2^64 mod n
+  // is 2^62, so the residues below 2^62 were hit from two input ranges and
+  // landed with probability 1/2 instead of 1/3. Rejection sampling must put
+  // each third of [0, n) back at ~1/3.
+  const std::uint64_t n = 3ull << 62;
+  const std::uint64_t third = 1ull << 62;
+  support::Xorshift64 r(12345);
+  const int draws = 100000;
+  int buckets[3] = {0, 0, 0};
+  for (int i = 0; i < draws; ++i) {
+    std::uint64_t x = r.below(n);
+    ASSERT_LT(x, n);
+    ++buckets[x / third];
+  }
+  for (int b = 0; b < 3; ++b) {
+    double frac = static_cast<double>(buckets[b]) / draws;
+    EXPECT_NEAR(frac, 1.0 / 3.0, 0.02) << "bucket " << b;
+  }
+}
+
+TEST(Rng, BelowSmallRangesStayUniformish) {
+  support::Xorshift64 r(7);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 50000; ++i) ++counts[r.below(5)];
+  for (int b = 0; b < 5; ++b) {
+    double frac = counts[b] / 50000.0;
+    EXPECT_NEAR(frac, 0.2, 0.02) << "bucket " << b;
+  }
+}
+
 }  // namespace
 }  // namespace cds

@@ -2,6 +2,7 @@
 // engine (the correctness-tooling layer: the checker checking itself).
 //
 //   cdsspec-fuzz --trials N [--seed S] [--timeout SECS] [--out DIR] [--json]
+//                [--jobs N]
 //   cdsspec-fuzz --replay FILE...        re-check repro/corpus programs
 //   cdsspec-fuzz --replay-dir DIR        re-check every *.litmus in DIR
 //
@@ -47,6 +48,7 @@ void usage() {
   std::printf(
       "usage: cdsspec-fuzz --trials N [--seed S] [--timeout SECS]\n"
       "                    [--out DIR] [--json] [--unsound-hook NAME]\n"
+      "                    [--jobs N]\n"
       "       cdsspec-fuzz --replay FILE...\n"
       "       cdsspec-fuzz --replay-dir DIR\n"
       "unsound hooks (self-validation only): sc-floor, sleep-wake\n"
@@ -305,6 +307,13 @@ int main(int argc, char** argv) {
       if (!parse_u64(value("--seed"), &base_seed)) return kExitUsage;
     } else if (a == "--timeout") {
       if (!parse_double(value("--timeout"), &timeout)) return kExitUsage;
+    } else if (a == "--jobs") {
+      std::uint64_t j = 0;
+      if (!parse_u64(value("--jobs"), &j) || j == 0 || j > 256) {
+        std::fprintf(stderr, "cdsspec-fuzz: --jobs must be in 1..256\n");
+        return kExitUsage;
+      }
+      cfg.jobs = static_cast<int>(j);
     } else if (a == "--out") {
       out_dir = value("--out");
     } else if (a == "--json") {

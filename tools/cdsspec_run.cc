@@ -13,6 +13,8 @@
 //        --checkpoint FILE (periodic resumable snapshots),
 //        --resume (continue from the --checkpoint file),
 //        --trail-out FILE (write a .trail repro of the found violation),
+//        --jobs N (parallel sharded exploration over forked workers),
+//        --shard-depth N (prefix depth for --jobs shard enumeration),
 //        --json (machine-readable results),
 //        --no-sleep-sets, --stop-on-violation, --reports
 //
@@ -24,9 +26,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ds/suite.h"
+#include "harness/parallel.h"
 #include "harness/runner.h"
 #include "inject/inject.h"
 #include "mc/checkpoint.h"
@@ -50,6 +54,7 @@ void usage() {
       "                   [--seed N] [--checkpoint FILE] [--resume]\n"
       "                   [--trail-out FILE] [--json] [--no-sleep-sets]\n"
       "                   [--stop-on-violation] [--reports] [--dot]\n"
+      "                   [--jobs N] [--shard-depth N]\n"
       "       cdsspec-run --replay-trail FILE\n"
       "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error\n"
       "            (also replay divergence / resume mismatch), 3 inconclusive\n");
@@ -279,10 +284,22 @@ void print_result(const cds::harness::RunResult& r, bool reports) {
 }
 
 void print_result_json(const std::string& benchmark,
-                       const cds::harness::RunResult& r) {
+                       const cds::harness::RunResult& r,
+                       const cds::harness::ParallelRunResult* par = nullptr) {
   std::printf("{\n");
   std::printf("  \"benchmark\": \"%s\",\n", json_escape(benchmark).c_str());
   std::printf("  \"mode\": \"run\",\n");
+  if (par != nullptr) {
+    std::printf("  \"parallel\": {\n");
+    std::printf("    \"jobs\": %d,\n", par->jobs);
+    std::printf("    \"shards\": %llu,\n",
+                static_cast<unsigned long long>(par->shards));
+    std::printf("    \"crashed_shards\": %llu,\n",
+                static_cast<unsigned long long>(par->crashed_shards));
+    std::printf("    \"probe_executions\": %llu\n",
+                static_cast<unsigned long long>(par->probe_executions));
+    std::printf("  },\n");
+  }
   std::printf("  \"seed\": %llu,\n",
               static_cast<unsigned long long>(r.mc.seed));
   std::printf("  \"verdict\": \"%s\",\n", to_string(r.verdict));
@@ -405,6 +422,8 @@ int main(int argc, char** argv) {
   bool have_inject = false;
   bool want_resume = false;
   std::string trail_out;
+  std::uint64_t jobs_u = 1;
+  std::uint64_t shard_depth_u = 2;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--sites") sites = true;
@@ -455,6 +474,21 @@ int main(int argc, char** argv) {
     } else if (a == "--trail-out") {
       if (!flag_str(argc, argv, &i, "--trail-out", &trail_out))
         return kExitUsage;
+    } else if (a == "--jobs") {
+      if (!flag_value(argc, argv, &i, "--jobs", &jobs_u, parse_u64))
+        return kExitUsage;
+      if (jobs_u == 0 || jobs_u > 256) {
+        std::fprintf(stderr, "cdsspec-run: --jobs must be in 1..256\n");
+        return kExitUsage;
+      }
+    } else if (a == "--shard-depth") {
+      if (!flag_value(argc, argv, &i, "--shard-depth", &shard_depth_u,
+                      parse_u64))
+        return kExitUsage;
+      if (shard_depth_u == 0 || shard_depth_u > 16) {
+        std::fprintf(stderr, "cdsspec-run: --shard-depth must be in 1..16\n");
+        return kExitUsage;
+      }
     } else {
       std::fprintf(stderr, "cdsspec-run: unknown flag '%s'\n", a.c_str());
       usage();
@@ -481,6 +515,13 @@ int main(int argc, char** argv) {
   }
   if (want_resume && opts.engine.checkpoint_path.empty()) {
     std::fprintf(stderr, "cdsspec-run: --resume requires --checkpoint FILE\n");
+    return kExitUsage;
+  }
+  if (jobs_u > 1 && (sweep || dot || want_resume ||
+                     !opts.engine.checkpoint_path.empty())) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --jobs applies to plain runs only; sharded "
+                 "runs do not checkpoint and --sweep/--dot stay serial\n");
     return kExitUsage;
   }
 
@@ -604,11 +645,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto r = cds::harness::run_benchmark(*b, opts);
+  cds::harness::RunResult r;
+  cds::harness::ParallelRunResult par;
+  const bool parallel = jobs_u > 1;
+  if (parallel) {
+    cds::harness::ParallelOptions popts;
+    popts.jobs = static_cast<int>(jobs_u);
+    popts.shard_depth = static_cast<int>(shard_depth_u);
+    par = cds::harness::run_benchmark_parallel(*b, opts, popts);
+    r = std::move(par.merged);
+  } else {
+    r = cds::harness::run_benchmark(*b, opts);
+  }
   cds::inject::clear_injection();
   if (json) {
-    print_result_json(b->name, r);
+    print_result_json(b->name, r, parallel ? &par : nullptr);
   } else {
+    if (parallel) {
+      std::printf("parallel: jobs=%d shards=%llu crashed=%llu "
+                  "probe-executions=%llu\n",
+                  par.jobs, static_cast<unsigned long long>(par.shards),
+                  static_cast<unsigned long long>(par.crashed_shards),
+                  static_cast<unsigned long long>(par.probe_executions));
+    }
     print_result(r, reports);
   }
 
