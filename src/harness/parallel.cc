@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -28,7 +29,7 @@ namespace {
 // oriented; multi-line payloads (violation details, spec reports) are
 // escaped onto single lines so the whole message parses line-by-line:
 //
-//   shard-result v1
+//   shard-result v2
 //   stats executions=.. feasible=.. ... exhausted=0|1 verdict=0|1|2
 //   spec checked=.. inadmissible=.. ... r_cycle=0|1
 //   violations <n>
@@ -37,11 +38,18 @@ namespace {
 //   ...
 //   reports <n>
 //   rep <escaped report>
+//   metrics <n>
+//   m <obs wire line>                      # see obs::Registry::render_wire
 //   end
+//
+// v2 added the metrics section. Parsing is strict-versioned: stale v1
+// spool files are treated as corrupt (shard recomputed or crashed) rather
+// than silently merged without metrics.
 
 struct ShardResult {
   mc::ExplorationStats stats;
   spec::SpecChecker::Stats spec;
+  obs::Registry metrics;
   std::vector<mc::Violation> violations;
   std::vector<std::string> reports;
 };
@@ -77,7 +85,7 @@ std::string unescape_line(const std::string& s) {
 
 std::string render_shard_result(const RunResult& r) {
   const mc::ExplorationStats& m = r.mc;
-  std::string s = "shard-result v1\n";
+  std::string s = "shard-result v2\n";
   s += "stats executions=" + std::to_string(m.executions) +
        " feasible=" + std::to_string(m.feasible) +
        " pruned_bound=" + std::to_string(m.pruned_bound) +
@@ -116,6 +124,11 @@ std::string render_shard_result(const RunResult& r) {
   s += "reports " + std::to_string(r.reports.size()) + "\n";
   for (const std::string& rep : r.reports) {
     s += "rep " + escape_line(rep) + "\n";
+  }
+  const std::vector<std::string> mlines = r.metrics.render_wire();
+  s += "metrics " + std::to_string(mlines.size()) + "\n";
+  for (const std::string& ml : mlines) {
+    s += "m " + ml + "\n";
   }
   s += "end\n";
   return s;
@@ -195,8 +208,8 @@ bool parse_shard_result(const std::string& text, ShardResult* out,
     return i < lines.size() ? &lines[i++] : nullptr;
   };
   const std::string* l = next();
-  if (l == nullptr || *l != "shard-result v1") {
-    *err = "not a shard result";
+  if (l == nullptr || *l != "shard-result v2") {
+    *err = "not a shard result (or a stale wire version)";
     return false;
   }
   l = next();
@@ -320,6 +333,21 @@ bool parse_shard_result(const std::string& text, ShardResult* out,
     out->reports.push_back(unescape_line(l->substr(4)));
   }
   l = next();
+  std::uint64_t nmet = 0;
+  if (l == nullptr || l->rfind("metrics ", 0) != 0 ||
+      !parse_u64_tok(l->c_str() + 8, &nmet)) {
+    *err = "missing metrics count";
+    return false;
+  }
+  for (std::uint64_t k = 0; k < nmet; ++k) {
+    l = next();
+    if (l == nullptr || l->rfind("m ", 0) != 0) {
+      *err = "missing metrics line";
+      return false;
+    }
+    if (!out->metrics.parse_wire_line(l->substr(2), err)) return false;
+  }
+  l = next();
   if (l == nullptr || *l != "end") {
     *err = "missing 'end' terminator";
     return false;
@@ -359,6 +387,11 @@ std::string run_shard(const Benchmark& b, const RunOptions& base,
   wo.engine.checkpoint_every_execs = 0;
   wo.engine.test_name = b.name + "#" + std::to_string(test_index);
   wo.engine.test_index = static_cast<std::uint32_t>(test_index);
+  // Heartbeats from parallel workers interleave on the shared stderr, so
+  // each line names its shard.
+  wo.engine.progress_label = wo.engine.test_name + " shard " +
+                             std::to_string(shard_index + 1) + "/" +
+                             std::to_string(shard_count);
   // Degraded-phase sampling shards by derived per-shard seeds and divides
   // the sample budget, so a budget-starved parallel run still samples
   // ~sample_executions total across the subtrees.
@@ -393,6 +426,13 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
                  par.spool_dir.c_str());
   }
 
+  // Coordinator-side observability: per-worker busy time / unit counts and
+  // aggregate queue wait. These are wall-clock and topology facts, so they
+  // live in gauges/timers, never in the bit-identical counter set.
+  std::map<int, std::pair<double, std::uint64_t>> worker_busy;  // w -> {s, units}
+  double queue_wait_seconds = 0.0;
+  double span_base = 0.0;  // offsets each test's fork_map clock in spans
+
   for (std::size_t i = 0; i < b.tests.size(); ++i) {
     mc::Config pcfg = opts.engine;
     pcfg.test_name = b.name + "#" + std::to_string(i);
@@ -426,7 +466,23 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
     std::uint64_t test_fatals = 0;
     std::uint64_t crashed_here = 0;
     std::uint64_t recorded_here = 0;
+    double test_end = 0.0;
     for (std::size_t u = 0; u < shard_count; ++u) {
+      const mc::UnitResult& ur = results[u];
+      if (ur.ran && !ur.from_spool && ur.done_seconds > ur.assigned_seconds) {
+        ShardSpan span;
+        span.name = b.name + "#" + std::to_string(i) + " shard " +
+                    std::to_string(u + 1) + "/" + std::to_string(shard_count);
+        span.worker = ur.worker;
+        span.start_seconds = span_base + ur.assigned_seconds;
+        span.duration_seconds = ur.done_seconds - ur.assigned_seconds;
+        pr.spans.push_back(std::move(span));
+        auto& [busy, units] = worker_busy[ur.worker];
+        busy += ur.done_seconds - ur.assigned_seconds;
+        ++units;
+        queue_wait_seconds += ur.assigned_seconds;
+        if (ur.done_seconds > test_end) test_end = ur.done_seconds;
+      }
       if (!results[u].ran) {
         ++crashed_here;
         test_exhausted = false;
@@ -456,6 +512,7 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
       total.spec.justification_checks += sr.spec.justification_checks;
       total.spec.history_cap_hit |= sr.spec.history_cap_hit;
       total.spec.r_cycle_seen |= sr.spec.r_cycle_seen;
+      total.metrics.merge(sr.metrics);
       // Per-test record cap mirrors the serial engine's: shards arrive in
       // DFS order and each records its DFS-first violations, so the first
       // max_recorded_violations across shards are the same records a
@@ -481,8 +538,26 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
                    : mc::Verdict::kInconclusive);
     weaken(total.verdict, tv);
     total.mc.exhausted = total.mc.exhausted && test_exhausted;
+    span_base += test_end;
   }
   total.mc.verdict = total.verdict;
+
+  obs::Registry& M = total.metrics;
+  M.gauge("parallel.jobs").set(static_cast<std::uint64_t>(pr.jobs));
+  M.gauge("parallel.shards").set(pr.shards);
+  M.gauge("parallel.crashed_shards").set(pr.crashed_shards);
+  M.gauge("parallel.spooled_shards").set(pr.spooled_shards);
+  M.gauge("parallel.probe_executions").set(pr.probe_executions);
+  if (queue_wait_seconds > 0.0) {
+    M.timer("parallel.shard_queue_wait")
+        .add_ns(static_cast<std::uint64_t>(queue_wait_seconds * 1e9));
+  }
+  for (const auto& [w, bu] : worker_busy) {
+    const std::string prefix = "parallel.worker" + std::to_string(w);
+    M.gauge(prefix + ".units").set(bu.second);
+    M.timer(prefix + ".busy")
+        .add_ns(static_cast<std::uint64_t>(bu.first * 1e9));
+  }
   return pr;
 }
 

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/runner.h"
 
@@ -46,6 +47,16 @@ struct ParallelOptions {
   std::ptrdiff_t sigkill_shard = -1;
 };
 
+// Coordinator-side timing of one shard's stay on a worker, for the
+// Chrome-trace export (--trace-out): observability only, never merged into
+// the deterministic counters.
+struct ShardSpan {
+  std::string name;  // "bench#test shard u/N"
+  int worker = -1;
+  double start_seconds = 0.0;     // since that test's fork_map entry
+  double duration_seconds = 0.0;  // assignment-to-result wall time
+};
+
 struct ParallelRunResult {
   RunResult merged;
   int jobs = 1;
@@ -53,6 +64,7 @@ struct ParallelRunResult {
   std::uint64_t crashed_shards = 0;  // worker died / result unparseable
   std::uint64_t spooled_shards = 0;  // satisfied from the spool directory
   std::uint64_t probe_executions = 0;
+  std::vector<ShardSpan> spans;
 };
 
 // Parallel analog of run_benchmark(). Checkpoint/resume options in `opts`

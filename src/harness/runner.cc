@@ -80,6 +80,7 @@ RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
   RunResult r;
   r.mc = engine.explore(test);
   r.spec = checker.stats();
+  r.metrics.merge(engine.metrics());
   r.violations = engine.violations();
   r.reports = checker.reports();
   r.verdict = r.mc.verdict;
@@ -274,6 +275,7 @@ RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
     total.spec.justification_checks += r.spec.justification_checks;
     total.spec.history_cap_hit |= r.spec.history_cap_hit;
     total.spec.r_cycle_seen |= r.spec.r_cycle_seen;
+    total.metrics.merge(r.metrics);
     for (auto& v : r.violations) total.violations.push_back(std::move(v));
     for (auto& s : r.reports) total.reports.push_back(std::move(s));
 

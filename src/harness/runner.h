@@ -9,6 +9,7 @@
 
 #include "inject/inject.h"
 #include "mc/engine.h"
+#include "obs/metrics.h"
 #include "spec/checker.h"
 #include "spec/specification.h"
 
@@ -39,6 +40,10 @@ struct RunOptions {
 struct RunResult {
   mc::ExplorationStats mc;
   spec::SpecChecker::Stats spec;
+  // Metrics registry harvested from the engine(s): counters/histograms are
+  // per-execution-pure (sharded runs sum to the serial values), gauges are
+  // peaks, timers are wall time. See obs/metrics.h.
+  obs::Registry metrics;
   std::vector<mc::Violation> violations;
   std::vector<std::string> reports;
   // Weakest verdict across the aggregated explorations: falsified beats

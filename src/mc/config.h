@@ -101,6 +101,18 @@ struct Config {
   // reproducible.
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 
+  // ---- observability ----------------------------------------------------
+
+  // Emit a one-line progress heartbeat to stderr at most every this many
+  // seconds while explore() runs (0 = off, the default: the disabled hot
+  // path is a single null-pointer branch). Parallel workers inherit the
+  // interval, so `--jobs` runs beat per worker.
+  double progress_interval_seconds = 0.0;
+
+  // Label prefixed to heartbeat lines; falls back to test_name when empty
+  // (the parallel harness stamps "name#test shard i/N" per shard).
+  std::string progress_label;
+
   // ---- persistence & containment ----------------------------------------
 
   // When non-empty, the engine periodically writes its DFS frontier (plus

@@ -92,6 +92,29 @@ Engine::Engine(Config cfg) : cfg_(cfg) {
   threads_.resize(static_cast<std::size_t>(cfg_.max_threads));
   for (Thread& t : threads_) t.fib = std::make_unique<fiber::Fiber>();
   fiber::Fiber::set_fallthrough_handler(&Engine::on_fiber_fallthrough);
+  // A choice fan-out that cannot be recorded in a uint16 Choice must fail
+  // the execution loudly, never truncate (release builds used to
+  // mis-explore silently).
+  trail_.set_overflow_handler(&Engine::on_trail_overflow, this);
+  // Cache registry slots once; hot-path bumps are single adds through
+  // these pointers. Counter/histogram entries are per-execution-pure, so
+  // sharded sums stay bit-identical to serial runs.
+  m_executions_ = &obs_.counter("engine.executions");
+  m_sleep_prunes_ = &obs_.counter("engine.sleep_set_prunes");
+  m_rf_choice_points_ = &obs_.counter("engine.rf_choice_points");
+  m_rf_candidates_ = &obs_.counter("engine.rf_candidates");
+  m_sched_choice_points_ = &obs_.counter("engine.schedule_choice_points");
+  m_trail_depth_ = &obs_.histogram("engine.trail_depth");
+  m_rf_fanout_ = &obs_.histogram("engine.rf_fanout");
+  m_mem_peak_ = &obs_.gauge("engine.mem_estimate_peak_bytes");
+  m_arena_peak_ = &obs_.gauge("engine.arena_peak_bytes");
+}
+
+void Engine::on_trail_overflow(void* self, std::uint32_t num) {
+  static_cast<Engine*>(self)->engine_fatal(
+      "choice fan-out " + std::to_string(num) +
+      " exceeds the trail's recordable range [1, 65535] (raise the relevant "
+      "bound, e.g. lower stale_read_bound, to shrink reads-from fan-out)");
 }
 
 Engine::~Engine() = default;
@@ -197,6 +220,20 @@ std::size_t Engine::memory_usage_estimate() const {
   std::size_t bytes = arena_.bytes_reserved();
   for (const Location& L : locs_) {
     bytes += L.history.capacity() * sizeof(Message);
+    // Each message's `sync` Timestamps owns two heap vectors (vector clock
+    // + coherence view); on release-sequence-heavy histories those
+    // dominate sizeof(Message), so omitting them used to let such
+    // workloads blow far past the memory budget before it tripped. Ditto
+    // the live release-sequence heads.
+    for (const Message& m : L.history) {
+      bytes += (m.sync.vc.stored_size() + m.sync.view.stored_size()) *
+               sizeof(std::uint32_t);
+    }
+    bytes += L.rs_heads.capacity() * sizeof(ReleaseSeqHead);
+    for (const ReleaseSeqHead& h : L.rs_heads) {
+      bytes += (h.sync.vc.stored_size() + h.sync.view.stored_size()) *
+               sizeof(std::uint32_t);
+    }
   }
   bytes += trace_.capacity() * sizeof(TraceEvent);
   bytes += trail_.raw().capacity() * sizeof(Choice);
@@ -218,6 +255,10 @@ bool Engine::check_budgets() {
 
 bool Engine::tally_execution(ExplorationStats& stats) {
   ++stats.executions;
+  m_executions_->add();
+  m_trail_depth_->record(trail_.depth());
+  m_mem_peak_->set_max(memory_usage_estimate());
+  m_arena_peak_->set_max(arena_.bytes_reserved());
   if (trail_.depth() > stats.max_trail_depth) {
     stats.max_trail_depth = trail_.depth();
   }
@@ -245,6 +286,7 @@ bool Engine::tally_execution(ExplorationStats& stats) {
       break;
     case Outcome::kPrunedRedundant:
       ++stats.pruned_redundant;
+      m_sleep_prunes_->add();
       break;
     case Outcome::kRunning:
       fatal("execution ended while still running");
@@ -388,15 +430,33 @@ ExplorationStats Engine::explore(const TestFn& test) {
       resume_sampling = true;
     }
   }
+  const bool resumed_mid_run =
+      resume_.has_value() && resume_->phase != Checkpoint::Phase::kStart;
   resume_.reset();
 
   // Subtree restriction: seed the trail with the shard's prefix and pin it
   // so DFS (and the degraded sampling phase) never leaves this subtree.
+  // Combining it with a mid-run resume would clobber the resumed DFS
+  // frontier; that used to be assert-only, so NDEBUG builds silently
+  // explored the wrong tree. Hard error in every build.
   if (!subtree_.empty()) {
-    assert(!skip_dfs && !resume_sampling &&
-           "set_subtree and set_resume are mutually exclusive");
+    if (resumed_mid_run) {
+      restore_crash_handlers();
+      g_engine = nullptr;
+      fatal("set_subtree and set_resume are mutually exclusive (a subtree "
+            "prefix would clobber the resumed DFS frontier)");
+    }
     trail_.restore(subtree_);
     trail_.set_pinned(subtree_.size());
+  }
+
+  // Heartbeat meter, armed only when requested: the disabled hot path is a
+  // single null-pointer branch per execution.
+  progress_.reset();
+  if (cfg_.progress_interval_seconds > 0.0) {
+    progress_ = std::make_unique<obs::ProgressMeter>(
+        cfg_.progress_interval_seconds,
+        cfg_.progress_label.empty() ? cfg_.test_name : cfg_.progress_label);
   }
 
   // When degradation is possible, the DFS phase gets only a fraction of
@@ -416,11 +476,13 @@ ExplorationStats Engine::explore(const TestFn& test) {
   // Phase 1: exhaustive DFS (skipped entirely under sampling_only, which
   // the fuzzer's DFS-vs-sampling oracle uses to drive the random-walk
   // phase on its own).
+  const auto dfs_t0 = std::chrono::steady_clock::now();
   for (; !cfg_.sampling_only && !skip_dfs;) {
     exec_index_ = stats.executions;
     std::uint64_t violations_before = violations_total_;
     run_one(test);
     bool keep_going = tally_execution(stats);
+    if (progress_) beat_progress(stats, "dfs");
     if (outcome_ == Outcome::kComplete || outcome_ == Outcome::kBuiltinViolation) {
       last_progress_exec = stats.executions;
     }
@@ -469,6 +531,11 @@ ExplorationStats Engine::explore(const TestFn& test) {
       break;
     }
   }
+  const auto dfs_t1 = std::chrono::steady_clock::now();
+  obs_.timer("engine.dfs_phase")
+      .add_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dfs_t1 - dfs_t0)
+              .count()));
 
   // Phase 2: fail-safe degradation. Budget is gone but the space is not
   // covered — switch to seeded random-walk sampling instead of stopping
@@ -495,6 +562,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
       run_one(test);
       ++stats.sampled;
       bool keep_going = tally_execution(stats);
+      if (progress_) beat_progress(stats, "sampling");
       if (cfg_.checkpoint_every_execs != 0 &&
           stats.executions % cfg_.checkpoint_every_execs == 0) {
         write_checkpoint(Checkpoint::Phase::kSampling, stats,
@@ -514,6 +582,11 @@ ExplorationStats Engine::explore(const TestFn& test) {
       }
     }
     trail_.set_mode(Trail::Mode::kDfs);
+    obs_.timer("engine.sampling_phase")
+        .add_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - dfs_t1)
+                .count()));
   }
 
   stats.hit_time_budget = hit_time_budget_;
@@ -531,10 +604,41 @@ ExplorationStats Engine::explore(const TestFn& test) {
     stats.verdict = Verdict::kInconclusive;
   }
   stats.seconds = seconds_since_start();
+  obs_.timer("engine.explore")
+      .add_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count()));
+  progress_.reset();
   active_deadline_ = 0.0;
   restore_crash_handlers();
   g_engine = nullptr;
   return stats;
+}
+
+double Engine::frontier_fraction() const {
+  // The trail is a mixed-radix numeral: digit i has base num_i and value
+  // chosen_i. Its fractional value is the share of the DFS tree strictly
+  // before the current leaf — a cheap, monotonically growing coverage
+  // estimate (exact when subtree sizes are uniform).
+  double frac = 0.0;
+  double scale = 1.0;
+  for (const Choice& c : trail_.raw()) {
+    scale /= static_cast<double>(c.num);
+    frac += static_cast<double>(c.chosen) * scale;
+  }
+  return frac;
+}
+
+void Engine::beat_progress(const ExplorationStats& stats, const char* phase) {
+  double budget_left = -1.0;
+  if (active_deadline_ > 0.0) {
+    budget_left = active_deadline_ - seconds_since_start();
+    if (budget_left < 0.0) budget_left = 0.0;
+  }
+  const bool dfs = phase[0] == 'd';
+  progress_->maybe_beat(phase, stats.executions, trail_.depth(),
+                        dfs ? frontier_fraction() : -1.0, budget_left);
 }
 
 bool Engine::replay(const std::vector<Choice>& saved, const TestFn& test,
@@ -719,6 +823,7 @@ void Engine::run_one(const TestFn& test) {
         outcome_ = Outcome::kPrunedRedundant;
         break;
       }
+      if (nc > 1) m_sched_choice_points_->add();
       std::uint32_t k = trail_.choose(ChoiceKind::kSchedule,
                                       static_cast<std::uint32_t>(nc));
       pick = cands[k];
@@ -949,6 +1054,9 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
     *has_option = false;
     return 0;
   }
+  m_rf_choice_points_->add();
+  m_rf_candidates_->add(n);
+  m_rf_fanout_->record(n);
   std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, n);
   std::uint32_t idx = cands[k];
   if (idx != hi) ++t.stale_reads;
@@ -1112,6 +1220,9 @@ bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
                      std::string("cas on uninitialized '") + L.name + "'");
     abandon_execution();
   }
+  m_rf_choice_points_->add();
+  m_rf_candidates_->add(total);
+  m_rf_fanout_->record(total);
   std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, total);
 
   if (can_succeed && k == 0) {

@@ -31,6 +31,8 @@
 #include "mc/thread_state.h"
 #include "mc/trail.h"
 #include "mc/violation.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "support/arena.h"
 #include "support/rng.h"
 #include "support/vector_clock.h"
@@ -131,6 +133,16 @@ class Engine {
   [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const char* location_name(std::uint32_t loc) const;
+
+  // Observability registry for this engine instance. Layers above (the
+  // spec checker, the harness) register their own metrics here so one
+  // snapshot covers the whole pipeline; shard probe engines own separate
+  // registries, keeping worker snapshots uncontaminated. Counter and
+  // histogram entries are schedule-independent by contract (see
+  // obs/metrics.h), so a sharded exhaustive run merges bit-identical to a
+  // serial one.
+  [[nodiscard]] obs::Registry& metrics() { return obs_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return obs_; }
 
   // Behavior-set extraction (used by the fuzzer's differential oracles):
   // the locations of the execution being checked and the final (latest in
@@ -290,6 +302,17 @@ class Engine {
   // listener's keep-going decision.
   bool tally_execution(ExplorationStats& stats);
 
+  // Progress heartbeat (see --progress): emits a throttled status line
+  // between executions. Only reached when cfg_.progress_interval_seconds
+  // armed a meter, so the disabled hot path is one null check.
+  void beat_progress(const ExplorationStats& stats, const char* phase);
+  // Estimated fraction of the DFS tree strictly before the current trail:
+  // the mixed-radix fraction of the trail's chosen/num digits.
+  [[nodiscard]] double frontier_fraction() const;
+  // Trail overflow trampoline: routes an unrecordable choice fan-out into
+  // engine_fatal, failing only the offending execution.
+  static void on_trail_overflow(void* self, std::uint32_t num);
+
   // Signal-to-verdict containment (see Config::contain_crashes): handlers
   // live for the duration of explore()/replay(); run_one arms a sigsetjmp
   // window around each switch into a test fiber.
@@ -353,6 +376,21 @@ class Engine {
 
   // Crash containment state (valid while handlers are installed).
   bool crash_handlers_active_ = false;
+
+  // Observability: the registry plus cached metric pointers (stable for
+  // the engine's lifetime) so hot-path bumps are single adds.
+  obs::Registry obs_;
+  obs::Counter* m_executions_ = nullptr;
+  obs::Counter* m_sleep_prunes_ = nullptr;
+  obs::Counter* m_rf_choice_points_ = nullptr;
+  obs::Counter* m_rf_candidates_ = nullptr;
+  obs::Counter* m_sched_choice_points_ = nullptr;
+  obs::Histogram* m_trail_depth_ = nullptr;
+  obs::Histogram* m_rf_fanout_ = nullptr;
+  obs::Gauge* m_mem_peak_ = nullptr;
+  obs::Gauge* m_arena_peak_ = nullptr;
+  // Heartbeat meter; null unless cfg_.progress_interval_seconds > 0.
+  std::unique_ptr<obs::ProgressMeter> progress_;
 };
 
 // Facade handed to test bodies.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -155,6 +156,11 @@ std::vector<UnitResult> fork_map(
     const ForkMapOptions& opts) {
   std::vector<UnitResult> out(n);
   std::vector<char> done(n, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
 
   if (!opts.spool_dir.empty()) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -184,7 +190,10 @@ std::vector<UnitResult> fork_map(
   auto run_inline = [&]() {
     for (std::size_t i = 0; i < n; ++i) {
       if (done[i]) continue;
+      out[i].assigned_seconds = elapsed();
+      out[i].worker = 0;
       out[i].text = work(i);
+      out[i].done_seconds = elapsed();
       out[i].ran = true;
       done[i] = 1;
       spool_write(i);
@@ -278,6 +287,9 @@ std::vector<UnitResult> fork_map(
       return;
     }
     w.assigned = u;
+    out[static_cast<std::size_t>(u)].assigned_seconds = elapsed();
+    out[static_cast<std::size_t>(u)].worker =
+        static_cast<int>(&w - ws.data());
     (void)write_all(w.work_fd, "u " + std::to_string(u) + "\n");
     // If the write failed the worker is dying; its EOF below records the
     // unit as crashed.
@@ -321,6 +333,7 @@ std::vector<UnitResult> fork_map(
           if (w.buf.size() < nl + 1 + len) break;  // frame incomplete
           out[idx].text = w.buf.substr(nl + 1, len);
           out[idx].ran = true;
+          out[idx].done_seconds = elapsed();
           done[idx] = 1;
           spool_write(idx);
           w.buf.erase(0, nl + 1 + len);

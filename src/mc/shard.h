@@ -70,6 +70,12 @@ struct UnitResult {
   bool ran = false;
   bool from_spool = false;  // satisfied from spool_dir, not computed
   std::string text;
+  // Coordinator-side timing (seconds since fork_map entry) and the worker
+  // slot that computed the unit: observability only — never part of the
+  // deterministic merged result. Spool hits keep the zero defaults.
+  double assigned_seconds = 0.0;
+  double done_seconds = 0.0;
+  int worker = -1;
 };
 
 // Runs `work(i)` for every i in [0, n) and returns results indexed by

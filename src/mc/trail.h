@@ -11,6 +11,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -71,10 +73,30 @@ class Trail {
   }
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  // A choice point whose alternative count does not fit the uint16 Choice
+  // encoding cannot be recorded faithfully; truncating would silently
+  // explore the wrong tree (release builds used to do exactly that). The
+  // handler is expected not to return (the engine routes it to
+  // engine_fatal, failing only the offending execution); without one the
+  // process aborts with a diagnostic.
+  using OverflowHandler = void (*)(void* ctx, std::uint32_t num);
+  void set_overflow_handler(OverflowHandler fn, void* ctx) {
+    overflow_ = fn;
+    overflow_ctx_ = ctx;
+  }
+
   // Resolve a choice point with `num` alternatives; returns the index to
   // take. Choice points with a single alternative are not recorded.
   std::uint32_t choose(ChoiceKind kind, std::uint32_t num) {
-    assert(num >= 1 && num < 0x10000);
+    if (num == 0 || num >= 0x10000) {
+      if (overflow_ != nullptr) overflow_(overflow_ctx_, num);
+      std::fprintf(stderr,
+                   "trail: %s choice fan-out %u outside the recordable range "
+                   "[1, 65535]\n",
+                   kind == ChoiceKind::kSchedule ? "schedule" : "reads-from",
+                   num);
+      std::abort();
+    }
     if (num == 1) return 0;
     if (pos_ < v_.size()) {
       const Choice& c = v_[pos_];
@@ -163,6 +185,9 @@ class Trail {
   void note_divergence(std::string what) {
     if (divergence_.empty()) divergence_ = std::move(what);
   }
+
+  OverflowHandler overflow_ = nullptr;
+  void* overflow_ctx_ = nullptr;
 
   std::vector<Choice> v_;
   std::size_t pos_ = 0;

@@ -1,0 +1,75 @@
+// Progress heartbeat: throttled one-line status reports to stderr while
+// an exploration runs. Header-only and engine-agnostic — the engine hands
+// over plain numbers; this layer only rate-limits and formats.
+//
+// The meter is constructed only when `--progress` is active, so the
+// disabled hot path in the engine is a single null-pointer branch.
+#ifndef CDS_OBS_PROGRESS_H
+#define CDS_OBS_PROGRESS_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace cds::obs {
+
+class ProgressMeter {
+ public:
+  ProgressMeter(double interval_seconds, std::string label)
+      : interval_(interval_seconds <= 0.0 ? 1.0 : interval_seconds),
+        label_(std::move(label)),
+        start_(Clock::now()),
+        last_beat_(start_) {}
+
+  // Called between executions. Emits at most one line per interval:
+  //   [progress] <label> <phase> execs=N rate=R/s depth=D
+  //       frontier=F% budget_left=Bs
+  // `frontier` is the estimated fraction of the DFS tree already fully
+  // explored (from the trail's chosen/num digits); pass a negative value
+  // to omit it (sampling phase). Pass a negative `budget_left_seconds`
+  // when no wall budget is armed.
+  void maybe_beat(const char* phase, std::uint64_t executions,
+                  std::uint64_t trail_depth, double frontier,
+                  double budget_left_seconds) {
+    Clock::time_point now = Clock::now();
+    if (seconds_between(last_beat_, now) < interval_) return;
+    last_beat_ = now;
+    double elapsed = seconds_between(start_, now);
+    double rate = elapsed > 0.0 ? static_cast<double>(executions) / elapsed : 0.0;
+    char line[256];
+    int n = std::snprintf(
+        line, sizeof line, "[progress] %s %s execs=%llu rate=%.0f/s depth=%llu",
+        label_.empty() ? "-" : label_.c_str(), phase,
+        static_cast<unsigned long long>(executions), rate,
+        static_cast<unsigned long long>(trail_depth));
+    if (frontier >= 0.0 && n > 0 && static_cast<std::size_t>(n) < sizeof line) {
+      n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                         " frontier=%.2f%%", frontier * 100.0);
+    }
+    if (budget_left_seconds >= 0.0 && n > 0 &&
+        static_cast<std::size_t>(n) < sizeof line) {
+      n += std::snprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                         " budget_left=%.1fs", budget_left_seconds);
+    }
+    std::fprintf(stderr, "%s\n", line);
+    std::fflush(stderr);
+  }
+
+  [[nodiscard]] double interval_seconds() const { return interval_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  double interval_;
+  std::string label_;
+  Clock::time_point start_;
+  Clock::time_point last_beat_;
+};
+
+}  // namespace cds::obs
+
+#endif  // CDS_OBS_PROGRESS_H

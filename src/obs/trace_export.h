@@ -1,0 +1,47 @@
+// Chrome trace-event export: renders a modeled execution's TraceEvent
+// stream (one timeline row per modeled thread) plus exploration-phase
+// spans as the JSON Object Format that chrome://tracing and Perfetto load
+// directly ("traceEvents" array of complete "X" events + "M" metadata).
+//
+// Timestamps for modeled events are synthetic — event index in
+// microseconds — because modeled executions have a total order but no
+// wall clock; phase spans use real wall seconds on a separate pid row.
+#ifndef CDS_OBS_TRACE_EXPORT_H
+#define CDS_OBS_TRACE_EXPORT_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mc/engine.h"
+
+namespace cds::obs {
+
+// A named wall-clock interval of the exploration itself (dfs / sampling /
+// per-shard), in seconds relative to the run start.
+struct PhaseSpan {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+// Renders the full trace JSON. `loc_name` maps a TraceEvent location id to
+// a human label (may be null: locations render as "loc<N>"). Output is a
+// single self-contained JSON object; write it to a file and open it in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+[[nodiscard]] std::string render_chrome_trace(
+    const std::vector<mc::TraceEvent>& events,
+    const std::function<std::string(std::uint32_t)>& loc_name,
+    const std::vector<PhaseSpan>& phases);
+
+// Atomic file write (temp + rename via mc/trace.h plumbing). Returns false
+// with the reason in *err.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<mc::TraceEvent>& events,
+                             const std::function<std::string(std::uint32_t)>& loc_name,
+                             const std::vector<PhaseSpan>& phases,
+                             std::string* err);
+
+}  // namespace cds::obs
+
+#endif  // CDS_OBS_TRACE_EXPORT_H

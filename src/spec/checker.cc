@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "support/rng.h"
+
 namespace cds::spec {
 
 SpecChecker::SpecChecker() : SpecChecker(Options()) {}
@@ -15,6 +17,11 @@ void SpecChecker::attach(mc::Engine& e) {
   engine_ = &e;
   e.set_listener(this);
   Recorder::set_current(&recorder_);
+  obs::Registry& m = e.metrics();
+  m_execs_ = &m.counter("spec.executions_checked");
+  m_histories_ = &m.counter("spec.histories_checked");
+  m_justifications_ = &m.counter("spec.justification_checks");
+  m_cap_hits_ = &m.counter("spec.cap_hits");
 }
 
 void SpecChecker::detach() {
@@ -22,6 +29,7 @@ void SpecChecker::detach() {
     engine_->set_listener(nullptr);
     engine_ = nullptr;
   }
+  m_execs_ = m_histories_ = m_justifications_ = m_cap_hits_ = nullptr;
   if (Recorder::current() == &recorder_) Recorder::set_current(nullptr);
 }
 
@@ -71,6 +79,7 @@ void SpecChecker::restore_from_checkpoint(const mc::Checkpoint& cp) {
 
 bool SpecChecker::on_execution_complete(mc::Engine& e) {
   ++stats_.executions_checked;
+  if (m_execs_ != nullptr) m_execs_->add();
   // Group the execution's calls per object (composability, Section 3.2:
   // each object is checked against its own specification in isolation).
   std::map<std::uint32_t, ObjectCalls> objects;
@@ -81,11 +90,12 @@ bool SpecChecker::on_execution_complete(mc::Engine& e) {
   }
   for (auto& [id, oc] : objects) {
     (void)id;
-    if (!check_object(e, oc)) {
-      // Keep exploring; the engine's stop_on_first_violation config and
-      // our caller decide when to stop.
-      break;
-    }
+    // Composability (Section 3.2) makes each object's verdict independent,
+    // so a violation on one object must not skip the spec checks for the
+    // remaining objects in this execution. The engine's
+    // stop_on_first_violation config and our caller decide when to stop
+    // exploring; here we always finish the per-object sweep.
+    (void)check_object(e, oc);
   }
   return true;
 }
@@ -195,6 +205,7 @@ bool SpecChecker::check_histories(mc::Engine& e, const ObjectCalls& oc,
 
   auto cb = [&](const std::vector<const CallRecord*>& order) {
     ++stats_.histories_checked;
+    if (m_histories_ != nullptr) m_histories_->add();
     if (replay_history(oc, order, &why) >= 0) {
       violated = true;
       bad_order = order;
@@ -214,8 +225,15 @@ bool SpecChecker::check_histories(mc::Engine& e, const ObjectCalls& oc,
   }
   if (res.capped && !violated) {
     stats_.history_cap_hit = true;
+    if (m_cap_hits_ != nullptr) m_cap_hits_->add();
     // Beyond the exhaustive cap: sample random histories (paper's option).
-    sample_topo_orders(oc.calls, succ, opts_.sampled_histories, opts_.seed, cb);
+    // Derive the sampling seed from the execution index so different
+    // executions draw different histories; a fixed seed would re-sample the
+    // same orders every execution, systematically missing violations that
+    // only distinct draws can reach.
+    sample_topo_orders(oc.calls, succ, opts_.sampled_histories,
+                       support::derive_seed(opts_.seed, e.execution_index()),
+                       cb);
   }
 
   if (violated) {
@@ -238,6 +256,7 @@ bool SpecChecker::check_justifications(mc::Engine& e, const ObjectCalls& oc,
     const MethodSpec& ms = spec.method_at(m.method);
     if (!ms.has_justifying()) continue;
     ++stats_.justification_checks;
+    if (m_justifications_ != nullptr) m_justifications_->add();
 
     // Justifying subhistories (Definition 3): exactly the r-predecessors of
     // m, in every order consistent with r, with m last.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mc/engine.h"
+#include "obs/metrics.h"
 #include "spec/annotations.h"
 #include "spec/history.h"
 #include "spec/specification.h"
@@ -107,6 +108,14 @@ class SpecChecker : public mc::ExecutionListener {
   Recorder recorder_;
   mc::Engine* engine_ = nullptr;
   std::vector<std::string> reports_;
+
+  // Cached metric handles into the attached engine's registry (null until
+  // attach). All four are per-execution-pure counters, so sharded runs sum
+  // to the serial values bit-for-bit.
+  obs::Counter* m_execs_ = nullptr;
+  obs::Counter* m_histories_ = nullptr;
+  obs::Counter* m_justifications_ = nullptr;
+  obs::Counter* m_cap_hits_ = nullptr;
 
   // Scratch, valid during check_object.
   std::vector<std::vector<const CallRecord*>> concurrent_;

@@ -98,6 +98,32 @@ TEST(Budget, MemoryBudgetDegradesToSampling) {
   EXPECT_EQ(stats.verdict, Verdict::kInconclusive);
 }
 
+// Regression: memory_usage_estimate() must count the heap storage behind
+// each message's `sync` timestamps and the live release-sequence heads,
+// not just the inline Message bytes. This body makes that storage
+// dominate: thousands of padding locations inflate the writer's coherence
+// view, so every release store snapshots a ~4096-entry view into the new
+// message's sync (and again into its release-sequence head) -- roughly
+// 32 KB of heap per store against ~90 inline bytes. Before the fix the
+// estimate saw only the inline bytes (well under this budget) and the cap
+// never tripped.
+TEST(Budget, MemoryBudgetSeesReleaseSequenceSyncStorage) {
+  Config cfg;
+  cfg.memory_budget_bytes = 1u << 19;  // 512 KB
+  cfg.sample_executions = 0;
+  cfg.collect_trace = false;
+  cfg.max_executions = 1;
+  Engine e(cfg);
+  auto stats = e.explore([](Exec& x) {
+    Atomic<int>* last = nullptr;
+    for (int i = 0; i < 4096; ++i) last = x.make<Atomic<int>>(0, "pad");
+    for (int i = 0; i < 256; ++i) last->store(i, MemoryOrder::release);
+  });
+  EXPECT_TRUE(stats.hit_memory_budget);
+  EXPECT_GE(stats.pruned_bound, 1u);
+  EXPECT_EQ(stats.verdict, Verdict::kInconclusive);
+}
+
 // Two spinners that can never be released: every execution is pruned as a
 // livelock, so the DFS makes no feasible progress and the watchdog must
 // fire (and degradation must still terminate).

@@ -1,0 +1,174 @@
+// Integration tests of the observability layer: the engine's registry must
+// agree with its ExplorationStats, a sharded run's merged counters and
+// histograms must be bit-identical to the serial run's, and the Chrome
+// trace export must produce the JSON shape Perfetto loads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "ds/suite.h"
+#include "harness/parallel.h"
+#include "harness/runner.h"
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace cds {
+namespace {
+
+mc::TestFn two_writer_race() {
+  return [](mc::Exec& x) {
+    auto* a = x.make<mc::Atomic<int>>(0, "a");
+    int t1 = x.spawn([a] { a->store(1, mc::MemoryOrder::relaxed); });
+    int t2 = x.spawn([a] { a->store(2, mc::MemoryOrder::relaxed); });
+    x.join(t1);
+    x.join(t2);
+    (void)a->load(mc::MemoryOrder::relaxed);
+  };
+}
+
+TEST(ObsIntegration, EngineRegistryAgreesWithExplorationStats) {
+  mc::Engine e;
+  auto stats = e.explore(two_writer_race());
+  const obs::Registry& m = e.metrics();
+
+  EXPECT_EQ(m.counter_value("engine.executions"), stats.executions);
+  EXPECT_EQ(m.counter_value("engine.sleep_set_prunes"), stats.pruned_redundant);
+  // Every execution records its trail depth once.
+  EXPECT_EQ(m.histograms().at("engine.trail_depth").samples, stats.executions);
+  // The final load always has at least one reads-from candidate, and the
+  // fan-out histogram samples once per rf choice point.
+  EXPECT_GT(m.counter_value("engine.rf_choice_points"), 0u);
+  EXPECT_GE(m.counter_value("engine.rf_candidates"),
+            m.counter_value("engine.rf_choice_points"));
+  EXPECT_EQ(m.histograms().at("engine.rf_fanout").samples,
+            m.counter_value("engine.rf_choice_points"));
+  // Peaks and phase timers exist (values are wall/topology dependent).
+  EXPECT_GT(m.gauges().at("engine.mem_estimate_peak_bytes").value, 0u);
+  EXPECT_GT(m.timers().at("engine.explore").total_ns, 0u);
+}
+
+TEST(ObsIntegration, ExploreTwiceAccumulatesCounters) {
+  // The registry outlives explore() calls: a second exploration adds onto
+  // the same counters (the harness snapshots between tests by merging).
+  mc::Engine e;
+  auto s1 = e.explore(two_writer_race());
+  std::uint64_t after_first = e.metrics().counter_value("engine.executions");
+  EXPECT_EQ(after_first, s1.executions);
+  auto s2 = e.explore(two_writer_race());
+  EXPECT_EQ(e.metrics().counter_value("engine.executions"),
+            s1.executions + s2.executions);
+}
+
+// The determinism contract behind `--jobs N --metrics-out`: counters and
+// histograms of an exhaustive sharded run merge bit-identical to the
+// serial run. Gauges/timers are exempt (peaks and wall time).
+TEST(ObsIntegration, ShardedCountersAndHistogramsMatchSerial) {
+  ds::register_all_benchmarks();
+  const auto* b = harness::find_benchmark("peterson-lock");
+  ASSERT_NE(b, nullptr);
+  harness::RunOptions opts;
+  harness::RunResult serial = harness::run_benchmark(*b, opts);
+  harness::ParallelOptions par;
+  par.jobs = 4;
+  harness::ParallelRunResult pr = harness::run_benchmark_parallel(*b, opts, par);
+  ASSERT_EQ(pr.crashed_shards, 0u);
+  EXPECT_TRUE(pr.merged.mc.exhausted);
+
+  const auto& sc = serial.metrics.counters();
+  const auto& pc = pr.merged.metrics.counters();
+  // Every serial counter appears in the merge with the identical value.
+  for (const auto& [name, c] : sc) {
+    auto it = pc.find(name);
+    ASSERT_NE(it, pc.end()) << name;
+    EXPECT_EQ(it->second.value, c.value) << name;
+  }
+  // And the merge adds no extra counters (coordinator facts ride as
+  // gauges/timers, never as counters).
+  for (const auto& [name, c] : pc) {
+    EXPECT_TRUE(sc.count(name)) << "parallel-only counter " << name << "="
+                                << c.value;
+  }
+  const auto& sh = serial.metrics.histograms();
+  const auto& ph = pr.merged.metrics.histograms();
+  ASSERT_EQ(sh.size(), ph.size());
+  for (const auto& [name, h] : sh) {
+    auto it = ph.find(name);
+    ASSERT_NE(it, ph.end()) << name;
+    EXPECT_EQ(it->second.samples, h.samples) << name;
+    EXPECT_EQ(it->second.buckets, h.buckets) << name;
+  }
+  // The coordinator does stamp its topology facts as gauges.
+  EXPECT_EQ(pr.merged.metrics.gauges().at("parallel.jobs").value, 4u);
+  EXPECT_GT(pr.merged.metrics.gauges().at("parallel.shards").value, 1u);
+}
+
+TEST(ObsIntegration, SpecCountersRideTheEngineRegistry) {
+  harness::RunResult r = harness::run_with_spec(two_writer_race());
+  EXPECT_EQ(r.metrics.counter_value("spec.executions_checked"),
+            r.spec.executions_checked);
+  EXPECT_EQ(r.metrics.counter_value("spec.histories_checked"),
+            r.spec.histories_checked);
+  EXPECT_EQ(r.metrics.counter_value("spec.justification_checks"),
+            r.spec.justification_checks);
+}
+
+TEST(ObsIntegration, ChromeTraceExportShape) {
+  mc::Config cfg;
+  cfg.collect_trace = true;
+  cfg.max_executions = 1;
+  cfg.sample_executions = 0;
+  mc::Engine e(cfg);
+  e.explore([](mc::Exec& x) {
+    auto* a = x.make<mc::Atomic<int>>(0, "flag");
+    int t = x.spawn([a] { a->store(1, mc::MemoryOrder::release); });
+    x.join(t);
+    (void)a->load(mc::MemoryOrder::acquire);
+  });
+  ASSERT_FALSE(e.trace().empty());
+
+  std::vector<obs::PhaseSpan> phases;
+  phases.push_back(obs::PhaseSpan{"dfs", 0.0, 0.25});
+  std::string json = obs::render_chrome_trace(
+      e.trace(),
+      [&e](std::uint32_t loc) {
+        const char* n = e.location_name(loc);
+        return n != nullptr ? std::string(n) : "loc" + std::to_string(loc);
+      },
+      phases);
+
+  // Chrome trace-event object format: a traceEvents array of "X"/"M"
+  // records. Perfetto rejects anything else.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Modeled rows are pid 0 with the location label; the phase span rides
+  // pid 1.
+  EXPECT_NE(json.find("modeled execution"), std::string::npos);
+  EXPECT_NE(json.find("flag"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"dfs\""), std::string::npos);
+  // No trailing comma before the array close (the classic invalid-JSON
+  // failure mode of hand-rolled emitters).
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+
+  // Event count: metadata (2 process names + one per thread row) + one per
+  // trace event + one per phase span.
+  std::size_t records = 0;
+  for (std::size_t p = json.find("\"ph\":"); p != std::string::npos;
+       p = json.find("\"ph\":", p + 1)) {
+    ++records;
+  }
+  int max_tid = -1;
+  for (const mc::TraceEvent& ev : e.trace()) {
+    if (ev.thread > max_tid) max_tid = ev.thread;
+  }
+  EXPECT_EQ(records, 2u + static_cast<std::size_t>(max_tid + 1) +
+                         e.trace().size() + phases.size());
+}
+
+}  // namespace
+}  // namespace cds

@@ -2,7 +2,7 @@
 // engine (the correctness-tooling layer: the checker checking itself).
 //
 //   cdsspec-fuzz --trials N [--seed S] [--timeout SECS] [--out DIR] [--json]
-//                [--jobs N]
+//                [--jobs N] [--metrics-out FILE]
 //   cdsspec-fuzz --replay FILE...        re-check repro/corpus programs
 //   cdsspec-fuzz --replay-dir DIR        re-check every *.litmus in DIR
 //
@@ -36,6 +36,7 @@
 #include "fuzz/oracle.h"
 #include "fuzz/program.h"
 #include "mc/trace.h"
+#include "obs/metrics.h"
 #include "support/rng.h"
 
 namespace {
@@ -48,7 +49,7 @@ void usage() {
   std::printf(
       "usage: cdsspec-fuzz --trials N [--seed S] [--timeout SECS]\n"
       "                    [--out DIR] [--json] [--unsound-hook NAME]\n"
-      "                    [--jobs N]\n"
+      "                    [--jobs N] [--metrics-out FILE]\n"
       "       cdsspec-fuzz --replay FILE...\n"
       "       cdsspec-fuzz --replay-dir DIR\n"
       "unsound hooks (self-validation only): sc-floor, sleep-wake\n"
@@ -288,6 +289,7 @@ int main(int argc, char** argv) {
   double timeout = 0.0;
   bool json = false;
   std::string out_dir = ".";
+  std::string metrics_out;
   cds::fuzz::OracleConfig cfg;
   std::vector<std::string> replay;
 
@@ -316,6 +318,8 @@ int main(int argc, char** argv) {
       cfg.jobs = static_cast<int>(j);
     } else if (a == "--out") {
       out_dir = value("--out");
+    } else if (a == "--metrics-out") {
+      metrics_out = value("--metrics-out");
     } else if (a == "--json") {
       json = true;
     } else if (a == "--unsound-hook") {
@@ -489,6 +493,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(checks), repros.size(),
         timed_out ? " (timeout)" : "", elapsed(),
         static_cast<unsigned long long>(base_seed));
+  }
+  if (!metrics_out.empty()) {
+    cds::obs::Registry m;
+    m.counter("fuzz.trials").add(done);
+    m.counter("fuzz.trials_skipped").add(skipped);
+    m.counter("fuzz.oracle_checks").add(checks);
+    m.counter("fuzz.disagreements").add(repros.size());
+    m.gauge("fuzz.timed_out").set(timed_out ? 1 : 0);
+    m.timer("fuzz.campaign").add_ns(
+        static_cast<std::uint64_t>(elapsed() * 1e9));
+    std::string err;
+    if (!cds::mc::write_text_file_atomic(metrics_out, m.to_json(), &err)) {
+      std::fprintf(stderr, "cdsspec-fuzz: cannot write '%s': %s\n",
+                   metrics_out.c_str(), err.c_str());
+    }
   }
   return repros.empty() ? kExitAgreed : kExitDisagreed;
 }

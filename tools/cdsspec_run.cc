@@ -15,6 +15,9 @@
 //        --trail-out FILE (write a .trail repro of the found violation),
 //        --jobs N (parallel sharded exploration over forked workers),
 //        --shard-depth N (prefix depth for --jobs shard enumeration),
+//        --progress[=SECS] (heartbeat lines on stderr while exploring),
+//        --metrics-out FILE (JSON snapshot of the metrics registry),
+//        --trace-out FILE (Chrome trace-event JSON; open in Perfetto),
 //        --json (machine-readable results),
 //        --no-sleep-sets, --stop-on-violation, --reports
 //
@@ -35,6 +38,7 @@
 #include "inject/inject.h"
 #include "mc/checkpoint.h"
 #include "mc/trace.h"
+#include "obs/trace_export.h"
 #include "spec/checker.h"
 #include "spec/render.h"
 #include "support/rng.h"
@@ -54,7 +58,8 @@ void usage() {
       "                   [--seed N] [--checkpoint FILE] [--resume]\n"
       "                   [--trail-out FILE] [--json] [--no-sleep-sets]\n"
       "                   [--stop-on-violation] [--reports] [--dot]\n"
-      "                   [--jobs N] [--shard-depth N]\n"
+      "                   [--jobs N] [--shard-depth N] [--progress[=SECS]]\n"
+      "                   [--metrics-out FILE] [--trace-out FILE]\n"
       "       cdsspec-run --replay-trail FILE\n"
       "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error\n"
       "            (also replay divergence / resume mismatch), 3 inconclusive\n");
@@ -422,6 +427,8 @@ int main(int argc, char** argv) {
   bool have_inject = false;
   bool want_resume = false;
   std::string trail_out;
+  std::string metrics_out;
+  std::string trace_out;
   std::uint64_t jobs_u = 1;
   std::uint64_t shard_depth_u = 2;
   for (int i = 2; i < argc; ++i) {
@@ -474,6 +481,24 @@ int main(int argc, char** argv) {
     } else if (a == "--trail-out") {
       if (!flag_str(argc, argv, &i, "--trail-out", &trail_out))
         return kExitUsage;
+    } else if (a == "--metrics-out") {
+      if (!flag_str(argc, argv, &i, "--metrics-out", &metrics_out))
+        return kExitUsage;
+    } else if (a == "--trace-out") {
+      if (!flag_str(argc, argv, &i, "--trace-out", &trace_out))
+        return kExitUsage;
+    } else if (a == "--progress") {
+      opts.engine.progress_interval_seconds = 2.0;
+    } else if (a.rfind("--progress=", 0) == 0) {
+      double secs = 0.0;
+      if (!parse_double(a.c_str() + 11, &secs) || secs <= 0.0) {
+        std::fprintf(stderr,
+                     "cdsspec-run: --progress wants a positive interval in "
+                     "seconds, not '%s'\n",
+                     a.c_str() + 11);
+        return kExitUsage;
+      }
+      opts.engine.progress_interval_seconds = secs;
     } else if (a == "--jobs") {
       if (!flag_value(argc, argv, &i, "--jobs", &jobs_u, parse_u64))
         return kExitUsage;
@@ -507,10 +532,12 @@ int main(int argc, char** argv) {
   }
 
   if ((sweep || dot) && (!opts.engine.checkpoint_path.empty() || want_resume ||
-                         !trail_out.empty())) {
+                         !trail_out.empty() || !metrics_out.empty() ||
+                         !trace_out.empty())) {
     std::fprintf(stderr,
-                 "cdsspec-run: --checkpoint/--resume/--trail-out apply to "
-                 "plain runs, not --sweep or --dot\n");
+                 "cdsspec-run: --checkpoint/--resume/--trail-out/"
+                 "--metrics-out/--trace-out apply to plain runs, not --sweep "
+                 "or --dot\n");
     return kExitUsage;
   }
   if (want_resume && opts.engine.checkpoint_path.empty()) {
@@ -657,7 +684,9 @@ int main(int argc, char** argv) {
   } else {
     r = cds::harness::run_benchmark(*b, opts);
   }
-  cds::inject::clear_injection();
+  // Note: an active --inject stays armed until after --trace-out below —
+  // replaying a violation trail needs the same weakened memory order that
+  // shaped it.
   if (json) {
     print_result_json(b->name, r, parallel ? &par : nullptr);
   } else {
@@ -706,5 +735,95 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // JSON snapshot of the merged metrics registry (serial or shard-merged).
+  if (!metrics_out.empty()) {
+    std::string err;
+    if (!cds::mc::write_text_file_atomic(metrics_out, r.metrics.to_json(),
+                                         &err)) {
+      std::fprintf(stderr, "cdsspec-run: cannot write '%s': %s\n",
+                   metrics_out.c_str(), err.c_str());
+    } else {
+      std::printf("wrote metrics: %s\n", metrics_out.c_str());
+    }
+  }
+
+  // Chrome trace-event export: one timeline row per modeled thread from a
+  // replayed execution, plus exploration-phase spans. The interesting
+  // execution is the first violation carrying a trail; a clean run renders
+  // the first unit test's first execution instead.
+  if (!trace_out.empty()) {
+    const cds::mc::Violation* pick = nullptr;
+    for (const auto& v : r.violations) {
+      if (!v.trail.empty()) {
+        pick = &v;
+        break;
+      }
+    }
+    const std::size_t ti = pick != nullptr ? pick->test_index : 0;
+    cds::mc::Config cfg = opts.engine;
+    cfg.collect_trace = true;
+    cfg.progress_interval_seconds = 0.0;
+    cfg.checkpoint_path.clear();
+    cfg.max_executions = 1;
+    cfg.sample_executions = 0;
+    cfg.time_budget_seconds = 0.0;
+    cfg.memory_budget_bytes = 0;
+    cfg.watchdog_no_progress_execs = 0;
+    cfg.test_name = b->name + "#" + std::to_string(ti);
+    cfg.test_index = static_cast<std::uint32_t>(ti);
+    cds::mc::Engine engine(cfg);
+    if (pick != nullptr) {
+      std::string divergence;
+      (void)engine.replay(pick->trail, b->tests[ti], /*strict=*/false,
+                          &divergence);
+    } else {
+      (void)engine.explore(b->tests[ti]);
+    }
+
+    std::vector<cds::obs::PhaseSpan> phases;
+    if (parallel) {
+      // Per-shard spans on the coordinator's wall clock, labeled with the
+      // worker slot that ran each shard.
+      for (const auto& s : par.spans) {
+        phases.push_back(cds::obs::PhaseSpan{
+            s.name + " (w" + std::to_string(s.worker) + ")", s.start_seconds,
+            s.duration_seconds});
+      }
+    } else {
+      const auto& timers = r.metrics.timers();
+      double at = 0.0;
+      auto it = timers.find("engine.dfs_phase");
+      if (it != timers.end() && it->second.total_ns > 0) {
+        phases.push_back(
+            cds::obs::PhaseSpan{"dfs", 0.0, it->second.total_seconds()});
+        at = it->second.total_seconds();
+      }
+      it = timers.find("engine.sampling_phase");
+      if (it != timers.end() && it->second.total_ns > 0) {
+        phases.push_back(
+            cds::obs::PhaseSpan{"sampling", at, it->second.total_seconds()});
+      }
+    }
+
+    std::string err;
+    if (!cds::obs::write_chrome_trace_file(
+            trace_out, engine.trace(),
+            [&engine](std::uint32_t loc) {
+              const char* n = engine.location_name(loc);
+              return n != nullptr ? std::string(n)
+                                  : "loc" + std::to_string(loc);
+            },
+            phases, &err)) {
+      std::fprintf(stderr, "cdsspec-run: cannot write '%s': %s\n",
+                   trace_out.c_str(), err.c_str());
+    } else {
+      std::printf("wrote chrome trace: %s (%zu events%s; open in Perfetto "
+                  "or chrome://tracing)\n",
+                  trace_out.c_str(), engine.trace().size(),
+                  pick != nullptr ? ", violating execution" : "");
+    }
+  }
+  cds::inject::clear_injection();
   return exit_code_for(r.verdict);
 }
