@@ -8,6 +8,11 @@
 // reporting. The host CPU count is recorded alongside: on a single-core
 // container the workers serialize and speedup ~1x is the honest result;
 // the nightly CI runners are multi-core.
+//
+// A distributed point (--dist-workers analog: socket coordinator plus
+// forked workers, src/dist/) is appended per shape and held to the same
+// bar: merged executions must equal the serial count with zero failed
+// shards, so the nightly artifact tracks protocol overhead honestly.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -17,8 +22,10 @@
 #include <unistd.h>
 #endif
 
+#include "dist/coordinator.h"
 #include "fuzz/oracle.h"
 #include "fuzz/program.h"
+#include "harness/runner.h"
 
 namespace {
 
@@ -131,6 +138,52 @@ int main(int argc, char** argv) {
                   pt.execs_per_sec, pt.speedup);
     }
 
+    // Distributed axis: the same shape through the socket
+    // coordinator/worker path. The behavior set lives in the forked
+    // workers' memory, so only the counter identity is checkable here;
+    // the dist test suite covers the rest.
+    const int dist_workers = 4;
+    double dist_secs = 0.0;
+    std::uint64_t dist_failed = 0;
+    {
+      std::vector<std::uint64_t> obs;
+      cds::harness::Benchmark b;
+      b.name = s.name;
+      b.display = s.name;
+      b.spec = nullptr;
+      b.tests.push_back(p.test_fn(&obs));
+      cds::harness::RunOptions opts;
+      cds::dist::DistOptions d;
+      d.dist_workers = dist_workers;
+      auto t0 = std::chrono::steady_clock::now();
+      cds::dist::DistRunResult r =
+          cds::dist::run_benchmark_distributed(b, opts, d);
+      auto t1 = std::chrono::steady_clock::now();
+      dist_secs = std::chrono::duration<double>(t1 - t0).count();
+      dist_failed = r.failed_shards;
+      if (r.merged.mc.executions != serial.executions ||
+          r.merged.mc.exhausted != serial.exhausted ||
+          r.failed_shards != 0) {
+        std::fprintf(stderr,
+                     "parallel_scaling: dist-workers=%d diverged from serial "
+                     "on %s (execs %llu vs %llu, failed shards %llu)\n",
+                     dist_workers, s.name,
+                     static_cast<unsigned long long>(r.merged.mc.executions),
+                     static_cast<unsigned long long>(serial.executions),
+                     static_cast<unsigned long long>(r.failed_shards));
+        return 1;
+      }
+      std::printf(
+          "  dist=%d  %8llu execs  %7.3fs  %10.0f execs/s  %.2fx\n",
+          dist_workers, static_cast<unsigned long long>(serial.executions),
+          dist_secs,
+          dist_secs > 0 ? static_cast<double>(serial.executions) / dist_secs
+                        : 0.0,
+          dist_secs > 0 && !points.empty()
+              ? points.front().seconds / dist_secs
+              : 1.0);
+    }
+
     json += first_shape ? "    {\n" : "    ,{\n";
     first_shape = false;
     json += "      \"name\": \"" + std::string(s.name) + "\",\n";
@@ -149,7 +202,24 @@ int main(int argc, char** argv) {
                     i + 1 < points.size() ? "," : "");
       json += buf;
     }
-    json += "      ]\n    }\n";
+    json += "      ],\n";
+    {
+      char buf[256];
+      std::snprintf(
+          buf, sizeof buf,
+          "      \"distributed\": {\"workers\": %d, \"seconds\": %.4f, "
+          "\"execs_per_sec\": %.1f, \"speedup\": %.3f, "
+          "\"failed_shards\": %llu}\n",
+          dist_workers, dist_secs,
+          dist_secs > 0 ? static_cast<double>(serial.executions) / dist_secs
+                        : 0.0,
+          dist_secs > 0 && !points.empty()
+              ? points.front().seconds / dist_secs
+              : 1.0,
+          static_cast<unsigned long long>(dist_failed));
+      json += buf;
+    }
+    json += "    }\n";
   }
   json += "  ]\n}\n";
 

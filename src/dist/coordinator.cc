@@ -1,0 +1,720 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/net.h"
+#include "dist/protocol.h"
+#include "harness/shard_result.h"
+#include "mc/shard.h"
+#include "support/io.h"
+#include "support/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CDS_DIST_COORD_POSIX 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace cds::dist {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One schedulable unit of work. Retries reuse the same Shard (same unit,
+// same seed — bit-identical re-exploration); work stealing appends fresh
+// Shards minted from a preempted shard's frontier.
+struct Shard {
+  enum class State { kPending, kRunning, kDone, kFailed };
+  State state = State::kPending;
+  std::size_t test_index = 0;
+  harness::ShardUnit unit;
+  int attempts = 0;           // assignments handed out so far
+  double next_eligible = 0.0; // backoff gate for the next assignment
+  double assigned_at = 0.0;   // of the current attempt (steal-age)
+  bool stolen = false;        // one preemption request per attempt
+  harness::ShardResult result;  // valid when kDone
+};
+
+struct Conn {
+  int fd = -1;
+  FrameBuffer buf;
+  bool greeted = false;        // hello seen, welcome sent
+  std::uint64_t attempt = 0;   // attempt this worker believes it holds
+  bool reading_payload = false;
+  std::uint64_t payload_attempt = 0;
+  std::uint64_t payload_len = 0;
+  bool dead = false;
+};
+
+struct Attempt {
+  std::size_t shard = 0;
+  int fd = -1;
+  double lease_expiry = 0.0;
+};
+
+struct Coordinator {
+  const harness::Benchmark& b;
+  const harness::RunOptions& opts;
+  const DistOptions& d;
+  DistRunResult& dr;
+  std::vector<Shard>& shards;
+
+  std::vector<Conn> conns;
+  std::map<std::uint64_t, Attempt> live;  // attempt id -> lease
+  std::uint64_t attempt_counter = 0;
+  std::uint64_t current_workers = 0;
+  double last_worker_seen = 0.0;
+
+  [[nodiscard]] bool all_resolved() const {
+    for (const Shard& s : shards) {
+      if (s.state != Shard::State::kDone && s.state != Shard::State::kFailed) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  double backoff_for(const Shard& s, std::uint64_t attempt_id) const {
+    double base = d.retry_backoff_seconds;
+    for (int i = 1; i < s.attempts; ++i) base *= 2.0;
+    support::Xorshift64 rng(support::derive_seed(
+        opts.engine.seed, attempt_id ^ static_cast<std::uint64_t>(s.attempts)));
+    const double jitter =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return base * (1.0 + jitter);
+  }
+
+  // The current attempt is gone (failure report, connection loss, lease
+  // expiry, corrupt result): back the shard off for a retry, or record it
+  // as a contained permanent failure once the retry budget is spent.
+  void schedule_retry(std::size_t sidx, std::uint64_t attempt_id,
+                      const char* why) {
+    Shard& s = shards[sidx];
+    if (s.state != Shard::State::kRunning) return;
+    if (s.attempts >= d.max_shard_retries + 1) {
+      s.state = Shard::State::kFailed;
+      ++dr.failed_shards;
+      std::fprintf(stderr,
+                   "cds::dist: shard %zu (test %zu) failed permanently "
+                   "after %d attempts (last: %s)\n",
+                   sidx, s.test_index, s.attempts, why);
+      return;
+    }
+    s.state = Shard::State::kPending;
+    s.next_eligible = now_seconds() + backoff_for(s, attempt_id);
+    ++dr.retries;
+  }
+
+  void drop_conn(Conn& c, const char* why) {
+    if (c.dead) return;
+    c.dead = true;
+    if (c.greeted && current_workers > 0) --current_workers;
+    last_worker_seen = now_seconds();
+    auto it = live.find(c.attempt);
+    if (c.attempt != 0 && it != live.end() && it->second.fd == c.fd) {
+      const std::size_t sidx = it->second.shard;
+      const std::uint64_t id = c.attempt;
+      live.erase(it);
+      schedule_retry(sidx, id, why);
+    }
+    close(c.fd);
+    c.fd = -1;
+  }
+
+  bool send_to(Conn& c, const std::string& bytes, const char* what) {
+    if (support::write_full(c.fd, bytes)) return true;
+    std::fprintf(stderr, "cds::dist: send of %s failed (%s); dropping worker\n",
+                 what, std::strerror(errno));
+    drop_conn(c, "send failed");
+    return false;
+  }
+
+  // A complete, in-lease result arrived for `sidx`: parse strictly, merge
+  // bookkeeping, and — for a preempted (stolen) shard — mint sub-shards
+  // covering the unexplored remainder of its subtree.
+  void accept_result(std::size_t sidx, std::uint64_t attempt_id,
+                     const std::string& text) {
+    Shard& s = shards[sidx];
+    harness::ShardResult sr;
+    std::string err;
+    bool ok = harness::parse_shard_result(text, &sr, &err);
+    if (ok && sr.stats.preempted &&
+        sr.frontier.size() < s.unit.prefix.size()) {
+      ok = false;
+      err = "frontier shorter than the shard's own prefix";
+    }
+    if (!ok) {
+      ++dr.corrupt_results;
+      std::fprintf(stderr,
+                   "cds::dist: shard %zu returned a corrupt result (%s); "
+                   "retrying\n",
+                   sidx, err.c_str());
+      schedule_retry(sidx, attempt_id, "corrupt result");
+      return;
+    }
+    if (sr.stats.preempted) {
+      // Copy the parent's fields first: each push_back below may
+      // reallocate `shards`, invalidating `s`.
+      const std::size_t parent_test = s.test_index;
+      const harness::ShardUnit parent_unit = s.unit;
+      std::vector<std::vector<mc::Choice>> subs =
+          mc::split_remaining_frontier(parent_unit.prefix.size(), sr.frontier);
+      for (std::size_t k = 0; k < subs.size(); ++k) {
+        Shard ns;
+        ns.test_index = parent_test;
+        ns.unit = parent_unit;
+        ns.unit.prefix = std::move(subs[k]);
+        // Fresh derived seed per sub-shard; the sampling budget stays the
+        // parent's (already divided) share — sub-shards jointly re-cover
+        // the parent's unexplored remainder, not a new tranche.
+        ns.unit.engine_seed = support::derive_seed(
+            parent_unit.engine_seed, 1000 + static_cast<std::uint64_t>(k));
+        shards.push_back(std::move(ns));
+        ++dr.steal_subshards;
+        ++dr.shards;
+      }
+      // The partial result's counters are exact for the executions it
+      // explored; coverage of the remainder is now the sub-shards' job.
+      // The engine conservatively reports exhausted=false on preemption,
+      // which must not poison the test-level AND.
+      sr.stats.preempted = false;
+      sr.stats.stopped_early = false;
+      sr.stats.exhausted = true;
+    }
+    // `s` may have been invalidated by shards.push_back above.
+    Shard& sh = shards[sidx];
+    sh.result = std::move(sr);
+    sh.state = Shard::State::kDone;
+  }
+
+  void handle_payload(Conn& c, const std::string& text) {
+    auto it = live.find(c.payload_attempt);
+    if (it != live.end() && it->second.fd == c.fd) {
+      const std::size_t sidx = it->second.shard;
+      live.erase(it);
+      if (c.attempt == c.payload_attempt) c.attempt = 0;
+      accept_result(sidx, c.payload_attempt, text);
+    } else {
+      ++dr.stale_results;
+      if (c.attempt == c.payload_attempt) c.attempt = 0;
+    }
+  }
+
+  void handle_line(Conn& c, const std::string& line) {
+    ControlLine msg;
+    std::string err;
+    if (!parse_control_line(line, &msg, &err)) {
+      std::fprintf(stderr, "cds::dist: protocol error from worker (%s); "
+                   "dropping connection\n",
+                   err.c_str());
+      drop_conn(c, "protocol error");
+      return;
+    }
+    switch (msg.kind) {
+      case ControlLine::Kind::kHello: {
+        if (c.greeted) break;  // duplicate hello: harmless
+        const std::uint64_t hb_us = static_cast<std::uint64_t>(
+            std::max(0.001, d.lease_seconds / 3.0) * 1e6);
+        if (!send_to(c, render_welcome(hb_us), "welcome")) return;
+        c.greeted = true;
+        ++dr.connections_total;
+        ++current_workers;
+        last_worker_seen = now_seconds();
+        dr.workers_connected = std::max(dr.workers_connected, current_workers);
+        break;
+      }
+      case ControlLine::Kind::kHeartbeat:
+        // Lease renewal happens generically on any traffic from the
+        // attempt's owner (see on_readable); a heartbeat for a revoked
+        // attempt is simply ignored — its result will be dropped stale.
+        break;
+      case ControlLine::Kind::kResult:
+        if (msg.payload_len > FrameBuffer::kMaxPayload) {
+          drop_conn(c, "oversized result payload");
+          return;
+        }
+        c.reading_payload = true;
+        c.payload_attempt = msg.shard_id;
+        c.payload_len = msg.payload_len;
+        break;
+      case ControlLine::Kind::kFailed: {
+        auto it = live.find(msg.shard_id);
+        if (it != live.end() && it->second.fd == c.fd) {
+          const std::size_t sidx = it->second.shard;
+          live.erase(it);
+          schedule_retry(sidx, msg.shard_id, msg.reason.c_str());
+        } else {
+          ++dr.stale_results;
+        }
+        if (c.attempt == msg.shard_id) c.attempt = 0;
+        break;
+      }
+      default:
+        // welcome/assign/steal/quit are coordinator->worker verbs.
+        drop_conn(c, "unexpected verb from worker");
+        return;
+    }
+  }
+
+  void on_readable(Conn& c) {
+    char tmp[65536];
+    long got = support::read_some(c.fd, tmp, sizeof tmp);
+    if (got <= 0) {
+      drop_conn(c, "connection lost");
+      return;
+    }
+    c.buf.append(tmp, static_cast<std::size_t>(got));
+    // Any traffic from the owner of a live attempt renews its lease —
+    // heartbeats, but also a large result payload trickling in.
+    auto it = live.find(c.attempt);
+    if (c.attempt != 0 && it != live.end() && it->second.fd == c.fd) {
+      it->second.lease_expiry = now_seconds() + d.lease_seconds;
+    }
+    std::string line;
+    while (!c.dead) {
+      if (c.reading_payload) {
+        std::string payload;
+        if (!c.buf.take(static_cast<std::size_t>(c.payload_len), &payload)) {
+          break;  // wait for more bytes
+        }
+        c.reading_payload = false;
+        handle_payload(c, payload);
+        continue;
+      }
+      if (!c.buf.next_line(&line)) break;
+      handle_line(c, line);
+    }
+    if (!c.dead && c.buf.overflowed()) drop_conn(c, "oversized frame");
+  }
+
+  void sweep_leases() {
+    const double now = now_seconds();
+    for (auto it = live.begin(); it != live.end();) {
+      if (now > it->second.lease_expiry) {
+        ++dr.leases_expired;
+        const std::size_t sidx = it->second.shard;
+        const std::uint64_t id = it->first;
+        it = live.erase(it);
+        // The worker's conn keeps its (now revoked) attempt id: it stays
+        // out of the idle pool until its late report arrives and is
+        // dropped as stale.
+        schedule_retry(sidx, id, "lease expired");
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void assign_ready() {
+    const double now = now_seconds();
+    for (Conn& c : conns) {
+      if (c.dead || !c.greeted || c.attempt != 0) continue;
+      // First ready pending shard in queue order: planned shards are in
+      // test-then-DFS order and stolen sub-shards append after their
+      // parent, which keeps assignment close to serial DFS order.
+      std::size_t pick = shards.size();
+      for (std::size_t sidx = 0; sidx < shards.size(); ++sidx) {
+        if (shards[sidx].state == Shard::State::kPending &&
+            shards[sidx].next_eligible <= now) {
+          pick = sidx;
+          break;
+        }
+      }
+      if (pick == shards.size()) return;
+      Shard& s = shards[pick];
+      Assignment asg;
+      asg.shard_id = ++attempt_counter;
+      asg.bench = b.name;
+      asg.unit = s.unit;
+      asg.engine = opts.engine;
+      asg.checker = opts.checker;
+      const std::string payload = render_assignment(asg);
+      s.state = Shard::State::kRunning;
+      ++s.attempts;
+      s.assigned_at = now;
+      s.stolen = false;
+      live[asg.shard_id] = Attempt{pick, c.fd, now + d.lease_seconds};
+      c.attempt = asg.shard_id;
+      if (!send_to(c, render_assign_header(asg.shard_id, payload.size()) +
+                          payload,
+                   "assignment")) {
+        continue;  // drop_conn already revoked + rescheduled
+      }
+    }
+  }
+
+  void maybe_steal() {
+    if (!d.enable_steal) return;
+    bool idle = false;
+    for (const Conn& c : conns) {
+      if (!c.dead && c.greeted && c.attempt == 0) idle = true;
+    }
+    if (!idle) return;
+    for (const Shard& s : shards) {
+      if (s.state == Shard::State::kPending) return;  // queue not dry
+    }
+    const double now = now_seconds();
+    const double steal_after =
+        d.steal_after_seconds > 0 ? d.steal_after_seconds
+                                  : d.lease_seconds / 2.0;
+    std::uint64_t victim = 0;
+    double oldest = now;
+    for (const auto& [id, at] : live) {
+      const Shard& s = shards[at.shard];
+      if (s.state != Shard::State::kRunning || s.stolen) continue;
+      if (now - s.assigned_at < steal_after) continue;
+      if (s.assigned_at < oldest) {
+        oldest = s.assigned_at;
+        victim = id;
+      }
+    }
+    if (victim == 0) return;
+    const Attempt at = live[victim];
+    for (Conn& c : conns) {
+      if (!c.dead && c.fd == at.fd) {
+        if (send_to(c, render_steal(victim), "steal")) {
+          shards[at.shard].stolen = true;
+          ++dr.steals;
+        }
+        return;
+      }
+    }
+  }
+};
+
+void merge_shards(const harness::Benchmark& b, const harness::RunOptions& opts,
+                  std::vector<Shard>& shards, DistRunResult& dr) {
+  harness::RunResult& total = dr.merged;
+  total.mc.seed = opts.engine.seed;
+  total.mc.exhausted = true;
+  for (std::size_t i = 0; i < b.tests.size(); ++i) {
+    // Merge in serial DFS order: stolen sub-shards were appended out of
+    // order, so sort this test's shards by subtree-prefix DFS order. A
+    // preempted parent's prefix is a proper prefix of its sub-shards' and
+    // therefore sorts first — violations and the record cap behave exactly
+    // as in an undisturbed serial run.
+    std::vector<std::size_t> order;
+    for (std::size_t sidx = 0; sidx < shards.size(); ++sidx) {
+      if (shards[sidx].test_index == i) order.push_back(sidx);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return mc::prefix_dfs_less(shards[x].unit.prefix,
+                                                  shards[y].unit.prefix);
+                     });
+    bool test_exhausted = true;
+    bool test_falsified = false;
+    std::uint64_t test_fatals = 0;
+    std::uint64_t failed_here = 0;
+    std::uint64_t recorded_here = 0;
+    for (std::size_t sidx : order) {
+      Shard& s = shards[sidx];
+      if (s.state != Shard::State::kDone) {
+        ++failed_here;
+        test_exhausted = false;
+        continue;
+      }
+      harness::ShardResult& sr = s.result;
+      mc::merge_shard_stats(total.mc, sr.stats);
+      test_exhausted = test_exhausted && sr.stats.exhausted;
+      test_falsified = test_falsified || sr.stats.violations_total > 0;
+      test_fatals += sr.stats.engine_fatal_execs;
+      total.spec.executions_checked += sr.spec.executions_checked;
+      total.spec.inadmissible_execs += sr.spec.inadmissible_execs;
+      total.spec.assertion_violation_execs +=
+          sr.spec.assertion_violation_execs;
+      total.spec.histories_checked += sr.spec.histories_checked;
+      total.spec.justification_checks += sr.spec.justification_checks;
+      total.spec.history_cap_hit |= sr.spec.history_cap_hit;
+      total.spec.r_cycle_seen |= sr.spec.r_cycle_seen;
+      total.metrics.merge(sr.metrics);
+      for (mc::Violation& v : sr.violations) {
+        if (opts.engine.max_recorded_violations != 0 &&
+            recorded_here >= opts.engine.max_recorded_violations) {
+          break;
+        }
+        total.violations.push_back(std::move(v));
+        ++recorded_here;
+      }
+      for (std::string& rep : sr.reports) {
+        total.reports.push_back(std::move(rep));
+      }
+    }
+    mc::Verdict tv =
+        test_falsified
+            ? mc::Verdict::kFalsified
+            : (test_exhausted && test_fatals == 0 && failed_here == 0
+                   ? mc::Verdict::kVerifiedExhaustive
+                   : mc::Verdict::kInconclusive);
+    harness::weaken_verdict(total.verdict, tv);
+    total.mc.exhausted = total.mc.exhausted && test_exhausted;
+  }
+  total.mc.verdict = total.verdict;
+}
+
+// Runs every still-unresolved shard on the local fork pool (the graceful
+// degradation path, and the whole path on platforms without sockets).
+void run_remaining_locally(const harness::Benchmark& b,
+                           const harness::RunOptions& opts,
+                           const DistOptions& d, std::vector<Shard>& shards,
+                           DistRunResult& dr) {
+  std::vector<std::size_t> remaining;
+  for (std::size_t sidx = 0; sidx < shards.size(); ++sidx) {
+    Shard::State st = shards[sidx].state;
+    if (st == Shard::State::kPending || st == Shard::State::kRunning) {
+      remaining.push_back(sidx);
+    }
+  }
+  if (remaining.empty()) return;
+  dr.fell_back_local = true;
+  mc::ForkMapOptions fm;
+  fm.jobs = d.fallback_jobs > 0 ? d.fallback_jobs : std::max(1, d.dist_workers);
+  std::vector<mc::UnitResult> results = mc::fork_map(
+      remaining.size(),
+      [&](std::size_t u) {
+        return harness::run_shard_unit(b, opts, shards[remaining[u]].unit);
+      },
+      fm);
+  for (std::size_t u = 0; u < remaining.size(); ++u) {
+    Shard& s = shards[remaining[u]];
+    harness::ShardResult sr;
+    std::string err;
+    if (!results[u].ran) {
+      s.state = Shard::State::kFailed;
+      ++dr.failed_shards;
+      continue;
+    }
+    // No stop_request in the fallback pool: a preempted result here is as
+    // impossible as in the parallel path, so treat it as corrupt.
+    if (!harness::parse_shard_result(results[u].text, &sr, &err) ||
+        sr.stats.preempted) {
+      std::fprintf(stderr,
+                   "cds::dist: local fallback shard %zu returned a corrupt "
+                   "result (%s)\n",
+                   remaining[u], err.c_str());
+      ++dr.corrupt_results;
+      s.state = Shard::State::kFailed;
+      ++dr.failed_shards;
+      continue;
+    }
+    s.result = std::move(sr);
+    s.state = Shard::State::kDone;
+  }
+}
+
+}  // namespace
+
+DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
+                                        const harness::RunOptions& opts,
+                                        const DistOptions& d) {
+  DistRunResult dr;
+  support::SigpipeIgnoreScope sigpipe_guard;
+
+  // Plan shards exactly as the parallel path does: same prefixes, same
+  // derived seeds, same sampling split — a distributed run explores the
+  // same partition of the same trees.
+  std::vector<Shard> shards;
+  const std::size_t max_shards =
+      d.max_shards != 0
+          ? d.max_shards
+          : static_cast<std::size_t>(std::max(1, d.dist_workers)) * 4;
+  for (std::size_t i = 0; i < b.tests.size(); ++i) {
+    mc::Config pcfg = opts.engine;
+    pcfg.test_name = b.name + "#" + std::to_string(i);
+    pcfg.test_index = static_cast<std::uint32_t>(i);
+    mc::ShardPlan plan = mc::enumerate_shard_prefixes(
+        pcfg, b.tests[i], d.shard_depth, max_shards);
+    dr.probe_executions += plan.probe_executions;
+    const std::size_t shard_count = plan.prefixes.size();
+    for (std::size_t u = 0; u < shard_count; ++u) {
+      Shard s;
+      s.test_index = i;
+      s.unit = harness::make_shard_unit(opts, i, std::move(plan.prefixes[u]),
+                                        u, shard_count);
+      shards.push_back(std::move(s));
+    }
+  }
+  dr.shards = shards.size();
+
+#ifdef CDS_DIST_COORD_POSIX
+  std::string listen_spec = d.listen;
+  bool auto_socket = false;
+  if (listen_spec.empty()) {
+    listen_spec =
+        "unix:/tmp/cdsspec-dist-" + std::to_string(getpid()) + ".sock";
+    auto_socket = true;
+  }
+  Address addr;
+  std::string err;
+  int listen_fd = -1;
+  if (!parse_address(listen_spec, &addr, &err) ||
+      (listen_fd = listen_on(addr, &err)) < 0) {
+    std::fprintf(stderr,
+                 "cds::dist: cannot listen on '%s' (%s); running locally\n",
+                 listen_spec.c_str(), err.c_str());
+  }
+  dr.listen_address = listen_spec;
+
+  std::vector<pid_t> worker_pids;
+  if (listen_fd >= 0) {
+    BenchmarkResolver resolver = d.resolve;
+    if (!resolver) {
+      const harness::Benchmark* bp = &b;
+      resolver = [bp](const std::string& name) -> const harness::Benchmark* {
+        if (name == bp->name) return bp;
+        return harness::find_benchmark(name);
+      };
+    }
+    for (int w = 0; w < d.dist_workers; ++w) {
+      pid_t pid = fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "cds::dist: fork of worker %d failed: %s\n", w,
+                     std::strerror(errno));
+        break;
+      }
+      if (pid == 0) {
+        close(listen_fd);
+        WorkerOptions wo;
+        wo.connect_timeout_seconds =
+            std::max(10.0, d.connect_deadline_seconds * 2.0);
+        wo.progress_interval_seconds = d.worker_progress_interval_seconds;
+        wo.resolve = resolver;
+        if (w == 0) wo.chaos = d.worker_chaos;
+        _exit(run_worker(listen_spec, wo));
+      }
+      worker_pids.push_back(pid);
+    }
+
+    Coordinator co{b, opts, d, dr, shards, {}, {}, 0, 0, now_seconds()};
+    const double start = now_seconds();
+    while (!co.all_resolved()) {
+      // Graceful degradation: nobody ever connected, or everybody left
+      // and stayed away. Revoke what's in flight and finish locally.
+      const double now = now_seconds();
+      const bool nobody_ever = dr.connections_total == 0 &&
+                               now - start > d.connect_deadline_seconds;
+      const bool all_gone =
+          dr.connections_total > 0 && co.current_workers == 0 &&
+          now - co.last_worker_seen > d.connect_deadline_seconds;
+      if (nobody_ever || all_gone) {
+        std::fprintf(stderr,
+                     "cds::dist: %s; falling back to the local fork pool\n",
+                     nobody_ever ? "no worker connected within the deadline"
+                                 : "all workers gone");
+        for (auto& [id, at] : co.live) {
+          shards[at.shard].state = Shard::State::kPending;
+        }
+        co.live.clear();
+        break;
+      }
+
+      std::vector<pollfd> pfds;
+      pfds.push_back(pollfd{listen_fd, POLLIN, 0});
+      std::vector<std::size_t> pfd_conn;  // pfds[k+1] -> conns index
+      for (std::size_t ci = 0; ci < co.conns.size(); ++ci) {
+        if (co.conns[ci].dead) continue;
+        pfds.push_back(pollfd{co.conns[ci].fd, POLLIN, 0});
+        pfd_conn.push_back(ci);
+      }
+      int rc = poll(pfds.data(), pfds.size(), 50);
+      if (rc < 0 && errno != EINTR) break;
+
+      if (rc > 0 && (pfds[0].revents & POLLIN) != 0) {
+        int fd = accept_conn(listen_fd);
+        if (fd >= 0) {
+          Conn c;
+          c.fd = fd;
+          co.conns.push_back(std::move(c));
+        }
+      }
+      for (std::size_t k = 0; k < pfd_conn.size(); ++k) {
+        if ((pfds[k + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+          continue;
+        }
+        Conn& c = co.conns[pfd_conn[k]];
+        if (!c.dead) co.on_readable(c);
+      }
+      co.conns.erase(std::remove_if(co.conns.begin(), co.conns.end(),
+                                    [](const Conn& c) { return c.dead; }),
+                     co.conns.end());
+
+      co.sweep_leases();
+      co.assign_ready();
+      co.maybe_steal();
+    }
+
+    for (Conn& c : co.conns) {
+      if (c.dead) continue;
+      (void)support::write_full(c.fd, render_quit());
+      close(c.fd);
+    }
+    close(listen_fd);
+    if (auto_socket) unlink(addr.path.c_str());
+
+    // Reap forked workers: quit/EOF ends them promptly; SIGKILL the rest
+    // (hung, or parked in a reconnect dial loop) after a short grace.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (pid_t& pid : worker_pids) {
+        if (pid <= 0) continue;
+        for (int spin = 0; spin < 50; ++spin) {
+          int status = 0;
+          pid_t got = waitpid(pid, &status, WNOHANG);
+          if (got == pid || (got < 0 && errno == ECHILD)) {
+            pid = -1;
+            break;
+          }
+          if (pass == 0) break;  // first pass: one WNOHANG probe only
+          usleep(20 * 1000);
+        }
+        if (pass == 1 && pid > 0) {
+          kill(pid, SIGKILL);
+          int status = 0;
+          waitpid(pid, &status, 0);
+          pid = -1;
+        }
+      }
+    }
+  }
+#else
+  dr.listen_address = d.listen;
+#endif
+
+  // Anything unresolved (no sockets on this platform, listen failure,
+  // fallback trigger) finishes on the local fork pool.
+  run_remaining_locally(b, opts, d, shards, dr);
+  merge_shards(b, opts, shards, dr);
+
+  obs::Registry& M = dr.merged.metrics;
+  M.gauge("dist.workers_requested")
+      .set(static_cast<std::uint64_t>(std::max(0, d.dist_workers)));
+  M.gauge("dist.workers_connected_peak").set(dr.workers_connected);
+  M.gauge("dist.connections_total").set(dr.connections_total);
+  M.gauge("dist.shards").set(dr.shards);
+  M.gauge("dist.probe_executions").set(dr.probe_executions);
+  M.gauge("dist.retries").set(dr.retries);
+  M.gauge("dist.leases_expired").set(dr.leases_expired);
+  M.gauge("dist.steals").set(dr.steals);
+  M.gauge("dist.steal_subshards").set(dr.steal_subshards);
+  M.gauge("dist.failed_shards").set(dr.failed_shards);
+  M.gauge("dist.stale_results").set(dr.stale_results);
+  M.gauge("dist.corrupt_results").set(dr.corrupt_results);
+  M.gauge("dist.fell_back_local").set(dr.fell_back_local ? 1 : 0);
+  return dr;
+}
+
+}  // namespace cds::dist

@@ -1,0 +1,193 @@
+#include "dist/net.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CDS_DIST_NET_POSIX 1
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace cds::dist {
+
+bool parse_address(const std::string& s, Address* out, std::string* err) {
+  Address a;
+  if (s.rfind("unix:", 0) == 0) {
+    a.unix_domain = true;
+    a.path = s.substr(5);
+    if (a.path.empty()) {
+      if (err) *err = "empty unix socket path in '" + s + "'";
+      return false;
+    }
+#ifdef CDS_DIST_NET_POSIX
+    if (a.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (err) *err = "unix socket path too long: '" + a.path + "'";
+      return false;
+    }
+#endif
+    *out = a;
+    return true;
+  }
+  std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    if (err) {
+      *err = "address '" + s + "' is neither 'host:port' nor 'unix:PATH'";
+    }
+    return false;
+  }
+  a.host = s.substr(0, colon);
+  const std::string port = s.substr(colon + 1);
+  char* end = nullptr;
+  errno = 0;
+  unsigned long p = std::strtoul(port.c_str(), &end, 10);
+  if (port.empty() || errno != 0 || *end != '\0' || p == 0 || p > 65535) {
+    if (err) *err = "bad port '" + port + "' in '" + s + "'";
+    return false;
+  }
+  a.port = static_cast<std::uint16_t>(p);
+  *out = a;
+  return true;
+}
+
+std::string to_string(const Address& a) {
+  if (a.unix_domain) return "unix:" + a.path;
+  return a.host + ":" + std::to_string(a.port);
+}
+
+#ifdef CDS_DIST_NET_POSIX
+
+namespace {
+
+int tcp_socket(const Address& a, bool listen_side, std::string* err) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen_side) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(a.port);
+  int rc = getaddrinfo(a.host.empty() ? nullptr : a.host.c_str(), port.c_str(),
+                       &hints, &res);
+  if (rc != 0) {
+    if (err) *err = "cannot resolve '" + to_string(a) + "': " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  std::string last;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = std::strerror(errno);
+      continue;
+    }
+    if (listen_side) {
+      int one = 1;
+      setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    } else {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    }
+    last = std::strerror(errno);
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0 && err) {
+    *err = std::string(listen_side ? "bind" : "connect") + " to '" +
+           to_string(a) + "' failed: " + (last.empty() ? "no address" : last);
+  }
+  return fd;
+}
+
+int unix_socket(const Address& a, bool listen_side, std::string* err) {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::snprintf(sa.sun_path, sizeof sa.sun_path, "%s", a.path.c_str());
+  if (listen_side) {
+    unlink(a.path.c_str());  // stale socket from a previous run
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      if (err) {
+        *err = "bind to '" + a.path + "' failed: " + std::strerror(errno);
+      }
+      close(fd);
+      return -1;
+    }
+  } else if (connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    if (err) {
+      *err = "connect to '" + a.path + "' failed: " + std::strerror(errno);
+    }
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int listen_on(const Address& a, std::string* err) {
+  int fd = a.unix_domain ? unix_socket(a, true, err) : tcp_socket(a, true, err);
+  if (fd < 0) return -1;
+  if (listen(fd, 64) != 0) {
+    if (err) *err = std::string("listen: ") + std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_to(const Address& a, std::string* err) {
+  return a.unix_domain ? unix_socket(a, false, err)
+                       : tcp_socket(a, false, err);
+}
+
+int accept_conn(int listen_fd) {
+  for (;;) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+int wait_readable(int fd, double timeout_seconds) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  int ms = timeout_seconds <= 0 ? 0 : static_cast<int>(timeout_seconds * 1000);
+  for (;;) {
+    int rc = poll(&p, 1, ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) return -1;
+    if (rc == 0) return 0;
+    return 1;
+  }
+}
+
+#else  // !CDS_DIST_NET_POSIX
+
+int listen_on(const Address&, std::string* err) {
+  if (err) *err = "sockets unavailable on this platform";
+  return -1;
+}
+int connect_to(const Address&, std::string* err) {
+  if (err) *err = "sockets unavailable on this platform";
+  return -1;
+}
+int accept_conn(int) { return -1; }
+int wait_readable(int, double) { return -1; }
+
+#endif
+
+}  // namespace cds::dist

@@ -1,0 +1,100 @@
+// Socket transport for the distributed coordinator/worker protocol:
+// address parsing ("host:port" TCP or "unix:PATH" Unix-domain), listen /
+// connect / accept wrappers, and the FrameBuffer that turns a byte stream
+// into the protocol's line + length-prefixed-payload frames.
+//
+// Everything here is loopback-grade plumbing: blocking sockets driven by
+// poll(2) readiness, EINTR-safe reads via support::read_some, and hard
+// size limits so a garbage or adversarial peer can exhaust neither memory
+// nor the parser (oversized lines and payloads are protocol errors, not
+// allocations).
+#ifndef CDS_DIST_NET_H
+#define CDS_DIST_NET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cds::dist {
+
+struct Address {
+  bool unix_domain = false;
+  std::string path;  // unix_domain
+  std::string host;  // TCP; empty = all interfaces (listen) / refused (connect)
+  std::uint16_t port = 0;
+};
+
+// "unix:/path/to.sock" or "host:port" ("127.0.0.1:9000", ":9000"). Strict:
+// a missing port, a port outside 1..65535, or an empty unix path reject
+// with a diagnostic.
+bool parse_address(const std::string& s, Address* out, std::string* err);
+
+std::string to_string(const Address& a);
+
+// Each returns a connected/listening fd, or -1 with a reason in *err.
+// listen_on unlinks a pre-existing unix socket path before binding.
+int listen_on(const Address& a, std::string* err);
+int connect_to(const Address& a, std::string* err);
+
+// accept(2) with EINTR retry; -1 on any other error.
+int accept_conn(int listen_fd);
+
+// Waits up to `timeout_seconds` for `fd` to become readable. Returns 1 on
+// readable/hup, 0 on timeout, -1 on error.
+int wait_readable(int fd, double timeout_seconds);
+
+// ---------------------------------------------------------------------------
+// FrameBuffer: incremental line/payload framing over a byte stream
+// ---------------------------------------------------------------------------
+// The caller appends whatever read(2) produced; next_line()/take() carve
+// complete frames off the front. A line longer than kMaxLine with no
+// newline is a protocol violation (overflowed() turns true and stays
+// true); payload sizes are checked by the caller against kMaxPayload
+// before take() is awaited.
+
+class FrameBuffer {
+ public:
+  static constexpr std::size_t kMaxLine = 64 * 1024;
+  static constexpr std::size_t kMaxPayload = 64 * 1024 * 1024;
+
+  void append(const char* data, std::size_t len) { buf_.append(data, len); }
+
+  // Extracts one complete '\n'-terminated line (newline stripped).
+  // Returns false when no complete line is buffered yet.
+  bool next_line(std::string* line) {
+    std::size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+      if (buf_.size() > kMaxLine) overflowed_ = true;
+      return false;
+    }
+    if (nl > kMaxLine) {
+      overflowed_ = true;
+      return false;
+    }
+    *line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+
+  // Extracts exactly `n` raw payload bytes, or returns false if fewer are
+  // buffered.
+  bool take(std::size_t n, std::string* out) {
+    if (buf_.size() < n) return false;
+    *out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+  // A line exceeded kMaxLine without a terminator: the stream is garbage
+  // and the connection should be dropped.
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+
+ private:
+  std::string buf_;
+  bool overflowed_ = false;
+};
+
+}  // namespace cds::dist
+
+#endif  // CDS_DIST_NET_H

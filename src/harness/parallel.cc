@@ -3,15 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "harness/shard_result.h"
 #include "mc/shard.h"
-#include "mc/trace.h"
-#include "support/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/stat.h>
@@ -22,347 +19,6 @@ namespace cds::harness {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Shard-result wire format
-// ---------------------------------------------------------------------------
-// One unit test's one shard, as produced by a worker process. Line
-// oriented; multi-line payloads (violation details, spec reports) are
-// escaped onto single lines so the whole message parses line-by-line:
-//
-//   shard-result v2
-//   stats executions=.. feasible=.. ... exhausted=0|1 verdict=0|1|2
-//   spec checked=.. inadmissible=.. ... r_cycle=0|1
-//   violations <n>
-//   v <wire-kind> <exec_index> <test_index> <nchoices> <escaped detail>
-//   S 1/2                                  # nchoices trail lines
-//   ...
-//   reports <n>
-//   rep <escaped report>
-//   metrics <n>
-//   m <obs wire line>                      # see obs::Registry::render_wire
-//   end
-//
-// v2 added the metrics section. Parsing is strict-versioned: stale v1
-// spool files are treated as corrupt (shard recomputed or crashed) rather
-// than silently merged without metrics.
-
-struct ShardResult {
-  mc::ExplorationStats stats;
-  spec::SpecChecker::Stats spec;
-  obs::Registry metrics;
-  std::vector<mc::Violation> violations;
-  std::vector<std::string> reports;
-};
-
-std::string escape_line(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '\\') {
-      out += "\\\\";
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-std::string unescape_line(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      out += s[i + 1] == 'n' ? '\n' : s[i + 1];
-      ++i;
-    } else {
-      out += s[i];
-    }
-  }
-  return out;
-}
-
-std::string render_shard_result(const RunResult& r) {
-  const mc::ExplorationStats& m = r.mc;
-  std::string s = "shard-result v2\n";
-  s += "stats executions=" + std::to_string(m.executions) +
-       " feasible=" + std::to_string(m.feasible) +
-       " pruned_bound=" + std::to_string(m.pruned_bound) +
-       " pruned_livelock=" + std::to_string(m.pruned_livelock) +
-       " pruned_redundant=" + std::to_string(m.pruned_redundant) +
-       " builtin=" + std::to_string(m.builtin_violation_execs) +
-       " fatal=" + std::to_string(m.engine_fatal_execs) +
-       " crash=" + std::to_string(m.crash_execs) +
-       " violations_total=" + std::to_string(m.violations_total) +
-       " sampled=" + std::to_string(m.sampled) +
-       " max_depth=" + std::to_string(m.max_trail_depth) +
-       " seconds_us=" +
-       std::to_string(static_cast<std::uint64_t>(m.seconds * 1e6)) +
-       " cap=" + std::to_string(m.hit_execution_cap ? 1 : 0) +
-       " stopped=" + std::to_string(m.stopped_early ? 1 : 0) +
-       " time=" + std::to_string(m.hit_time_budget ? 1 : 0) +
-       " mem=" + std::to_string(m.hit_memory_budget ? 1 : 0) +
-       " watchdog=" + std::to_string(m.watchdog_fired ? 1 : 0) +
-       " exhausted=" + std::to_string(m.exhausted ? 1 : 0) +
-       " verdict=" + std::to_string(static_cast<int>(m.verdict)) + "\n";
-  s += "spec checked=" + std::to_string(r.spec.executions_checked) +
-       " inadmissible=" + std::to_string(r.spec.inadmissible_execs) +
-       " assertions=" + std::to_string(r.spec.assertion_violation_execs) +
-       " histories=" + std::to_string(r.spec.histories_checked) +
-       " justifications=" + std::to_string(r.spec.justification_checks) +
-       " cap_hit=" + std::to_string(r.spec.history_cap_hit ? 1 : 0) +
-       " r_cycle=" + std::to_string(r.spec.r_cycle_seen ? 1 : 0) + "\n";
-  s += "violations " + std::to_string(r.violations.size()) + "\n";
-  for (const mc::Violation& v : r.violations) {
-    s += std::string("v ") + mc::wire_name(v.kind) + " " +
-         std::to_string(v.execution_index) + " " +
-         std::to_string(v.test_index) + " " + std::to_string(v.trail.size()) +
-         " " + escape_line(v.detail) + "\n";
-    s += mc::render_choices(v.trail);
-  }
-  s += "reports " + std::to_string(r.reports.size()) + "\n";
-  for (const std::string& rep : r.reports) {
-    s += "rep " + escape_line(rep) + "\n";
-  }
-  const std::vector<std::string> mlines = r.metrics.render_wire();
-  s += "metrics " + std::to_string(mlines.size()) + "\n";
-  for (const std::string& ml : mlines) {
-    s += "m " + ml + "\n";
-  }
-  s += "end\n";
-  return s;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t nl = text.find('\n', start);
-    if (nl == std::string::npos) {
-      if (start < text.size()) lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-bool parse_u64_tok(const char* s, std::uint64_t* out) {
-  char* end = nullptr;
-  errno = 0;
-  unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || errno != 0) return false;
-  *out = v;
-  return true;
-}
-
-// Parses "key=value" tokens off a stats-style line into `slots`.
-bool parse_kv_tokens(const std::string& line, std::size_t skip_prefix,
-                     const std::vector<std::pair<const char*, std::uint64_t*>>& slots,
-                     std::string* err) {
-  std::size_t pos = skip_prefix;
-  std::size_t found = 0;
-  while (pos < line.size()) {
-    while (pos < line.size() && line[pos] == ' ') ++pos;
-    if (pos >= line.size()) break;
-    std::size_t sp = line.find(' ', pos);
-    std::string tok = line.substr(pos, sp == std::string::npos ? sp : sp - pos);
-    pos = sp == std::string::npos ? line.size() : sp;
-    std::size_t eq = tok.find('=');
-    if (eq == std::string::npos) {
-      *err = "malformed token '" + tok + "'";
-      return false;
-    }
-    std::string key = tok.substr(0, eq);
-    bool known = false;
-    for (const auto& slot : slots) {
-      if (key == slot.first) {
-        if (!parse_u64_tok(tok.c_str() + eq + 1, slot.second)) {
-          *err = "malformed value in '" + tok + "'";
-          return false;
-        }
-        known = true;
-        ++found;
-        break;
-      }
-    }
-    if (!known) {
-      *err = "unknown key '" + key + "'";
-      return false;
-    }
-  }
-  if (found != slots.size()) {
-    *err = "missing keys in '" + line + "'";
-    return false;
-  }
-  return true;
-}
-
-bool parse_shard_result(const std::string& text, ShardResult* out,
-                        std::string* err) {
-  std::vector<std::string> lines = split_lines(text);
-  std::size_t i = 0;
-  auto next = [&]() -> const std::string* {
-    return i < lines.size() ? &lines[i++] : nullptr;
-  };
-  const std::string* l = next();
-  if (l == nullptr || *l != "shard-result v2") {
-    *err = "not a shard result (or a stale wire version)";
-    return false;
-  }
-  l = next();
-  if (l == nullptr || l->rfind("stats ", 0) != 0) {
-    *err = "missing stats line";
-    return false;
-  }
-  mc::ExplorationStats& m = out->stats;
-  std::uint64_t seconds_us = 0, cap = 0, stopped = 0, time = 0, mem = 0,
-                watchdog = 0, exhausted = 0, verdict = 0;
-  if (!parse_kv_tokens(*l, 6,
-                       {{"executions", &m.executions},
-                        {"feasible", &m.feasible},
-                        {"pruned_bound", &m.pruned_bound},
-                        {"pruned_livelock", &m.pruned_livelock},
-                        {"pruned_redundant", &m.pruned_redundant},
-                        {"builtin", &m.builtin_violation_execs},
-                        {"fatal", &m.engine_fatal_execs},
-                        {"crash", &m.crash_execs},
-                        {"violations_total", &m.violations_total},
-                        {"sampled", &m.sampled},
-                        {"max_depth", &m.max_trail_depth},
-                        {"seconds_us", &seconds_us},
-                        {"cap", &cap},
-                        {"stopped", &stopped},
-                        {"time", &time},
-                        {"mem", &mem},
-                        {"watchdog", &watchdog},
-                        {"exhausted", &exhausted},
-                        {"verdict", &verdict}},
-                       err)) {
-    return false;
-  }
-  m.seconds = static_cast<double>(seconds_us) / 1e6;
-  m.hit_execution_cap = cap != 0;
-  m.stopped_early = stopped != 0;
-  m.hit_time_budget = time != 0;
-  m.hit_memory_budget = mem != 0;
-  m.watchdog_fired = watchdog != 0;
-  m.exhausted = exhausted != 0;
-  if (verdict > 2) {
-    *err = "bad verdict";
-    return false;
-  }
-  m.verdict = static_cast<mc::Verdict>(verdict);
-
-  l = next();
-  if (l == nullptr || l->rfind("spec ", 0) != 0) {
-    *err = "missing spec line";
-    return false;
-  }
-  std::uint64_t cap_hit = 0, r_cycle = 0;
-  if (!parse_kv_tokens(*l, 5,
-                       {{"checked", &out->spec.executions_checked},
-                        {"inadmissible", &out->spec.inadmissible_execs},
-                        {"assertions", &out->spec.assertion_violation_execs},
-                        {"histories", &out->spec.histories_checked},
-                        {"justifications", &out->spec.justification_checks},
-                        {"cap_hit", &cap_hit},
-                        {"r_cycle", &r_cycle}},
-                       err)) {
-    return false;
-  }
-  out->spec.history_cap_hit = cap_hit != 0;
-  out->spec.r_cycle_seen = r_cycle != 0;
-
-  l = next();
-  std::uint64_t nviol = 0;
-  if (l == nullptr || l->rfind("violations ", 0) != 0 ||
-      !parse_u64_tok(l->c_str() + 11, &nviol)) {
-    *err = "missing violations count";
-    return false;
-  }
-  for (std::uint64_t k = 0; k < nviol; ++k) {
-    l = next();
-    if (l == nullptr || l->rfind("v ", 0) != 0) {
-      *err = "missing violation line";
-      return false;
-    }
-    // "v <kind> <exec> <test> <nchoices> <detail>"
-    std::vector<std::string> tok;
-    std::size_t pos = 2;
-    for (int t = 0; t < 4 && pos < l->size(); ++t) {
-      std::size_t sp = l->find(' ', pos);
-      tok.push_back(l->substr(pos, sp == std::string::npos ? sp : sp - pos));
-      pos = sp == std::string::npos ? l->size() : sp + 1;
-    }
-    if (tok.size() != 4) {
-      *err = "malformed violation line";
-      return false;
-    }
-    mc::Violation v;
-    std::uint64_t exec = 0, ti = 0, nch = 0;
-    if (!mc::parse_violation_kind(tok[0], &v.kind) ||
-        !parse_u64_tok(tok[1].c_str(), &exec) ||
-        !parse_u64_tok(tok[2].c_str(), &ti) ||
-        !parse_u64_tok(tok[3].c_str(), &nch)) {
-      *err = "malformed violation line";
-      return false;
-    }
-    v.execution_index = exec;
-    v.test_index = static_cast<std::uint32_t>(ti);
-    v.detail = unescape_line(pos <= l->size() ? l->substr(pos) : "");
-    if (!mc::parse_choices(lines, &i, nch, &v.trail, err)) return false;
-    out->violations.push_back(std::move(v));
-  }
-
-  l = next();
-  std::uint64_t nrep = 0;
-  if (l == nullptr || l->rfind("reports ", 0) != 0 ||
-      !parse_u64_tok(l->c_str() + 8, &nrep)) {
-    *err = "missing reports count";
-    return false;
-  }
-  for (std::uint64_t k = 0; k < nrep; ++k) {
-    l = next();
-    if (l == nullptr || l->rfind("rep ", 0) != 0) {
-      *err = "missing report line";
-      return false;
-    }
-    out->reports.push_back(unescape_line(l->substr(4)));
-  }
-  l = next();
-  std::uint64_t nmet = 0;
-  if (l == nullptr || l->rfind("metrics ", 0) != 0 ||
-      !parse_u64_tok(l->c_str() + 8, &nmet)) {
-    *err = "missing metrics count";
-    return false;
-  }
-  for (std::uint64_t k = 0; k < nmet; ++k) {
-    l = next();
-    if (l == nullptr || l->rfind("m ", 0) != 0) {
-      *err = "missing metrics line";
-      return false;
-    }
-    if (!out->metrics.parse_wire_line(l->substr(2), err)) return false;
-  }
-  l = next();
-  if (l == nullptr || *l != "end") {
-    *err = "missing 'end' terminator";
-    return false;
-  }
-  return true;
-}
-
-void weaken(mc::Verdict& into, mc::Verdict v) {
-  if (v == mc::Verdict::kFalsified || into == mc::Verdict::kFalsified) {
-    into = mc::Verdict::kFalsified;
-  } else if (v == mc::Verdict::kInconclusive) {
-    into = mc::Verdict::kInconclusive;
-  }
-}
-
 bool ensure_dir(const std::string& path) {
 #if defined(__unix__) || defined(__APPLE__)
   if (mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return true;
@@ -371,39 +27,6 @@ bool ensure_dir(const std::string& path) {
   (void)path;
   return false;
 #endif
-}
-
-// One shard, end to end, inside a worker process (or inline in the
-// sequential fallback): run the unit test's subtree with spec checking and
-// serialize the result.
-std::string run_shard(const Benchmark& b, const RunOptions& base,
-                      std::size_t test_index,
-                      const std::vector<mc::Choice>& prefix,
-                      std::size_t shard_index, std::size_t shard_count) {
-  RunOptions wo = base;
-  wo.resume = nullptr;
-  wo.checkpoint_base = mc::Checkpoint{};
-  wo.engine.checkpoint_path.clear();
-  wo.engine.checkpoint_every_execs = 0;
-  wo.engine.test_name = b.name + "#" + std::to_string(test_index);
-  wo.engine.test_index = static_cast<std::uint32_t>(test_index);
-  // Heartbeats from parallel workers interleave on the shared stderr, so
-  // each line names its shard.
-  wo.engine.progress_label = wo.engine.test_name + " shard " +
-                             std::to_string(shard_index + 1) + "/" +
-                             std::to_string(shard_count);
-  // Degraded-phase sampling shards by derived per-shard seeds and divides
-  // the sample budget, so a budget-starved parallel run still samples
-  // ~sample_executions total across the subtrees.
-  wo.engine.seed = support::derive_seed(base.engine.seed,
-                                        static_cast<std::uint64_t>(shard_index));
-  if (wo.engine.sample_executions > 0 && shard_count > 1) {
-    wo.engine.sample_executions = std::max<std::uint64_t>(
-        1, wo.engine.sample_executions / shard_count);
-  }
-  wo.subtree = prefix;
-  RunResult r = run_with_spec(b.tests[test_index], wo);
-  return render_shard_result(r);
 }
 
 }  // namespace
@@ -454,7 +77,8 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
     std::vector<mc::UnitResult> results = mc::fork_map(
         shard_count,
         [&](std::size_t u) {
-          return run_shard(b, opts, i, plan.prefixes[u], u, shard_count);
+          return run_shard_unit(
+              b, opts, make_shard_unit(opts, i, plan.prefixes[u], u, shard_count));
         },
         fm);
 
@@ -491,7 +115,11 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
       if (results[u].from_spool) ++pr.spooled_shards;
       ShardResult sr;
       std::string err;
-      if (!parse_shard_result(results[u].text, &sr, &err)) {
+      // Preempted partial results are a distributed-coordinator concept;
+      // fork_map workers run with no stop_request, so one here means the
+      // spool was fed by a different transport — recompute as crashed.
+      if (!parse_shard_result(results[u].text, &sr, &err) ||
+          sr.stats.preempted) {
         std::fprintf(stderr,
                      "cds::harness: shard %zu of test %zu returned a "
                      "corrupt result (%s); treating as crashed\n",
@@ -536,7 +164,7 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
             : (test_exhausted && test_fatals == 0 && crashed_here == 0
                    ? mc::Verdict::kVerifiedExhaustive
                    : mc::Verdict::kInconclusive);
-    weaken(total.verdict, tv);
+    weaken_verdict(total.verdict, tv);
     total.mc.exhausted = total.mc.exhausted && test_exhausted;
     span_base += test_end;
   }

@@ -83,6 +83,7 @@ RunResult run_with_spec(const mc::TestFn& test, const RunOptions& opts) {
   r.metrics.merge(engine.metrics());
   r.violations = engine.violations();
   r.reports = checker.reports();
+  r.frontier = engine.preempt_frontier();
   r.verdict = r.mc.verdict;
   checker.detach();
   return r;

@@ -46,6 +46,11 @@ struct RunResult {
   obs::Registry metrics;
   std::vector<mc::Violation> violations;
   std::vector<std::string> reports;
+  // Work-stealing preemption frontier (see Engine::preempt_frontier):
+  // non-empty only when mc.preempted, i.e. the run was asked to stop
+  // early and the unexplored remainder of its subtree should be re-split
+  // from this trail.
+  std::vector<mc::Choice> frontier;
   // Weakest verdict across the aggregated explorations: falsified beats
   // inconclusive beats verified-exhaustive, so "proved" is only claimed
   // when every unit test ran its state space to exhaustion.

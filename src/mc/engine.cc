@@ -386,6 +386,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
   trail_.reset_all();
   violations_.clear();
   violations_total_ = 0;
+  preempt_frontier_.clear();
   ExplorationStats stats;
   stats.seed = cfg_.seed;
   rng_ = support::Xorshift64(support::derive_seed(cfg_.seed, 0));
@@ -509,6 +510,18 @@ ExplorationStats Engine::explore(const TestFn& test) {
     }
     if (!keep_going) {
       stats.stopped_early = true;
+      stopped = true;
+      break;
+    }
+    // Cooperative preemption (work stealing): stop after the execution
+    // just tallied and surface its trail, so the coordinator can re-split
+    // the unexplored right-sibling subtrees. Checked before advance(), so
+    // the frontier names an execution this run did count — the partial
+    // result plus the re-split shards partition the subtree exactly.
+    if (cfg_.stop_request && cfg_.stop_request()) {
+      stats.preempted = true;
+      stats.stopped_early = true;
+      preempt_frontier_ = trail_.raw();
       stopped = true;
       break;
     }

@@ -173,6 +173,15 @@ class Engine {
   // replay() to re-run exactly this execution (e.g. to re-examine a
   // violation with richer tracing).
   [[nodiscard]] std::vector<Choice> current_trail() const { return trail_.raw(); }
+
+  // After explore() returned with stats.preempted (Config::stop_request
+  // tripped): the trail of the last execution the DFS explored, including
+  // any pinned subtree prefix. Empty otherwise. The unexplored remainder
+  // of the (sub)tree is the union of this trail's right-sibling subtrees
+  // below the pinned prefix — see mc::split_remaining_frontier.
+  [[nodiscard]] const std::vector<Choice>& preempt_frontier() const {
+    return preempt_frontier_;
+  }
   // Re-runs exactly one execution from a saved choice sequence. With
   // `strict` set (the --replay-trail path), the debug-build determinism
   // assertion is promoted to a runtime check: any divergence between the
@@ -368,6 +377,9 @@ class Engine {
 
   // Subtree-restriction prefix; empty = explore the whole tree.
   std::vector<Choice> subtree_;
+
+  // Frontier captured when cfg_.stop_request preempted the DFS.
+  std::vector<Choice> preempt_frontier_;
 
   // Checkpoint/resume state.
   std::optional<Checkpoint> resume_;

@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "mc/trace.h"
+#include "support/io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CDS_MC_SHARD_HAS_FORK 1
@@ -85,6 +85,34 @@ ShardPlan enumerate_shard_prefixes(const Config& cfg, const TestFn& test,
   return plan;
 }
 
+std::vector<std::vector<Choice>> split_remaining_frontier(
+    std::size_t pinned, const std::vector<Choice>& frontier) {
+  std::vector<std::vector<Choice>> out;
+  if (pinned > frontier.size()) return out;
+  // Deepest level first: the right-siblings of the frontier's last choice
+  // are the executions a serial DFS would visit next (advance() flips the
+  // deepest non-exhausted choice point).
+  for (std::size_t i = frontier.size(); i-- > pinned;) {
+    const Choice& c = frontier[i];
+    for (std::uint32_t a = c.chosen + 1u; a < c.num; ++a) {
+      std::vector<Choice> p(frontier.begin(),
+                            frontier.begin() + static_cast<std::ptrdiff_t>(i));
+      p.push_back(Choice{c.kind, static_cast<std::uint16_t>(a), c.num});
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+bool prefix_dfs_less(const std::vector<Choice>& a,
+                     const std::vector<Choice>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].chosen != b[i].chosen) return a[i].chosen < b[i].chosen;
+  }
+  return a.size() < b.size();
+}
+
 // ---------------------------------------------------------------------------
 // fork_map
 // ---------------------------------------------------------------------------
@@ -97,23 +125,6 @@ std::string spool_path(const std::string& dir, std::size_t i) {
 
 #ifdef CDS_MC_SHARD_HAS_FORK
 
-bool write_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    ssize_t n = write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool write_all(int fd, const std::string& s) {
-  return write_all(fd, s.data(), s.size());
-}
-
 // Worker loop: read "u <idx>\n" assignments off `in`, answer each with an
 // "r <idx> <len>\n<len payload bytes>" frame on `out`; "q\n" (or EOF, or
 // any malformed input) ends the process. Never returns.
@@ -125,8 +136,7 @@ bool write_all(int fd, const std::string& s) {
     line.clear();
     char c;
     for (;;) {
-      ssize_t k = read(in, &c, 1);
-      if (k < 0 && errno == EINTR) continue;
+      long k = support::read_some(in, &c, 1);
       if (k <= 0) _exit(0);
       if (c == '\n') break;
       line.push_back(c);
@@ -143,7 +153,9 @@ bool write_all(int fd, const std::string& s) {
     std::string text = work(idx);
     std::string hdr = "r " + std::to_string(idx) + " " +
                       std::to_string(text.size()) + "\n";
-    if (!write_all(out, hdr) || !write_all(out, text)) _exit(0);
+    if (!support::write_full(out, hdr) || !support::write_full(out, text)) {
+      _exit(0);
+    }
   }
 }
 
@@ -162,14 +174,26 @@ std::vector<UnitResult> fork_map(
         .count();
   };
 
+  // The whole map — worker pipes, spool writes, and the sequential
+  // fallback — runs with SIGPIPE ignored, so a worker dying at any point
+  // in the conversation surfaces as EPIPE on the write that raced it.
+  support::SigpipeIgnoreScope sigpipe_guard;
+
   if (!opts.spool_dir.empty()) {
     for (std::size_t i = 0; i < n; ++i) {
+      const std::string path = spool_path(opts.spool_dir, i);
       std::string text, err;
-      if (read_text_file(spool_path(opts.spool_dir, i), &text, &err)) {
+      bool quarantined = false;
+      if (support::read_spool_file(path, &text, &err, &quarantined)) {
         out[i].ran = true;
         out[i].from_spool = true;
         out[i].text = std::move(text);
         done[i] = 1;
+      } else if (quarantined) {
+        // Partial write or bit rot: the file was renamed aside and the
+        // unit will be recomputed below.
+        std::fprintf(stderr, "cds::mc::fork_map: corrupt spool entry %s\n",
+                     err.c_str());
       }
     }
   }
@@ -177,8 +201,8 @@ std::vector<UnitResult> fork_map(
   auto spool_write = [&](std::size_t i) {
     if (opts.spool_dir.empty()) return;
     std::string err;
-    if (!write_text_file_atomic(spool_path(opts.spool_dir, i), out[i].text,
-                                &err)) {
+    if (!support::write_spool_file(spool_path(opts.spool_dir, i), out[i].text,
+                                   &err)) {
       std::fprintf(stderr, "cds::mc::fork_map: spool write failed: %s\n",
                    err.c_str());
     }
@@ -223,14 +247,6 @@ std::vector<UnitResult> fork_map(
   const std::size_t want =
       std::min(static_cast<std::size_t>(opts.jobs), pending);
 
-  // A worker can die while the coordinator writes to it; that must surface
-  // as an EPIPE (handled), not a fatal SIGPIPE.
-  struct sigaction ign {};
-  struct sigaction old_pipe {};
-  ign.sa_handler = SIG_IGN;
-  sigemptyset(&ign.sa_mask);
-  sigaction(SIGPIPE, &ign, &old_pipe);
-
   for (std::size_t w = 0; w < want; ++w) {
     int wfd[2], rfd[2];
     if (pipe(wfd) != 0) break;
@@ -267,7 +283,6 @@ std::vector<UnitResult> fork_map(
   }
 
   if (ws.empty()) {
-    sigaction(SIGPIPE, &old_pipe, nullptr);
     run_inline();  // spool-backed sequential fallback
     return out;
   }
@@ -280,7 +295,7 @@ std::vector<UnitResult> fork_map(
   auto assign = [&](Worker& w) {
     std::ptrdiff_t u = next_pending();
     if (u < 0) {
-      (void)write_all(w.work_fd, "q\n");
+      (void)support::write_full(w.work_fd, "q\n");
       close(w.work_fd);
       w.work_fd = -1;
       w.assigned = -1;
@@ -290,7 +305,7 @@ std::vector<UnitResult> fork_map(
     out[static_cast<std::size_t>(u)].assigned_seconds = elapsed();
     out[static_cast<std::size_t>(u)].worker =
         static_cast<int>(&w - ws.data());
-    (void)write_all(w.work_fd, "u " + std::to_string(u) + "\n");
+    (void)support::write_full(w.work_fd, "u " + std::to_string(u) + "\n");
     // If the write failed the worker is dying; its EOF below records the
     // unit as crashed.
   };
@@ -316,8 +331,7 @@ std::vector<UnitResult> fork_map(
       if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       Worker& w = ws[order[k]];
       char tmp[65536];
-      ssize_t got = read(w.result_fd, tmp, sizeof tmp);
-      if (got < 0 && errno == EINTR) continue;
+      long got = support::read_some(w.result_fd, tmp, sizeof tmp);
       if (got > 0) {
         w.buf.append(tmp, static_cast<std::size_t>(got));
         for (;;) {  // drain complete frames
@@ -371,7 +385,6 @@ std::vector<UnitResult> fork_map(
     int status = 0;
     waitpid(w.pid, &status, 0);
   }
-  sigaction(SIGPIPE, &old_pipe, nullptr);
 
   // Units never assigned (all workers died early) still get computed.
   run_inline();

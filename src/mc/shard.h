@@ -44,6 +44,29 @@ struct ShardPlan {
 ShardPlan enumerate_shard_prefixes(const Config& cfg, const TestFn& test,
                                    int depth, std::size_t max_units);
 
+// Decomposes the unexplored remainder of a preempted shard into disjoint
+// subtree prefixes. `frontier` is the trail of the last execution the
+// shard explored (Engine::preempt_frontier) and `pinned` the length of
+// its own prefix: the remainder is exactly the right-sibling subtrees of
+// the frontier at every level >= pinned, i.e. prefixes
+//   frontier[0..i) + Choice{kind_i, a, num_i}   for a in (chosen_i, num_i)
+// The returned prefixes are in serial DFS order (deepest level first,
+// alternatives ascending), and together with the executions the shard
+// already counted they partition the shard's subtree — so merging the
+// partial result and the sub-shards' results reproduces the undisturbed
+// shard bit-identically. Returns empty when the frontier was the
+// subtree's last execution (nothing remained).
+std::vector<std::vector<Choice>> split_remaining_frontier(
+    std::size_t pinned, const std::vector<Choice>& frontier);
+
+// DFS order over subtree prefixes of one choice tree: lexicographic on
+// the chosen alternatives, with a proper prefix ordering before its
+// extensions (its subtree's first execution precedes them). The merge
+// layers sort dynamically created shards with this so violations and
+// record caps behave exactly as in a serial DFS.
+bool prefix_dfs_less(const std::vector<Choice>& a,
+                     const std::vector<Choice>& b);
+
 // ---------------------------------------------------------------------------
 // fork_map: run N opaque work units across forked workers
 // ---------------------------------------------------------------------------

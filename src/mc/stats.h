@@ -32,6 +32,14 @@ struct ExplorationStats {
   bool hit_memory_budget = false;
   bool watchdog_fired = false;      // no-progress DFS detected
   bool exhausted = false;           // DFS enumerated the whole bounded tree
+  // The exploration stopped because Config::stop_request tripped (work
+  // stealing): counters cover a prefix of the subtree, and the engine's
+  // preempt_frontier() names the last explored execution so a coordinator
+  // can re-split the remainder. Deliberately NOT merged by
+  // merge_shard_stats — a preempted shard plus its re-split sub-shards
+  // jointly cover the subtree, so the merger clears the flag (and the
+  // stopped_early it implies) before folding the partial result in.
+  bool preempted = false;
   Verdict verdict = Verdict::kInconclusive;
 };
 

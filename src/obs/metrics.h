@@ -226,35 +226,44 @@ class Registry {
 
   // Parses one render_wire() line into this registry (overwriting any
   // existing metric of that name). Returns false on malformed input with
-  // the reason in *err.
+  // the reason (and the offending token's position) in *err; a rejected
+  // line never modifies the registry — every value is validated into
+  // locals before anything is committed, so an adversarial line cannot
+  // leave a half-written histogram or timer behind.
   bool parse_wire_line(const std::string& line, std::string* err) {
     std::vector<std::string> tok = split_ws(line);
-    auto fail = [&](const char* why) {
-      if (err) *err = std::string(why) + ": '" + line + "'";
+    auto fail = [&](const char* why, std::size_t token_index) {
+      if (err) {
+        *err = std::string(why) + " at token " + std::to_string(token_index) +
+               ": '" + line + "'";
+      }
       return false;
     };
-    if (tok.size() < 3) return fail("short metric line");
+    if (tok.size() < 3) return fail("short metric line", tok.size());
     std::uint64_t v0 = 0;
-    if (!parse_u64(tok[2], &v0)) return fail("bad metric value");
+    if (!parse_u64(tok[2], &v0)) return fail("bad metric value", 2);
     if (tok[0] == "c" && tok.size() == 3) {
       counters_[tok[1]].value = v0;
     } else if (tok[0] == "g" && tok.size() == 3) {
       gauges_[tok[1]].value = v0;
     } else if (tok[0] == "t" && tok.size() == 4) {
       std::uint64_t cnt = 0;
-      if (!parse_u64(tok[3], &cnt)) return fail("bad timer count");
-      timers_[tok[1]].total_ns = v0;
-      timers_[tok[1]].count = cnt;
+      if (!parse_u64(tok[3], &cnt)) return fail("bad timer count", 3);
+      Timer& t = timers_[tok[1]];
+      t.total_ns = v0;
+      t.count = cnt;
     } else if (tok[0] == "h") {
-      if (tok.size() - 3 > Histogram::kBuckets) return fail("too many buckets");
-      Histogram& h = histograms_[tok[1]];
-      h = Histogram{};
+      if (tok.size() - 3 > Histogram::kBuckets) {
+        return fail("too many buckets", 3 + Histogram::kBuckets);
+      }
+      Histogram h{};
       h.samples = v0;
       for (std::size_t i = 3; i < tok.size(); ++i) {
-        if (!parse_u64(tok[i], &h.buckets[i - 3])) return fail("bad bucket");
+        if (!parse_u64(tok[i], &h.buckets[i - 3])) return fail("bad bucket", i);
       }
+      histograms_[tok[1]] = h;
     } else {
-      return fail("unknown metric kind");
+      return fail("unknown metric kind", 0);
     }
     return true;
   }

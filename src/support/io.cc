@@ -1,0 +1,238 @@
+#include "support/io.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CDS_SUPPORT_IO_POSIX 1
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace cds::support {
+
+bool write_full(int fd, const void* data, std::size_t len) {
+#ifdef CDS_SUPPORT_IO_POSIX
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)data;
+  (void)len;
+  errno = ENOSYS;
+  return false;
+#endif
+}
+
+bool write_full(int fd, const std::string& s) {
+  return write_full(fd, s.data(), s.size());
+}
+
+bool read_full(int fd, void* data, std::size_t len) {
+#ifdef CDS_SUPPORT_IO_POSIX
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before len bytes: truncated frame
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+#else
+  (void)fd;
+  (void)data;
+  (void)len;
+  errno = ENOSYS;
+  return false;
+#endif
+}
+
+long read_some(int fd, void* data, std::size_t len) {
+#ifdef CDS_SUPPORT_IO_POSIX
+  for (;;) {
+    ssize_t n = read(fd, data, len);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+#else
+  (void)fd;
+  (void)data;
+  (void)len;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+namespace {
+
+// Table-driven CRC-32 (polynomial 0xEDB88320), built once.
+const std::uint32_t* crc_table() {
+  static std::uint32_t table[256];
+  static bool init = [] {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  const std::uint32_t* t = crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::string& s) { return crc32(s.data(), s.size()); }
+
+SigpipeIgnoreScope::SigpipeIgnoreScope() : old_action_(nullptr) {
+#ifdef CDS_SUPPORT_IO_POSIX
+  auto* old_sa = new struct sigaction;
+  struct sigaction ign {};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  if (sigaction(SIGPIPE, &ign, old_sa) == 0) {
+    installed_ = true;
+    old_action_ = old_sa;
+  } else {
+    delete old_sa;
+  }
+#endif
+}
+
+SigpipeIgnoreScope::~SigpipeIgnoreScope() {
+#ifdef CDS_SUPPORT_IO_POSIX
+  if (installed_) {
+    auto* old_sa = static_cast<struct sigaction*>(old_action_);
+    sigaction(SIGPIPE, old_sa, nullptr);
+    delete old_sa;
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed spool files
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string render_footer(const std::string& text) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "#cds-spool len=%zu crc32=%08" PRIx32 "\n",
+                text.size(), crc32(text));
+  return buf;
+}
+
+bool quarantine(const std::string& path) {
+  return std::rename(path.c_str(), (path + ".quarantined").c_str()) == 0;
+}
+
+}  // namespace
+
+bool write_spool_file(const std::string& path, const std::string& text,
+                      std::string* err) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (err) *err = "cannot open '" + tmp + "': " + std::strerror(errno);
+    return false;
+  }
+  const std::string footer = render_footer(text);
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+            std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifdef CDS_SUPPORT_IO_POSIX
+  // The rename is only atomic-durable if the payload reached the disk
+  // first; fsync failure is reported, not ignored.
+  ok = ok && fsync(fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    if (err) *err = "short write to '" + tmp + "'";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err) *err = "rename to '" + path + "' failed: " + std::strerror(errno);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool read_spool_file(const std::string& path, std::string* out,
+                     std::string* err, bool* quarantined) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (err) *err = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string data;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+
+  auto reject = [&](const std::string& why) {
+    if (err) *err = "'" + path + "': " + why + "; quarantined";
+    if (quarantine(path) && quarantined != nullptr) *quarantined = true;
+    return false;
+  };
+  if (!read_ok) return reject("read error");
+
+  // The footer is the file's last line, located by its own marker rather
+  // than by a preceding '\n' so payloads need not end with a newline. The
+  // length and CRC checks below disambiguate a payload that happens to
+  // contain the marker text itself.
+  if (data.empty() || data.back() != '\n') return reject("missing footer");
+  const std::size_t footer_start = data.rfind("#cds-spool len=");
+  if (footer_start == std::string::npos) {
+    return reject("malformed or absent footer line");
+  }
+  const std::string footer = data.substr(footer_start);
+  std::size_t want_len = 0;
+  unsigned want_crc = 0;
+  if (std::sscanf(footer.c_str(), "#cds-spool len=%zu crc32=%8x", &want_len,
+                  &want_crc) != 2) {
+    return reject("malformed or absent footer line");
+  }
+  const std::string payload = data.substr(0, footer_start);
+  if (payload.size() != want_len) {
+    return reject("length mismatch (footer says " + std::to_string(want_len) +
+                  ", file holds " + std::to_string(payload.size()) + ")");
+  }
+  if (crc32(payload) != static_cast<std::uint32_t>(want_crc)) {
+    return reject("crc mismatch");
+  }
+  *out = payload;
+  return true;
+}
+
+}  // namespace cds::support

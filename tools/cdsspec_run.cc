@@ -6,6 +6,7 @@
 //   cdsspec-run <benchmark> --sites         list the benchmark's sites
 //   cdsspec-run <benchmark> --sweep         run the injection experiment
 //   cdsspec-run --replay-trail <file>       re-execute one recorded execution
+//   cdsspec-run --worker ADDR               serve shards for a coordinator
 //
 // Flags: --cap N (execution cap), --stale N (stale-read bound),
 //        --timeout SECS (wall-clock budget; degrades to sampling),
@@ -15,6 +16,10 @@
 //        --trail-out FILE (write a .trail repro of the found violation),
 //        --jobs N (parallel sharded exploration over forked workers),
 //        --shard-depth N (prefix depth for --jobs shard enumeration),
+//        --dist-workers N (distributed exploration over N forked
+//            socket-connected workers), --coordinator ADDR (listen address
+//            for external --worker processes), --lease-secs S
+//            (assignment lease), --max-shard-retries N,
 //        --progress[=SECS] (heartbeat lines on stderr while exploring),
 //        --metrics-out FILE (JSON snapshot of the metrics registry),
 //        --trace-out FILE (Chrome trace-event JSON; open in Perfetto),
@@ -32,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/coordinator.h"
 #include "ds/suite.h"
 #include "harness/parallel.h"
 #include "harness/runner.h"
@@ -60,7 +66,11 @@ void usage() {
       "                   [--stop-on-violation] [--reports] [--dot]\n"
       "                   [--jobs N] [--shard-depth N] [--progress[=SECS]]\n"
       "                   [--metrics-out FILE] [--trace-out FILE]\n"
+      "                   [--dist-workers N] [--coordinator ADDR]\n"
+      "                   [--lease-secs S] [--max-shard-retries N]\n"
       "       cdsspec-run --replay-trail FILE\n"
+      "       cdsspec-run --worker ADDR [--progress[=SECS]]\n"
+      "addresses: 'host:port' (TCP) or 'unix:PATH' (Unix-domain socket)\n"
       "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error\n"
       "            (also replay divergence / resume mismatch), 3 inconclusive\n");
 }
@@ -290,7 +300,8 @@ void print_result(const cds::harness::RunResult& r, bool reports) {
 
 void print_result_json(const std::string& benchmark,
                        const cds::harness::RunResult& r,
-                       const cds::harness::ParallelRunResult* par = nullptr) {
+                       const cds::harness::ParallelRunResult* par = nullptr,
+                       const cds::dist::DistRunResult* dist = nullptr) {
   std::printf("{\n");
   std::printf("  \"benchmark\": \"%s\",\n", json_escape(benchmark).c_str());
   std::printf("  \"mode\": \"run\",\n");
@@ -303,6 +314,35 @@ void print_result_json(const std::string& benchmark,
                 static_cast<unsigned long long>(par->crashed_shards));
     std::printf("    \"probe_executions\": %llu\n",
                 static_cast<unsigned long long>(par->probe_executions));
+    std::printf("  },\n");
+  }
+  if (dist != nullptr) {
+    std::printf("  \"dist\": {\n");
+    std::printf("    \"listen\": \"%s\",\n",
+                json_escape(dist->listen_address).c_str());
+    std::printf("    \"shards\": %llu,\n",
+                static_cast<unsigned long long>(dist->shards));
+    std::printf("    \"probe_executions\": %llu,\n",
+                static_cast<unsigned long long>(dist->probe_executions));
+    std::printf("    \"workers_connected_peak\": %llu,\n",
+                static_cast<unsigned long long>(dist->workers_connected));
+    std::printf("    \"connections_total\": %llu,\n",
+                static_cast<unsigned long long>(dist->connections_total));
+    std::printf("    \"retries\": %llu,\n",
+                static_cast<unsigned long long>(dist->retries));
+    std::printf("    \"leases_expired\": %llu,\n",
+                static_cast<unsigned long long>(dist->leases_expired));
+    std::printf("    \"steals\": %llu,\n",
+                static_cast<unsigned long long>(dist->steals));
+    std::printf("    \"steal_subshards\": %llu,\n",
+                static_cast<unsigned long long>(dist->steal_subshards));
+    std::printf("    \"failed_shards\": %llu,\n",
+                static_cast<unsigned long long>(dist->failed_shards));
+    std::printf("    \"stale_results\": %llu,\n",
+                static_cast<unsigned long long>(dist->stale_results));
+    std::printf("    \"corrupt_results\": %llu,\n",
+                static_cast<unsigned long long>(dist->corrupt_results));
+    std::printf("    \"fell_back_local\": %s\n", bstr(dist->fell_back_local));
     std::printf("  },\n");
   }
   std::printf("  \"seed\": %llu,\n",
@@ -398,6 +438,39 @@ int main(int argc, char** argv) {
     }
     return replay_trail(argv[2]);
   }
+  if (cmd == "--worker") {
+    if (argc < 3) {
+      std::fprintf(stderr, "cdsspec-run: --worker requires an address\n");
+      usage();
+      return kExitUsage;
+    }
+    cds::dist::WorkerOptions wo;
+    for (int i = 3; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a == "--progress") {
+        wo.progress_interval_seconds = 2.0;
+      } else if (a.rfind("--progress=", 0) == 0) {
+        double secs = 0.0;
+        if (!parse_double(a.c_str() + 11, &secs) || secs <= 0.0) {
+          std::fprintf(stderr,
+                       "cdsspec-run: --progress wants a positive interval\n");
+          return kExitUsage;
+        }
+        wo.progress_interval_seconds = secs;
+      } else if (a == "--connect-timeout") {
+        if (!flag_value(argc, argv, &i, "--connect-timeout",
+                        &wo.connect_timeout_seconds, parse_double))
+          return kExitUsage;
+      } else {
+        std::fprintf(stderr, "cdsspec-run: unknown --worker flag '%s'\n",
+                     a.c_str());
+        usage();
+        return kExitUsage;
+      }
+    }
+    return cds::dist::run_worker(argv[2], wo) == 0 ? kExitVerified
+                                                   : kExitUsage;
+  }
   if (cmd == "--list") {
     for (const auto& b : cds::harness::benchmarks()) {
       std::printf("%-22s %s (%zu unit tests, %zu injectable sites)\n",
@@ -431,6 +504,11 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::uint64_t jobs_u = 1;
   std::uint64_t shard_depth_u = 2;
+  std::uint64_t dist_workers_u = 0;
+  std::string coordinator_addr;
+  double lease_secs = 5.0;
+  std::uint64_t max_shard_retries_u = 3;
+  std::uint64_t chaos_kill_u = 0;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--sites") sites = true;
@@ -514,6 +592,40 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cdsspec-run: --shard-depth must be in 1..16\n");
         return kExitUsage;
       }
+    } else if (a == "--dist-workers") {
+      if (!flag_value(argc, argv, &i, "--dist-workers", &dist_workers_u,
+                      parse_u64))
+        return kExitUsage;
+      if (dist_workers_u == 0 || dist_workers_u > 64) {
+        std::fprintf(stderr, "cdsspec-run: --dist-workers must be in 1..64\n");
+        return kExitUsage;
+      }
+    } else if (a == "--coordinator") {
+      if (!flag_str(argc, argv, &i, "--coordinator", &coordinator_addr))
+        return kExitUsage;
+    } else if (a == "--lease-secs") {
+      if (!flag_value(argc, argv, &i, "--lease-secs", &lease_secs,
+                      parse_double))
+        return kExitUsage;
+      if (lease_secs <= 0.0) {
+        std::fprintf(stderr, "cdsspec-run: --lease-secs must be positive\n");
+        return kExitUsage;
+      }
+    } else if (a == "--max-shard-retries") {
+      if (!flag_value(argc, argv, &i, "--max-shard-retries",
+                      &max_shard_retries_u, parse_u64))
+        return kExitUsage;
+      if (max_shard_retries_u > 100) {
+        std::fprintf(stderr,
+                     "cdsspec-run: --max-shard-retries must be <= 100\n");
+        return kExitUsage;
+      }
+    } else if (a == "--chaos-kill-assignment") {
+      // Undocumented test/CI hook: SIGKILL the first forked worker on its
+      // K-th assignment to exercise lease revocation + retry.
+      if (!flag_value(argc, argv, &i, "--chaos-kill-assignment", &chaos_kill_u,
+                      parse_u64))
+        return kExitUsage;
     } else {
       std::fprintf(stderr, "cdsspec-run: unknown flag '%s'\n", a.c_str());
       usage();
@@ -549,6 +661,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "cdsspec-run: --jobs applies to plain runs only; sharded "
                  "runs do not checkpoint and --sweep/--dot stay serial\n");
+    return kExitUsage;
+  }
+  const bool dist_mode = dist_workers_u > 0 || !coordinator_addr.empty();
+  if (dist_mode && (jobs_u > 1 || sweep || dot || want_resume ||
+                    !opts.engine.checkpoint_path.empty())) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --dist-workers/--coordinator apply to plain "
+                 "runs only and are exclusive with --jobs, --sweep, --dot, "
+                 "--checkpoint and --resume\n");
     return kExitUsage;
   }
 
@@ -674,8 +795,24 @@ int main(int argc, char** argv) {
 
   cds::harness::RunResult r;
   cds::harness::ParallelRunResult par;
+  cds::dist::DistRunResult dist;
   const bool parallel = jobs_u > 1;
-  if (parallel) {
+  if (dist_mode) {
+    cds::dist::DistOptions dopts;
+    dopts.listen = coordinator_addr;
+    dopts.dist_workers = static_cast<int>(dist_workers_u);
+    dopts.lease_seconds = lease_secs;
+    dopts.max_shard_retries = static_cast<int>(max_shard_retries_u);
+    dopts.shard_depth = static_cast<int>(shard_depth_u);
+    dopts.worker_progress_interval_seconds =
+        opts.engine.progress_interval_seconds;
+    if (chaos_kill_u > 0) {
+      dopts.worker_chaos.kill_on_assignment =
+          static_cast<std::ptrdiff_t>(chaos_kill_u);
+    }
+    dist = cds::dist::run_benchmark_distributed(*b, opts, dopts);
+    r = std::move(dist.merged);
+  } else if (parallel) {
     cds::harness::ParallelOptions popts;
     popts.jobs = static_cast<int>(jobs_u);
     popts.shard_depth = static_cast<int>(shard_depth_u);
@@ -688,8 +825,26 @@ int main(int argc, char** argv) {
   // replaying a violation trail needs the same weakened memory order that
   // shaped it.
   if (json) {
-    print_result_json(b->name, r, parallel ? &par : nullptr);
+    print_result_json(b->name, r, parallel ? &par : nullptr,
+                      dist_mode ? &dist : nullptr);
   } else {
+    if (dist_mode) {
+      std::printf(
+          "dist: listen=%s workers-peak=%llu shards=%llu retries=%llu "
+          "leases-expired=%llu steals=%llu(+%llu sub-shards) failed=%llu "
+          "stale=%llu corrupt=%llu%s\n",
+          dist.listen_address.c_str(),
+          static_cast<unsigned long long>(dist.workers_connected),
+          static_cast<unsigned long long>(dist.shards),
+          static_cast<unsigned long long>(dist.retries),
+          static_cast<unsigned long long>(dist.leases_expired),
+          static_cast<unsigned long long>(dist.steals),
+          static_cast<unsigned long long>(dist.steal_subshards),
+          static_cast<unsigned long long>(dist.failed_shards),
+          static_cast<unsigned long long>(dist.stale_results),
+          static_cast<unsigned long long>(dist.corrupt_results),
+          dist.fell_back_local ? " (fell back to local fork pool)" : "");
+    }
     if (parallel) {
       std::printf("parallel: jobs=%d shards=%llu crashed=%llu "
                   "probe-executions=%llu\n",
