@@ -133,9 +133,9 @@ const spec::Specification& ChaseLevDeque::specification() {
 }
 
 ChaseLevDeque::Array::Array(unsigned cap, bool init) : capacity(cap) {
-  auto& arena = mc::Engine::current()->arena();
-  slots = static_cast<mc::Atomic<int>*>(
-      arena.allocate(sizeof(mc::Atomic<int>) * cap, alignof(mc::Atomic<int>)));
+  auto* backend = harness::Backend::current();
+  slots = static_cast<mc::Atomic<int>*>(backend->allocate(
+      sizeof(mc::Atomic<int>) * cap, alignof(mc::Atomic<int>)));
   for (unsigned i = 0; i < cap; ++i) {
     if (init) {
       ::new (static_cast<void*>(&slots[i])) mc::Atomic<int>(0, "cl.slot");

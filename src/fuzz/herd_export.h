@@ -1,0 +1,48 @@
+// herd7 litmus export: translates fuzzer Programs into the C-litmus
+// dialect consumed by herd7 (and litmus7), so an independent, de-facto
+// reference implementation of the C/C++11 model can adjudicate
+// disagreements between our backends.
+//
+// The translation is value-faithful: every value-observing op (load, RMW,
+// CAS) lands in a named register `r<slot>` where `slot` is the op's global
+// thread-major observation index — the same numbering behavior_string()
+// uses — so a herd7 final state and one of our serialized behaviors are
+// mechanically comparable. tools/herd_adjudicate does the comparison; the
+// golden tests in tests/fuzz/herd_export_test.cc pin the syntax.
+#ifndef CDS_FUZZ_HERD_EXPORT_H
+#define CDS_FUZZ_HERD_EXPORT_H
+
+#include <string>
+
+#include "fuzz/oracle.h"
+#include "fuzz/program.h"
+
+namespace cds::fuzz {
+
+// Renders `p` as a self-contained herd7 C-litmus test named `name`.
+// When `model` is non-null and non-empty, the `exists` clause asserts its
+// first behavior (herd7 then reports whether that behavior is reachable);
+// otherwise a trivially-valid placeholder condition is emitted. Either
+// way the `locations` directive lists every location and register, so
+// herd7's "States" section enumerates the full outcome set.
+[[nodiscard]] std::string herd_litmus(const Program& p,
+                                      const std::string& name,
+                                      const BehaviorSet* model = nullptr);
+
+// Renders one serialized behavior ("r:..|f:..", see behavior_string) of
+// `p` as a herd7 state line: "x=0; y=1; 1:r2=1; 1:r3=0;". Locations
+// first, then observing registers, both in index order. Returns "" if the
+// behavior string does not parse against p's shape.
+[[nodiscard]] std::string herd_state_line(const Program& p,
+                                          const std::string& behavior);
+
+// Writes `<dir>/<name>.litmus` (the herd7 test) and `<dir>/<name>.expected`
+// (our model-checker behavior set, one herd state line per behavior,
+// lexicographically sorted) for tools/herd_adjudicate. `dir` must exist.
+bool write_herd_files(const Program& p, const std::string& name,
+                      const BehaviorSet& model, const std::string& dir,
+                      std::string* err);
+
+}  // namespace cds::fuzz
+
+#endif  // CDS_FUZZ_HERD_EXPORT_H

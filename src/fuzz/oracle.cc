@@ -3,14 +3,11 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "harness/stress_backend.h"
 #include "mc/shard.h"
 
 namespace cds::fuzz {
 
-namespace {
-
-// One behavior, serialized: "r:<obs...>|f:<finals...>". Fixed slot order
-// makes string equality behavior equality.
 std::string behavior_string(const std::vector<std::uint64_t>& obs,
                             const std::vector<std::uint64_t>& finals) {
   std::ostringstream os;
@@ -26,6 +23,8 @@ std::string behavior_string(const std::vector<std::uint64_t>& obs,
   }
   return os.str();
 }
+
+namespace {
 
 class BehaviorCollector : public mc::ExecutionListener {
  public:
@@ -291,6 +290,38 @@ bool interleaving_behaviors(const Program& p, const OracleConfig& cfg,
   Interleaver iv(p, cfg.max_interleaving_nodes, out);
   iv.run();
   return !iv.capped;
+}
+
+BehaviorSet stress_behaviors(const Program& p, std::uint64_t iters,
+                             int threads_mult, std::uint64_t seed) {
+  BehaviorSet out;
+  if (threads_mult < 1) threads_mult = 1;
+  // One observation buffer per runner: Program::test_fn requires `obs` to
+  // outlive the run, and runners execute iterations concurrently.
+  std::vector<std::vector<std::uint64_t>> obs(
+      static_cast<std::size_t>(threads_mult));
+
+  harness::StressOptions opts;
+  opts.iters = iters;
+  opts.threads_mult = threads_mult;
+  opts.seed = seed;
+  // Behavior collection only; litmus programs carry no specs.
+  opts.check_spec = false;
+
+  auto make_test = [&](int r) {
+    return p.test_fn(&obs[static_cast<std::size_t>(r)]);
+  };
+  // The hook runs serialized across runners, between iterations.
+  auto hook = [&](int r, harness::StressBackend& b) {
+    std::vector<std::uint64_t> finals;
+    finals.reserve(static_cast<std::size_t>(p.locations));
+    for (int l = 0; l < p.locations; ++l) {
+      finals.push_back(b.location_final_value(static_cast<std::uint32_t>(l)));
+    }
+    out.insert(behavior_string(obs[static_cast<std::size_t>(r)], finals));
+  };
+  (void)harness::run_stress_per_runner(make_test, opts, hook);
+  return out;
 }
 
 std::vector<StrengthenSite> strengthen_sites(const Program& p) {

@@ -33,6 +33,13 @@ namespace cds::fuzz {
 
 using BehaviorSet = std::set<std::string>;
 
+// Serializes one behavior: "r:<obs,...>|f:<finals,...>". Fixed slot order
+// makes string equality behavior equality; shared by the DFS collector,
+// the stress backend, and the herd7 exporter.
+[[nodiscard]] std::string behavior_string(
+    const std::vector<std::uint64_t>& obs,
+    const std::vector<std::uint64_t>& finals);
+
 struct OracleConfig {
   // Safety caps on the engine runs; a program that exceeds them is
   // reported as skipped (inconclusive), never as agreement.
@@ -70,6 +77,18 @@ struct McBehaviors {
 // programs. Returns false (capped) if the node budget was exceeded.
 bool interleaving_behaviors(const Program& p, const OracleConfig& cfg,
                             BehaviorSet* out);
+
+// Runs `p` for `iters` iterations on the stress backend (real std::threads,
+// seeded preemption; harness/stress_backend.h) and collects the observed
+// behavior set. A stress sample is an under-approximation of the model's
+// set on any correct implementation, so the containment
+// `stress_behaviors(...) ⊆ mc_behaviors(...).behaviors` is the
+// cross-backend differential oracle: a stress behavior the DFS never
+// enumerates means one of the two backends is wrong.
+[[nodiscard]] BehaviorSet stress_behaviors(const Program& p,
+                                           std::uint64_t iters,
+                                           int threads_mult,
+                                           std::uint64_t seed);
 
 enum class OracleKind : std::uint8_t {
   kScInterleaving,

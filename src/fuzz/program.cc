@@ -235,7 +235,7 @@ mc::TestFn Program::test_fn(std::vector<std::uint64_t>* obs) const {
   return [p = std::move(p), base = std::move(base), total,
           obs](mc::Exec& x) {
     obs->assign(static_cast<std::size_t>(total), 0);
-    mc::Engine& e = x.engine();
+    harness::Backend& e = x.backend();
     std::uint32_t locid[kMaxLocations] = {0, 0, 0, 0};
     for (int l = 0; l < p.locations; ++l) {
       locid[l] = e.new_location(location_name(l), /*initialized=*/true, 0);

@@ -1,0 +1,16 @@
+#include "harness/backend.h"
+
+namespace cds::harness {
+
+namespace {
+// Thread-local so stress iterations on concurrent runner threads (and the
+// real threads each iteration spawns) resolve to their own backend, while
+// the fiber-based model checker keeps its one-OS-thread invariant.
+thread_local Backend* t_current = nullptr;
+}  // namespace
+
+Backend* Backend::current() { return t_current; }
+
+void Backend::set_current(Backend* b) { t_current = b; }
+
+}  // namespace cds::harness

@@ -1,0 +1,116 @@
+// Backend-neutral execution layer for test bodies.
+//
+// A test body (a `mc::TestFn` over the `mc::Exec` facade) never talks to a
+// concrete engine: every visible operation of the modeled types —
+// `mc::Atomic`, `mc::Var`, `mc::Mutex`, `mc::yield`, `mc::alloc` — routes
+// through the thread-local `Backend::current()`. Two backends implement the
+// interface:
+//
+//   - `mc::Engine` (mc/engine.h): the exhaustive stateless model checker.
+//     Sound and complete up to its configured bounds; the only backend that
+//     can return a verified verdict.
+//   - `harness::StressBackend` (harness/stress_backend.h): real
+//     `std::thread`s with seeded randomized preemption points. Unsound by
+//     construction (it observes a sample of hardware schedules), so it can
+//     only falsify; useful for wall-clock torture runs, TSan builds, and as
+//     an independent cross-check of the model checker itself.
+//
+// The interface mirrors the engine's modeled-code API verbatim so the model
+// checker pays nothing for the indirection beyond a virtual dispatch that
+// was previously a direct call through a global pointer.
+#ifndef CDS_HARNESS_BACKEND_H
+#define CDS_HARNESS_BACKEND_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mc/memory_order.h"
+#include "mc/violation.h"
+#include "spec/call.h"
+
+namespace cds::mc {
+struct RaceShadow;
+struct MutexState;
+}  // namespace cds::mc
+
+namespace cds::spec {
+class Recorder;
+}  // namespace cds::spec
+
+namespace cds::harness {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Backend driving the calling thread; null outside a live iteration /
+  // execution. Thread-local: under the stress backend every real thread of
+  // an iteration sees the same Backend instance, under the model checker
+  // all fibers share the engine's OS thread.
+  [[nodiscard]] static Backend* current();
+  static void set_current(Backend* b);
+
+  // Stable identifier ("model", "stress"): used for trail headers and
+  // diagnostics.
+  [[nodiscard]] virtual const char* backend_name() const = 0;
+
+  // --- atomic-op hooks (the modeled-code API) ---------------------------
+  virtual std::uint32_t new_location(const char* name, bool initialized,
+                                     std::uint64_t init_value) = 0;
+  virtual std::uint64_t atomic_load(std::uint32_t loc, mc::MemoryOrder o) = 0;
+  virtual void atomic_store(std::uint32_t loc, std::uint64_t v,
+                            mc::MemoryOrder o) = 0;
+  // Generic RMW: new_value = op(old_value, operand); returns old value.
+  virtual std::uint64_t atomic_rmw(std::uint32_t loc, mc::MemoryOrder o,
+                                   std::uint64_t (*op)(std::uint64_t,
+                                                       std::uint64_t),
+                                   std::uint64_t operand) = 0;
+  virtual bool atomic_cas(std::uint32_t loc, std::uint64_t& expected,
+                          std::uint64_t desired, mc::MemoryOrder success,
+                          mc::MemoryOrder failure) = 0;
+  virtual std::uint64_t atomic_exchange(std::uint32_t loc, std::uint64_t v,
+                                        mc::MemoryOrder o) = 0;
+  virtual void atomic_thread_fence(mc::MemoryOrder o) = 0;
+
+  virtual void plain_read(mc::RaceShadow& s) = 0;
+  virtual void plain_write(mc::RaceShadow& s) = 0;
+
+  virtual void mutex_lock(mc::MutexState& m) = 0;
+  virtual void mutex_unlock(mc::MutexState& m) = 0;
+
+  // --- thread lifecycle -------------------------------------------------
+  virtual int spawn_thread(std::function<void()> body) = 0;
+  virtual void join_thread(int tid) = 0;
+  virtual void yield_thread() = 0;
+  [[nodiscard]] virtual int current_thread() const = 0;
+
+  // Per-iteration allocation (mc::Exec::make / mc::alloc); memory is
+  // recycled between iterations, destructors never run.
+  virtual void* allocate(std::size_t bytes, std::size_t align) = 0;
+
+  // Reporting channel shared by built-in checks and the spec layer.
+  virtual void report_violation(mc::ViolationKind k, std::string detail) = 0;
+
+  // --- behavior-set extraction (differential oracles) -------------------
+  // Valid between iterations / from an execution listener: the locations
+  // of the finished iteration and the final value of each.
+  [[nodiscard]] virtual std::uint32_t location_count() const = 0;
+  [[nodiscard]] virtual std::uint64_t location_final_value(
+      std::uint32_t loc) const = 0;
+
+  // --- specification layer ----------------------------------------------
+  // Recorder armed for this backend's current iteration; null when spec
+  // recording is off.
+  [[nodiscard]] virtual spec::Recorder* recorder() = 0;
+  // Ordering-point snapshot of thread `tid`'s most recent visible
+  // operation. The model checker fills the happens-before clock and SC
+  // index from its per-thread memory-model state; the stress backend fills
+  // the real-time interval (`rt_begin`/`rt_end`) instead.
+  [[nodiscard]] virtual spec::OPEvent snapshot_op(int tid) const = 0;
+};
+
+}  // namespace cds::harness
+
+#endif  // CDS_HARNESS_BACKEND_H

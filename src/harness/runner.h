@@ -76,6 +76,14 @@ struct Benchmark {
   std::string display;  // paper's row label (Figure 7/8)
   const spec::Specification* spec;
   std::vector<mc::TestFn> tests;  // unit tests, all explored
+  // True when the spec's correctness argument depends on calls staying
+  // CONCURRENT (Figure-6-style justification); strengthening every
+  // operation to seq_cst then totally orders the ordering points and
+  // strips that justification, so suite-wide SC sweeps must skip the
+  // benchmark. Registration is the single source of truth: the property
+  // tests, the stress smoke test, and the cross-backend suite all derive
+  // their benchmark lists from this registry instead of hardcoding names.
+  bool spec_requires_concurrency = false;
 };
 
 void register_benchmark(Benchmark b);

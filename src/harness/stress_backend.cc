@@ -1,0 +1,403 @@
+#include "harness/stress_backend.h"
+
+#include <sched.h>
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "spec/observed.h"
+#include "support/rng.h"
+
+namespace cds::harness {
+
+namespace {
+
+// Thread id within the current iteration (0 = the iteration's root, i.e.
+// the runner thread driving run_iteration).
+thread_local int t_tid = 0;
+
+[[noreturn]] void stress_fatal(const char* msg) {
+  std::fprintf(stderr, "cds::harness stress fatal: %s\n", msg);
+  std::abort();
+}
+
+std::memory_order std_load_order(mc::MemoryOrder o) {
+  switch (mc::for_load(o)) {
+    case mc::MemoryOrder::relaxed: return std::memory_order_relaxed;
+    case mc::MemoryOrder::acquire: return std::memory_order_acquire;
+    case mc::MemoryOrder::seq_cst: return std::memory_order_seq_cst;
+    default: return std::memory_order_seq_cst;
+  }
+}
+
+std::memory_order std_store_order(mc::MemoryOrder o) {
+  switch (mc::for_store(o)) {
+    case mc::MemoryOrder::relaxed: return std::memory_order_relaxed;
+    case mc::MemoryOrder::release: return std::memory_order_release;
+    case mc::MemoryOrder::seq_cst: return std::memory_order_seq_cst;
+    default: return std::memory_order_seq_cst;
+  }
+}
+
+std::memory_order std_rmw_order(mc::MemoryOrder o) {
+  switch (o) {
+    case mc::MemoryOrder::relaxed: return std::memory_order_relaxed;
+    case mc::MemoryOrder::acquire: return std::memory_order_acquire;
+    case mc::MemoryOrder::release: return std::memory_order_release;
+    case mc::MemoryOrder::acq_rel: return std::memory_order_acq_rel;
+    case mc::MemoryOrder::seq_cst: return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+}
+
+}  // namespace
+
+StressBackend::StressBackend(const StressOptions& opts)
+    : opts_(opts),
+      slots_(opts.max_locations),
+      names_(opts.max_locations, nullptr),
+      pt_(static_cast<std::size_t>(opts.max_threads)),
+      threads_(static_cast<std::size_t>(
+          opts.max_threads > 0 ? opts.max_threads - 1 : 0)) {}
+
+StressBackend::~StressBackend() {
+  // Defensive: never destroy with live iteration threads.
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void StressBackend::preempt(int tid) {
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  ++pt.op_count;
+  // Pure function of (iteration seed, tid, op index): replays of the same
+  // seed perturb the same program points even if the hardware interleaves
+  // the threads differently between runs.
+  std::uint64_t h = support::derive_seed(
+      support::derive_seed(iter_seed_, static_cast<std::uint64_t>(tid) + 1),
+      pt.op_count);
+  auto d = static_cast<std::uint8_t>(h & 3u);
+  pt.decisions.push_back(d);
+  switch (d) {
+    case 0:
+      break;
+    case 1:
+      sched_yield();
+      break;
+    case 2:
+      sched_yield();
+      sched_yield();
+      break;
+    case 3:
+      // Short backoff: long enough to let a racing thread slip in, short
+      // enough to keep iteration throughput high.
+      for (volatile int spin = 0; spin < 64; ++spin) {
+      }
+      break;
+  }
+}
+
+std::uint32_t StressBackend::new_location(const char* name, bool /*initialized*/,
+                                          std::uint64_t init_value) {
+  // Lock-free on purpose: a mutex here would add synchronization edges
+  // between unrelated construction sites and mask weak behaviors.
+  std::uint32_t i = nloc_.fetch_add(1, std::memory_order_acq_rel);
+  if (i >= opts_.max_locations) stress_fatal("too many atomic locations");
+  slots_[i].store(init_value, std::memory_order_release);
+  names_[i] = name;
+  return i;
+}
+
+std::uint64_t StressBackend::atomic_load(std::uint32_t loc, mc::MemoryOrder o) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  std::uint64_t v = slot(loc).load(std_load_order(o));
+  pt.last_rt_end = next_rt_ticket();
+  return v;
+}
+
+void StressBackend::atomic_store(std::uint32_t loc, std::uint64_t v,
+                                 mc::MemoryOrder o) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  slot(loc).store(v, std_store_order(o));
+  pt.last_rt_end = next_rt_ticket();
+}
+
+std::uint64_t StressBackend::atomic_rmw(std::uint32_t loc, mc::MemoryOrder o,
+                                        std::uint64_t (*op)(std::uint64_t,
+                                                            std::uint64_t),
+                                        std::uint64_t operand) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  std::atomic<std::uint64_t>& s = slot(loc);
+  std::uint64_t cur = s.load(std::memory_order_relaxed);
+  while (!s.compare_exchange_weak(cur, op(cur, operand), std_rmw_order(o),
+                                  std::memory_order_relaxed)) {
+  }
+  pt.last_rt_end = next_rt_ticket();
+  return cur;
+}
+
+bool StressBackend::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
+                               std::uint64_t desired, mc::MemoryOrder success,
+                               mc::MemoryOrder failure) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  bool ok = slot(loc).compare_exchange_strong(
+      expected, desired, std_rmw_order(success), std_load_order(failure));
+  pt.last_rt_end = next_rt_ticket();
+  return ok;
+}
+
+std::uint64_t StressBackend::atomic_exchange(std::uint32_t loc, std::uint64_t v,
+                                             mc::MemoryOrder o) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  std::uint64_t old = slot(loc).exchange(v, std_rmw_order(o));
+  pt.last_rt_end = next_rt_ticket();
+  return old;
+}
+
+void StressBackend::atomic_thread_fence(mc::MemoryOrder o) {
+  int tid = t_tid;
+  preempt(tid);
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  if (o != mc::MemoryOrder::relaxed) std::atomic_thread_fence(std_rmw_order(o));
+  pt.last_rt_end = next_rt_ticket();
+}
+
+void StressBackend::plain_read(mc::RaceShadow& /*s*/) {
+  // Intentionally bare: the surrounding Var<T> access is a real plain
+  // memory access, so a TSan build sees the genuine race. Updating the
+  // FastTrack shadow here would add cross-thread synchronization through
+  // this backend and hide exactly the bug being hunted.
+}
+
+void StressBackend::plain_write(mc::RaceShadow& /*s*/) {}
+
+void StressBackend::mutex_lock(mc::MutexState& m) {
+  int tid = t_tid;
+  preempt(tid);
+  // MutexState is the model checker's scheduler-aware state; here only the
+  // holder field is used, as a real spinlock. The acquisition must refresh
+  // the real-time bracket: a spec ordering point committed right after
+  // lock() (e.g. a lock-ordered get) snapshots last_rt_*, and a stale
+  // bracket from a pre-lock optimistic read would place the call before
+  // writers that in fact completed before the lock was granted.
+  PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  std::atomic_ref<std::int32_t> holder(m.holder);
+  std::int32_t expect = -1;
+  while (!holder.compare_exchange_weak(expect, tid, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+    expect = -1;
+    sched_yield();
+  }
+  pt.last_rt_end = next_rt_ticket();
+}
+
+void StressBackend::mutex_unlock(mc::MutexState& m) {
+  std::atomic_ref<std::int32_t> holder(m.holder);
+  if (holder.load(std::memory_order_relaxed) != t_tid) {
+    report_violation(mc::ViolationKind::kUserAssertion,
+                     "mutex unlocked by a thread that does not hold it");
+    return;
+  }
+  PerThread& pt = pt_[static_cast<std::size_t>(t_tid)];
+  pt.last_rt_begin = next_rt_ticket();
+  holder.store(-1, std::memory_order_release);
+  pt.last_rt_end = next_rt_ticket();
+}
+
+int StressBackend::spawn_thread(std::function<void()> body) {
+  int tid;
+  {
+    std::lock_guard<std::mutex> lock(spawn_mu_);
+    tid = next_tid_++;
+    if (tid >= opts_.max_threads) stress_fatal("too many stress threads");
+  }
+  threads_[static_cast<std::size_t>(tid - 1)] =
+      std::thread([this, tid, body = std::move(body)] {
+        Backend* prev = Backend::current();
+        int prev_tid = t_tid;
+        Backend::set_current(this);
+        t_tid = tid;
+        body();
+        t_tid = prev_tid;
+        Backend::set_current(prev);
+      });
+  return tid;
+}
+
+void StressBackend::join_thread(int tid) {
+  assert(tid >= 1 && tid < next_tid_);
+  std::thread& t = threads_[static_cast<std::size_t>(tid - 1)];
+  if (t.joinable()) t.join();
+}
+
+void StressBackend::yield_thread() {
+  preempt(t_tid);
+  sched_yield();
+}
+
+int StressBackend::current_thread() const { return t_tid; }
+
+void* StressBackend::allocate(std::size_t bytes, std::size_t align) {
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  return arena_.allocate(bytes, align);
+}
+
+void StressBackend::report_violation(mc::ViolationKind k, std::string detail) {
+  std::lock_guard<std::mutex> lock(violation_mu_);
+  iter_violations_.emplace_back(k, std::move(detail));
+}
+
+spec::OPEvent StressBackend::snapshot_op(int tid) const {
+  const PerThread& pt = pt_[static_cast<std::size_t>(tid)];
+  spec::OPEvent ev;
+  ev.thread = tid;
+  // Per-thread op index: preserves program order within a thread via
+  // hb_before's same-thread clause. The vector clock stays empty and
+  // sc_index stays 0 — cross-thread ordering comes only from the
+  // real-time bracket.
+  ev.pos = static_cast<std::uint32_t>(pt.op_count);
+  ev.rt_begin = pt.last_rt_begin;
+  ev.rt_end = pt.last_rt_end;
+  return ev;
+}
+
+void StressBackend::run_iteration(const mc::TestFn& test,
+                                  std::uint64_t iter_seed) {
+  iter_seed_ = iter_seed;
+  nloc_.store(0, std::memory_order_relaxed);
+  rt_ticket_.store(0, std::memory_order_relaxed);
+  next_tid_ = 1;
+  for (PerThread& pt : pt_) pt.reset();
+  iter_violations_.clear();
+  arena_.reset();
+  recorder_.begin_execution(
+      opts_.check_spec ? static_cast<const Backend*>(this) : nullptr);
+
+  Backend* prev = Backend::current();
+  int prev_tid = t_tid;
+  Backend::set_current(this);
+  t_tid = 0;
+  mc::Exec ex(*this);
+  test(ex);
+  // Contract: the body joined its threads; sweep up any it forgot so the
+  // iteration's state is quiescent before callers read it.
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  t_tid = prev_tid;
+  Backend::set_current(prev);
+}
+
+std::vector<mc::Choice> StressBackend::decision_trail() const {
+  std::vector<mc::Choice> out;
+  for (int tid = 0; tid < next_tid_; ++tid) {
+    for (std::uint8_t d : pt_[static_cast<std::size_t>(tid)].decisions) {
+      out.push_back(mc::Choice{mc::ChoiceKind::kSchedule, d, 4});
+    }
+  }
+  return out;
+}
+
+StressRunResult run_stress_per_runner(
+    const std::function<mc::TestFn(int r)>& make_test,
+    const StressOptions& opts, const StressIterationHook& hook) {
+  StressRunResult res;
+  const int runners = opts.threads_mult > 1 ? opts.threads_mult : 1;
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<bool> stop{false};
+  std::mutex merge_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto runner_body = [&](int r) {
+    mc::TestFn test = make_test(r);
+    StressBackend be(opts);
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      std::uint64_t it = next.fetch_add(1, std::memory_order_relaxed);
+      if (it >= opts.iters) break;
+      std::uint64_t iseed = support::derive_seed(opts.seed, it);
+      be.run_iteration(test, iseed);
+
+      std::uint64_t oc_histories = 0;
+      bool oc_capped = false;
+      if (opts.check_spec) {
+        spec::ObservedCheckResult oc = spec::check_observed_calls(
+            be.iteration_recorder().calls(), opts.max_histories);
+        oc_histories = oc.histories_checked;
+        oc_capped = oc.capped;
+        if (oc.violation) {
+          be.report_violation(mc::ViolationKind::kSpecAssertion,
+                              std::move(oc.detail));
+        }
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+
+      const auto& vs = be.iteration_violations();
+      {
+        std::lock_guard<std::mutex> lock(merge_mu);
+        res.stats.spec_histories_checked += oc_histories;
+        if (oc_capped) ++res.stats.spec_cap_hits;
+        res.stats.violations_total += vs.size();
+        for (const auto& kv : vs) {
+          if (res.violations.size() < StressRunResult::kMaxRecorded) {
+            StressViolation v;
+            v.kind = kv.first;
+            v.detail = kv.second;
+            v.iteration = it;
+            v.iter_seed = iseed;
+            v.decisions = be.decision_trail();
+            res.violations.push_back(std::move(v));
+          }
+        }
+        if (hook) hook(r, be);
+      }
+      if (!vs.empty() && opts.stop_on_first_violation) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (runners == 1) {
+    runner_body(0);
+  } else {
+    std::vector<std::thread> rs;
+    rs.reserve(static_cast<std::size_t>(runners));
+    for (int r = 0; r < runners; ++r) rs.emplace_back(runner_body, r);
+    for (std::thread& t : rs) t.join();
+  }
+
+  res.stats.iterations = done.load(std::memory_order_relaxed);
+  res.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.verdict = res.stats.violations_total > 0 ? mc::Verdict::kFalsified
+                                               : mc::Verdict::kInconclusive;
+  return res;
+}
+
+StressRunResult run_stress(const mc::TestFn& test, const StressOptions& opts,
+                           const StressIterationHook& hook) {
+  return run_stress_per_runner([&test](int) { return test; }, opts, hook);
+}
+
+}  // namespace cds::harness

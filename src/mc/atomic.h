@@ -45,11 +45,11 @@ class Atomic {
   // that observes the pre-init value triggers the built-in
   // uninitialized-load check, exactly as in CDSChecker.
   explicit Atomic(const char* name = "atomic")
-      : loc_(Engine::current()->new_location(name, /*initialized=*/false, 0)) {}
+      : loc_(harness::Backend::current()->new_location(name, /*initialized=*/false, 0)) {}
 
   // Value construction models atomic_init / non-atomic initialization.
   Atomic(T init, const char* name = "atomic")
-      : loc_(Engine::current()->new_location(name, /*initialized=*/true,
+      : loc_(harness::Backend::current()->new_location(name, /*initialized=*/true,
                                              detail::to_u64(init))) {}
 
   Atomic(const Atomic&) = delete;
@@ -57,28 +57,28 @@ class Atomic {
 
   // Orders default to seq_cst, mirroring std::atomic.
   [[nodiscard]] T load(MemoryOrder o = MemoryOrder::seq_cst) const {
-    return detail::from_u64<T>(Engine::current()->atomic_load(loc_, o));
+    return detail::from_u64<T>(harness::Backend::current()->atomic_load(loc_, o));
   }
 
   void store(T v, MemoryOrder o = MemoryOrder::seq_cst) {
-    Engine::current()->atomic_store(loc_, detail::to_u64(v), o);
+    harness::Backend::current()->atomic_store(loc_, detail::to_u64(v), o);
   }
 
   // Late (non-atomic) initialization, for fields whose init is published by
   // a later release operation — models atomic_init after construction.
   void init(T v) {
-    Engine::current()->atomic_store(loc_, detail::to_u64(v), MemoryOrder::relaxed);
+    harness::Backend::current()->atomic_store(loc_, detail::to_u64(v), MemoryOrder::relaxed);
   }
 
   T exchange(T v, MemoryOrder o) {
     return detail::from_u64<T>(
-        Engine::current()->atomic_exchange(loc_, detail::to_u64(v), o));
+        harness::Backend::current()->atomic_exchange(loc_, detail::to_u64(v), o));
   }
 
   bool compare_exchange_strong(T& expected, T desired, MemoryOrder success,
                                MemoryOrder failure) {
     std::uint64_t e = detail::to_u64(expected);
-    bool ok = Engine::current()->atomic_cas(loc_, e, detail::to_u64(desired),
+    bool ok = harness::Backend::current()->atomic_cas(loc_, e, detail::to_u64(desired),
                                             success, failure);
     if (!ok) expected = detail::from_u64<T>(e);
     return ok;
@@ -99,7 +99,7 @@ class Atomic {
   T fetch_add(T v, MemoryOrder o)
     requires std::is_integral_v<T>
   {
-    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+    return detail::from_u64<T>(harness::Backend::current()->atomic_rmw(
         loc_, o,
         [](std::uint64_t a, std::uint64_t b) {
           return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) +
@@ -111,7 +111,7 @@ class Atomic {
   T fetch_sub(T v, MemoryOrder o)
     requires std::is_integral_v<T>
   {
-    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+    return detail::from_u64<T>(harness::Backend::current()->atomic_rmw(
         loc_, o,
         [](std::uint64_t a, std::uint64_t b) {
           return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) -
@@ -123,7 +123,7 @@ class Atomic {
   T fetch_or(T v, MemoryOrder o)
     requires std::is_integral_v<T>
   {
-    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+    return detail::from_u64<T>(harness::Backend::current()->atomic_rmw(
         loc_, o,
         [](std::uint64_t a, std::uint64_t b) {
           return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) |
@@ -135,7 +135,7 @@ class Atomic {
   T fetch_xor(T v, MemoryOrder o)
     requires std::is_integral_v<T>
   {
-    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+    return detail::from_u64<T>(harness::Backend::current()->atomic_rmw(
         loc_, o,
         [](std::uint64_t a, std::uint64_t b) {
           return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) ^
@@ -147,7 +147,7 @@ class Atomic {
   T fetch_and(T v, MemoryOrder o)
     requires std::is_integral_v<T>
   {
-    return detail::from_u64<T>(Engine::current()->atomic_rmw(
+    return detail::from_u64<T>(harness::Backend::current()->atomic_rmw(
         loc_, o,
         [](std::uint64_t a, std::uint64_t b) {
           return detail::to_u64(static_cast<T>(detail::from_u64<T>(a) &
@@ -161,7 +161,7 @@ class Atomic {
 };
 
 inline void thread_fence(MemoryOrder o) {
-  Engine::current()->atomic_thread_fence(o);
+  harness::Backend::current()->atomic_thread_fence(o);
 }
 
 }  // namespace cds::mc

@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "spec/annotations.h"
+
 namespace cds::mc {
 
 namespace {
@@ -126,6 +128,22 @@ const ThreadMMState& Engine::mm(int tid) const {
 
 const char* Engine::location_name(std::uint32_t loc) const {
   return loc < locs_.size() ? locs_[loc].name : "?";
+}
+
+spec::Recorder* Engine::recorder() {
+  // The model checker uses the process-global recorder the SpecChecker
+  // arms; stress backends own private per-instance recorders instead.
+  return spec::Recorder::current();
+}
+
+spec::OPEvent Engine::snapshot_op(int tid) const {
+  const ThreadMMState& st = mm(tid);
+  spec::OPEvent ev;
+  ev.thread = tid;
+  ev.pos = st.pos;
+  ev.vc = st.cur.vc;
+  ev.sc_index = st.last_sc_index;
+  return ev;
 }
 
 void Engine::report_violation(ViolationKind k, std::string detail) {
@@ -383,6 +401,7 @@ void Engine::write_checkpoint(Checkpoint::Phase phase,
 ExplorationStats Engine::explore(const TestFn& test) {
   if (g_engine != nullptr) fatal("nested Engine::explore on one OS thread");
   g_engine = this;
+  harness::Backend::set_current(this);
   trail_.reset_all();
   violations_.clear();
   violations_total_ = 0;
@@ -444,6 +463,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
     if (resumed_mid_run) {
       restore_crash_handlers();
       g_engine = nullptr;
+      harness::Backend::set_current(nullptr);
       fatal("set_subtree and set_resume are mutually exclusive (a subtree "
             "prefix would clobber the resumed DFS frontier)");
     }
@@ -626,6 +646,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
   active_deadline_ = 0.0;
   restore_crash_handlers();
   g_engine = nullptr;
+  harness::Backend::set_current(nullptr);
   return stats;
 }
 
@@ -658,6 +679,7 @@ bool Engine::replay(const std::vector<Choice>& saved, const TestFn& test,
                     bool strict, std::string* divergence) {
   if (g_engine != nullptr) fatal("replay during an active exploration");
   g_engine = this;
+  harness::Backend::set_current(this);
   violations_.clear();
   violations_total_ = 0;
   exec_index_ = 0;
@@ -687,6 +709,7 @@ bool Engine::replay(const std::vector<Choice>& saved, const TestFn& test,
   }
   restore_crash_handlers();
   g_engine = nullptr;
+  harness::Backend::set_current(nullptr);
   return ok;
 }
 

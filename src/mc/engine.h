@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "fiber/fiber.h"
+#include "harness/backend.h"
 #include "mc/checkpoint.h"
 #include "mc/config.h"
 #include "mc/location.h"
@@ -92,10 +94,10 @@ struct MutexState {
 
 using TestFn = std::function<void(Exec&)>;
 
-class Engine {
+class Engine : public harness::Backend {
  public:
   explicit Engine(Config cfg = {});
-  ~Engine();
+  ~Engine() override;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -126,7 +128,7 @@ class Engine {
   void set_subtree(std::vector<Choice> prefix) { subtree_ = std::move(prefix); }
 
   // --- introspection (valid while an execution is live or being checked) --
-  [[nodiscard]] int current_thread() const { return current_; }
+  [[nodiscard]] int current_thread() const override { return current_; }
   [[nodiscard]] int thread_count() const { return spawned_; }
   [[nodiscard]] const ThreadMMState& mm(int tid) const;
   [[nodiscard]] std::uint64_t execution_index() const { return exec_index_; }
@@ -147,15 +149,16 @@ class Engine {
   // Behavior-set extraction (used by the fuzzer's differential oracles):
   // the locations of the execution being checked and the final (latest in
   // modification order) value of each. Valid from an execution listener.
-  [[nodiscard]] std::uint32_t location_count() const {
+  [[nodiscard]] std::uint32_t location_count() const override {
     return static_cast<std::uint32_t>(locs_.size());
   }
-  [[nodiscard]] std::uint64_t location_final_value(std::uint32_t loc) const {
+  [[nodiscard]] std::uint64_t location_final_value(
+      std::uint32_t loc) const override {
     return locs_[loc].latest().value;
   }
 
   // Reporting channel shared by built-in checks and the spec layer.
-  void report_violation(ViolationKind k, std::string detail);
+  void report_violation(ViolationKind k, std::string detail) override;
 
   // Recoverable internal error: records a kEngineFatal diagnostic, fails
   // the *current execution* only, and lets the exploration continue. Must
@@ -193,34 +196,45 @@ class Engine {
               bool strict = false, std::string* divergence = nullptr);
 
   // --- modeled-code API (called from inside test fibers) ---------------
-  // Engine driving the calling fiber; null outside explore().
+  // Engine driving the calling fiber; null outside explore(). The generic
+  // entry point is harness::Backend::current(); this accessor exists for
+  // engine-internal callers and tests that need model-only introspection.
   static Engine* current();
 
   std::uint32_t new_location(const char* name, bool initialized,
-                             std::uint64_t init_value);
-  std::uint64_t atomic_load(std::uint32_t loc, MemoryOrder o);
-  void atomic_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o);
+                             std::uint64_t init_value) override;
+  std::uint64_t atomic_load(std::uint32_t loc, MemoryOrder o) override;
+  void atomic_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o) override;
   // Generic RMW: new_value = op(old_value, operand); returns old value.
   std::uint64_t atomic_rmw(std::uint32_t loc, MemoryOrder o,
                            std::uint64_t (*op)(std::uint64_t, std::uint64_t),
-                           std::uint64_t operand);
+                           std::uint64_t operand) override;
   bool atomic_cas(std::uint32_t loc, std::uint64_t& expected,
                   std::uint64_t desired, MemoryOrder success,
-                  MemoryOrder failure);
-  std::uint64_t atomic_exchange(std::uint32_t loc, std::uint64_t v, MemoryOrder o);
-  void atomic_thread_fence(MemoryOrder o);
+                  MemoryOrder failure) override;
+  std::uint64_t atomic_exchange(std::uint32_t loc, std::uint64_t v,
+                                MemoryOrder o) override;
+  void atomic_thread_fence(MemoryOrder o) override;
 
-  void plain_read(RaceShadow& s);
-  void plain_write(RaceShadow& s);
+  void plain_read(RaceShadow& s) override;
+  void plain_write(RaceShadow& s) override;
 
-  void mutex_lock(MutexState& m);
-  void mutex_unlock(MutexState& m);
+  void mutex_lock(MutexState& m) override;
+  void mutex_unlock(MutexState& m) override;
 
-  int spawn_thread(std::function<void()> body);
-  void join_thread(int tid);
-  void yield_thread();
+  int spawn_thread(std::function<void()> body) override;
+  void join_thread(int tid) override;
+  void yield_thread() override;
 
   support::Arena& arena() { return arena_; }
+
+  // --- harness::Backend surface ----------------------------------------
+  [[nodiscard]] const char* backend_name() const override { return "model"; }
+  void* allocate(std::size_t bytes, std::size_t align) override {
+    return arena_.allocate(bytes, align);
+  }
+  [[nodiscard]] spec::Recorder* recorder() override;
+  [[nodiscard]] spec::OPEvent snapshot_op(int tid) const override;
 
  private:
   // What a parked thread is about to do; drives the independence-based
@@ -405,35 +419,36 @@ class Engine {
   std::unique_ptr<obs::ProgressMeter> progress_;
 };
 
-// Facade handed to test bodies.
+// Facade handed to test bodies. Backend-neutral: the same body runs under
+// the model checker and the stress backend unchanged.
 class Exec {
  public:
-  explicit Exec(Engine& e) : e_(e) {}
+  explicit Exec(harness::Backend& b) : b_(b) {}
 
   // Spawns a modeled thread; returns its id.
-  int spawn(std::function<void()> body) { return e_.spawn_thread(std::move(body)); }
-  void join(int tid) { e_.join_thread(tid); }
+  int spawn(std::function<void()> body) { return b_.spawn_thread(std::move(body)); }
+  void join(int tid) { b_.join_thread(tid); }
   // Spin-loop annotation (CDSChecker's thrd_yield): deprioritizes the
   // calling thread until another thread performs a store.
-  void yield() { e_.yield_thread(); }
+  void yield() { b_.yield_thread(); }
 
   // Per-execution allocation; memory is recycled between executions, no
   // destructors run. Use for nodes the structure never frees.
   template <typename T, typename... A>
   T* make(A&&... a) {
-    return e_.arena().make<T>(static_cast<A&&>(a)...);
+    return ::new (b_.allocate(sizeof(T), alignof(T))) T(static_cast<A&&>(a)...);
   }
 
-  Engine& engine() { return e_; }
+  harness::Backend& backend() { return b_; }
 
  private:
-  Engine& e_;
+  harness::Backend& b_;
 };
 
 // Convenience wrappers for data-structure internals that do not hold an
 // Exec handle (the modeling analogue of thrd_yield / malloc in CDSChecker
 // benchmarks).
-inline void yield() { Engine::current()->yield_thread(); }
+inline void yield() { harness::Backend::current()->yield_thread(); }
 
 // CDSChecker-style user assertion (the paper's footnote 6: assertions can
 // check properties — e.g. of aggregate methods — that the specification
@@ -442,13 +457,15 @@ inline void yield() { Engine::current()->yield_thread(); }
 // stop_on_first_violation).
 inline void model_assert(bool cond, const char* what = "model_assert") {
   if (!cond) {
-    Engine::current()->report_violation(ViolationKind::kUserAssertion, what);
+    harness::Backend::current()->report_violation(ViolationKind::kUserAssertion,
+                                                  what);
   }
 }
 
 template <typename T, typename... A>
 T* alloc(A&&... a) {
-  return Engine::current()->arena().make<T>(static_cast<A&&>(a)...);
+  return ::new (harness::Backend::current()->allocate(sizeof(T), alignof(T)))
+      T(static_cast<A&&>(a)...);
 }
 
 }  // namespace cds::mc

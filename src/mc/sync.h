@@ -15,8 +15,8 @@ class Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() { Engine::current()->mutex_lock(st_); }
-  void unlock() { Engine::current()->mutex_unlock(st_); }
+  void lock() { harness::Backend::current()->mutex_lock(st_); }
+  void unlock() { harness::Backend::current()->mutex_unlock(st_); }
 
  private:
   MutexState st_;

@@ -187,6 +187,9 @@ std::string render_trail(const TrailFile& t) {
   os << "cdsspec-trail v" << TrailFile::kVersion << '\n';
   os << "test " << t.test_name << '\n';
   os << "seed " << t.seed << '\n';
+  if (!t.backend.empty() && t.backend != "model") {
+    os << "backend " << t.backend << '\n';
+  }
   if (!t.kind.empty()) os << "kind " << t.kind << '\n';
   if (!t.detail.empty()) os << "detail " << flatten(t.detail) << '\n';
   if (!t.inject_site.empty()) os << "inject " << t.inject_site << '\n';
@@ -242,6 +245,19 @@ bool parse_trail(const std::string& text, TrailFile* out, std::string* err) {
     return need("'seed <n>'");
   }
   ++i;
+
+  if (i < lines.size() && take_keyword(line().text, "backend", &rest)) {
+    // Strict token set: a trail recorded by a future backend this build
+    // does not know must fail loudly, never replay under the wrong engine.
+    if (rest != "model" && rest != "stress") {
+      return fail_at(err, line().number,
+                     "unknown backend '" + rest +
+                         "' (this build replays 'model' and 'stress' trails)");
+    }
+    // Normalize the default so parse(render(t)) round-trips exactly.
+    out->backend = rest == "model" ? "" : rest;
+    ++i;
+  }
 
   if (i < lines.size() && take_keyword(line().text, "kind", &out->kind)) ++i;
   if (i < lines.size() && take_keyword(line().text, "detail", &out->detail)) ++i;

@@ -13,6 +13,8 @@
 //   cdsspec-trail v2
 //   test msqueue#2
 //   seed 11400714819323198485
+//   backend stress                       # optional: "model" (default) or
+//                                        # "stress"; any other token rejected
 //   kind data-race                       # optional: wire_name(ViolationKind)
 //   detail read of 'head' races ...      # optional, newlines flattened
 //   inject msqueue/enqueue-tail-store    # optional: active injection site
@@ -44,6 +46,15 @@ struct TrailFile {
   // registry benchmarks, "litmus" for fuzzer programs).
   std::string test_name;
   std::uint64_t seed = 0;
+
+  // Which backend recorded the trail: "" or "model" for the model checker
+  // (the parser normalizes "model" to "" so round-trips are exact),
+  // "stress" for the stress backend. Model trails carry the engine's
+  // choice sequence and replay exactly; stress trails carry the iteration
+  // seed plus the thread-major preemption decision stream, and replay by
+  // re-running the iteration under that seed (probabilistic — the decision
+  // stream is deterministic, the hardware schedule is not).
+  std::string backend;
 
   // What the recorded execution exhibited ("" when the trail was exported
   // manually rather than from a violation).

@@ -23,12 +23,12 @@ class Var {
   Var& operator=(const Var&) = delete;
 
   [[nodiscard]] T read() const {
-    Engine::current()->plain_read(shadow_);
+    harness::Backend::current()->plain_read(shadow_);
     return v_;
   }
 
   void write(T v) {
-    Engine::current()->plain_write(shadow_);
+    harness::Backend::current()->plain_write(shadow_);
     v_ = v;
   }
 

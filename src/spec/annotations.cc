@@ -3,7 +3,7 @@
 #include <cassert>
 #include <string>
 
-#include "mc/engine.h"
+#include "harness/backend.h"
 
 namespace cds::spec {
 
@@ -14,14 +14,21 @@ Recorder* g_recorder = nullptr;
 Recorder* Recorder::current() { return g_recorder; }
 void Recorder::set_current(Recorder* r) { g_recorder = r; }
 
-void Recorder::begin_execution(const void* engine_tag) {
-  engine_tag_ = engine_tag;
+void Recorder::begin_execution(const void* backend_tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_tag_ = backend_tag;
   calls_.clear();
   next_object_ = 0;
   depth_.assign(depth_.size(), 0);
 }
 
+std::uint32_t Recorder::new_object() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_object_++;
+}
+
 int Recorder::enter(int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<std::size_t>(tid) >= depth_.size()) {
     depth_.resize(static_cast<std::size_t>(tid) + 1, 0);
   }
@@ -29,30 +36,35 @@ int Recorder::enter(int tid) {
 }
 
 void Recorder::leave(int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(static_cast<std::size_t>(tid) < depth_.size() &&
          depth_[static_cast<std::size_t>(tid)] > 0);
   --depth_[static_cast<std::size_t>(tid)];
 }
 
 void Recorder::commit(CallRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
   rec.id = static_cast<std::uint32_t>(calls_.size());
   calls_.push_back(std::move(rec));
 }
 
 Object::Object(const Specification& s) : spec_(&s) {
-  Recorder* r = Recorder::current();
-  mc::Engine* e = mc::Engine::current();
-  if (r != nullptr && e != nullptr && r->armed_for(e)) id_ = r->new_object();
+  harness::Backend* b = harness::Backend::current();
+  if (b == nullptr) return;
+  Recorder* r = b->recorder();
+  if (r != nullptr && r->armed_for(b)) id_ = r->new_object();
 }
 
 Method::Method(const Object& obj, const char* name,
                std::initializer_list<std::int64_t> args)
     : spec_(&obj.spec()) {
-  mc::Engine* e = mc::Engine::current();
-  Recorder* r = Recorder::current();
-  if (e == nullptr || r == nullptr || !r->armed_for(e)) return;
+  harness::Backend* b = harness::Backend::current();
+  if (b == nullptr) return;
+  Recorder* r = b->recorder();
+  if (r == nullptr || !r->armed_for(b)) return;
   rec_ = r;
-  tid_ = e->current_thread();
+  backend_ = b;
+  tid_ = b->current_thread();
   // Only the outermost API method call is recorded (Section 4.3: nested
   // API calls are internal calls).
   int prev_depth = rec_->enter(tid_);
@@ -84,15 +96,7 @@ std::int64_t Method::ret(std::int64_t v) {
   return v;
 }
 
-OPEvent Method::snapshot() const {
-  const mc::ThreadMMState& st = mc::Engine::current()->mm(tid_);
-  OPEvent ev;
-  ev.thread = tid_;
-  ev.pos = st.pos;
-  ev.vc = st.cur.vc;
-  ev.sc_index = st.last_sc_index;
-  return ev;
-}
+OPEvent Method::snapshot() const { return backend_->snapshot_op(tid_); }
 
 void Method::note_site(const char* kind, const std::source_location& loc) const {
   if (spec_ == nullptr) return;

@@ -27,27 +27,38 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <source_location>
 #include <vector>
 
 #include "spec/call.h"
 #include "spec/specification.h"
 
+namespace cds::harness {
+class Backend;
+}  // namespace cds::harness
+
 namespace cds::spec {
 
+// Collects CallRecords for one execution / iteration. Thread-safe: under
+// the stress backend commits arrive from concurrent real threads; under
+// the model checker all fibers share one OS thread and the lock is
+// uncontended. `calls()` is only valid between iterations (after joins).
 class Recorder {
  public:
-  // The recorder guards consult; set/cleared by SpecChecker.
+  // The process-global recorder the model checker's SpecChecker arms
+  // (annotations resolve their recorder through Backend::recorder(); the
+  // engine forwards to this). Stress backends own private recorders.
   static Recorder* current();
   static void set_current(Recorder* r);
 
-  // Arms the recorder for one execution driven by `engine`.
-  void begin_execution(const void* engine_tag);
-  [[nodiscard]] bool armed_for(const void* engine_tag) const {
-    return engine_tag != nullptr && engine_tag == engine_tag_;
+  // Arms the recorder for one execution driven by the given backend.
+  void begin_execution(const void* backend_tag);
+  [[nodiscard]] bool armed_for(const void* backend_tag) const {
+    return backend_tag != nullptr && backend_tag == engine_tag_;
   }
 
-  std::uint32_t new_object() { return next_object_++; }
+  std::uint32_t new_object();
 
   // Per-thread API-call nesting (outermost-only recording).
   [[nodiscard]] int enter(int tid);  // returns previous depth
@@ -62,6 +73,7 @@ class Recorder {
   std::vector<CallRecord> calls_;
   std::uint32_t next_object_ = 0;
   std::vector<int> depth_;
+  std::mutex mu_;
 };
 
 // Binds one data-structure instance to its specification. Construct inside
@@ -114,6 +126,7 @@ class Method {
   void note_site(const char* kind, const std::source_location& loc) const;
 
   Recorder* rec_ = nullptr;
+  harness::Backend* backend_ = nullptr;
   const Specification* spec_ = nullptr;
   int tid_ = -1;
   bool active_ = false;

@@ -24,6 +24,12 @@ struct OPEvent {
   std::uint32_t pos = 0;          // per-thread event position
   support::VectorClock vc;        // thread clock right after the event
   std::uint32_t sc_index = 0;     // position in the SC total order, 0 = none
+  // Real-time bracket (stress backend only; 0 = not recorded). Global
+  // tickets drawn immediately before and after the operation executed on
+  // the hardware, so `x.rt_end < y.rt_begin` proves x completed before y
+  // started regardless of which thread observed which value.
+  std::uint32_t rt_begin = 0;
+  std::uint32_t rt_end = 0;
 };
 
 // x is ordered before y by hb: y's clock covers x's event.
@@ -32,10 +38,17 @@ struct OPEvent {
   return y.vc.get(static_cast<std::size_t>(x.thread)) >= x.pos;
 }
 
-// x is ordered before y by the union of hb and the SC total order.
+// x is ordered before y by the union of hb and the SC total order. Under
+// the stress backend the hb clock and SC index are unavailable; the
+// real-time interval order stands in (intervals that overlap stay
+// unordered, which under-approximates r and is therefore safe for the
+// existential observed-history check in spec/observed.h).
 [[nodiscard]] inline bool r_before(const OPEvent& x, const OPEvent& y) {
   if (hb_before(x, y)) return true;
-  return x.sc_index != 0 && y.sc_index != 0 && x.sc_index < y.sc_index;
+  if (x.sc_index != 0 && y.sc_index != 0 && x.sc_index < y.sc_index) {
+    return true;
+  }
+  return x.rt_end != 0 && y.rt_begin != 0 && x.rt_end < y.rt_begin;
 }
 
 struct CallRecord {

@@ -34,7 +34,10 @@ void SpecChecker::detach() {
 }
 
 void SpecChecker::on_execution_begin(mc::Engine& e) {
-  recorder_.begin_execution(&e);
+  // Arm with the Backend identity: annotation guards compare the tag
+  // against harness::Backend::current(), which the engine sets to its
+  // Backend subobject.
+  recorder_.begin_execution(static_cast<const harness::Backend*>(&e));
 }
 
 namespace {

@@ -1,8 +1,19 @@
 #include "spec/specification.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace cds::spec {
+
+namespace {
+// Serializes op-site accounting across real threads (stress backend); the
+// model checker's fibers share one OS thread, so it only pays an
+// uncontended lock on a cold diagnostic path.
+std::mutex& op_site_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
 
 Specification::Specification(std::string name) : name_(std::move(name)) {}
 Specification::~Specification() = default;
@@ -40,9 +51,15 @@ int Specification::spec_lines() const {
 }
 
 void Specification::note_op_site(const std::string& site_key) {
+  std::lock_guard<std::mutex> lock(op_site_mutex());
   if (std::find(op_sites_.begin(), op_sites_.end(), site_key) == op_sites_.end()) {
     op_sites_.push_back(site_key);
   }
+}
+
+int Specification::ordering_point_sites() const {
+  std::lock_guard<std::mutex> lock(op_site_mutex());
+  return static_cast<int>(op_sites_.size());
 }
 
 }  // namespace cds::spec

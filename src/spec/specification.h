@@ -184,8 +184,10 @@ class Specification {
   // point annotation site (counted by the annotation runtime).
   [[nodiscard]] int spec_lines() const;
   [[nodiscard]] int admissibility_lines() const { return static_cast<int>(admits_.size()); }
+  // Thread-safe (annotation sites fire from concurrent real threads under
+  // the stress backend); serialized on a process-wide mutex in the .cc.
   void note_op_site(const std::string& site_key);
-  [[nodiscard]] int ordering_point_sites() const { return static_cast<int>(op_sites_.size()); }
+  [[nodiscard]] int ordering_point_sites() const;
 
  private:
   std::string name_;

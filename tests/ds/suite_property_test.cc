@@ -3,23 +3,55 @@
 //     Section 2 alternative) each correct structure remains violation-free
 //     — strengthening can only remove behaviors;
 //   - every benchmark's spec has at least one ordering-point site and at
-//     least one method once exercised.
+//     least one method once exercised;
+//   - a short stress-backend run (real threads, seeded preemption) finds
+//     no spec violation and never claims more than inconclusive.
+//
+// The parameter lists come from the benchmark registry itself
+// (ds::register_all_benchmarks), not from hardcoded name lists: registering
+// a new structure in src/ds/suite.cc automatically enrolls it here, in the
+// stress smoke sweep, and in the model/stress cross-backend suite.
+// Benchmarks whose spec needs genuinely concurrent calls opt out of the SC
+// sweep via Benchmark::spec_requires_concurrency at their registration.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "ds/suite.h"
 #include "harness/runner.h"
+#include "harness/stress_backend.h"
 
 namespace cds {
 namespace {
+
+std::vector<std::string> registered_names(bool sc_sweep_only) {
+  ds::register_all_benchmarks();
+  std::vector<std::string> names;
+  for (const harness::Benchmark& b : harness::benchmarks()) {
+    if (sc_sweep_only && b.spec_requires_concurrency) continue;
+    names.push_back(b.name);
+  }
+  return names;
+}
+
+std::string safe_name(const testing::TestParamInfo<std::string>& info) {
+  std::string n = info.param;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
 
 class BenchmarkSweep : public testing::TestWithParam<std::string> {
  protected:
   static void SetUpTestSuite() { ds::register_all_benchmarks(); }
 };
 
-TEST_P(BenchmarkSweep, CleanUnderScStrengthening) {
+// SC-compatible benchmarks only (see Benchmark::spec_requires_concurrency).
+class ScSweep : public BenchmarkSweep {};
+
+TEST_P(ScSweep, CleanUnderScStrengthening) {
   const auto* b = harness::find_benchmark(GetParam());
   ASSERT_NE(b, nullptr);
   harness::RunOptions opts;
@@ -44,29 +76,35 @@ TEST_P(BenchmarkSweep, SpecHasSubstance) {
   EXPECT_GE(b->spec->spec_lines(), 3) << GetParam();
 }
 
-// The Chase-Lev deque is excluded from the SC sweep: its owner's take()
-// has a *claim* (the bottom decrement) and a *decision* (the top CAS) that
-// are separate events, so under all-seq_cst operations the ordering points
-// totally order takes and steals in ways that strip the CONCURRENT
-// justification the Figure-6-style spec relies on — the paper's framework
-// targets the release/acquire setting where those calls stay concurrent
-// (its own SC-counterpart remark concerns commit points, not this spec).
-// The rel/acq sweep in chaselev_test.cc covers the deque.
-INSTANTIATE_TEST_SUITE_P(
-    AllBenchmarks, BenchmarkSweep,
-    testing::Values("spsc-queue", "rcu",
-                    "lockfree-hashtable", "mcs-lock", "mpmc-queue",
-                    "ms-queue", "linux-rwlock", "seqlock", "ticket-lock",
-                    "blocking-queue", "relaxed-register",
-                    "concurrent-hashmap", "lamport-queue", "ttas-lock",
-                    "peterson-lock"),
-    [](const testing::TestParamInfo<std::string>& info) {
-      std::string n = info.param;
-      for (char& c : n) {
-        if (c == '-') c = '_';
-      }
-      return n;
-    });
+// Every benchmark stays clean under the stress backend: real threads,
+// seeded preemption, observed-history spec checking. A handful of
+// iterations per unit test keeps this a smoke test; the dedicated
+// cross-backend suite and the CI stress job run deeper.
+TEST_P(BenchmarkSweep, StressBackendSmoke) {
+  const auto* b = harness::find_benchmark(GetParam());
+  ASSERT_NE(b, nullptr);
+  harness::StressOptions opts;
+  opts.iters = 8;
+  opts.seed = 0xC0FFEEu;
+  for (std::size_t ti = 0; ti < b->tests.size(); ++ti) {
+    auto r = harness::run_stress(b->tests[ti], opts);
+    EXPECT_EQ(r.stats.violations_total, 0u)
+        << GetParam() << "#" << ti << ": "
+        << (r.violations.empty() ? "(none recorded)"
+                                 : r.violations[0].detail);
+    // Stress samples real schedules: it can falsify, never verify.
+    EXPECT_EQ(r.verdict, mc::Verdict::kInconclusive) << GetParam();
+    EXPECT_EQ(r.stats.iterations, opts.iters) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkSweep,
+                         testing::ValuesIn(registered_names(false)),
+                         safe_name);
+
+INSTANTIATE_TEST_SUITE_P(ScCompatibleBenchmarks, ScSweep,
+                         testing::ValuesIn(registered_names(true)),
+                         safe_name);
 
 }  // namespace
 }  // namespace cds

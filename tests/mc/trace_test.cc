@@ -34,6 +34,7 @@ TrailFile full_trail() {
 }
 
 void expect_equal(const TrailFile& a, const TrailFile& b) {
+  EXPECT_EQ(a.backend, b.backend);
   EXPECT_EQ(a.test_name, b.test_name);
   EXPECT_EQ(a.seed, b.seed);
   EXPECT_EQ(a.kind, b.kind);
@@ -197,6 +198,52 @@ TEST(Trace, ChoiceCountMismatchIsRejected) {
   // Content after 'end' is rejected as trailing garbage.
   EXPECT_FALSE(parse_trail(text + "junk\n", &back, &err));
   EXPECT_NE(err.find("trailing garbage"), std::string::npos) << err;
+}
+
+TEST(Trace, StressBackendTrailRoundTrips) {
+  // A stress discovery is replayable from its trail: the header names the
+  // backend, `seed` is the failing iteration's seed, and the choices are
+  // the thread-major preemption decision stream (4 alternatives each).
+  TrailFile t;
+  t.test_name = "concurrent-hashmap#0";
+  t.seed = 0xBADC0DEull;
+  t.backend = "stress";
+  t.kind = "spec-assertion";
+  t.detail = "postcondition of get(1)=10 [T2] failed (S_RET=0)";
+  for (std::uint16_t d : {0, 3, 1, 2, 0, 0, 2}) {
+    t.choices.push_back(Choice{ChoiceKind::kSchedule, d, 4});
+  }
+  TrailFile back;
+  std::string err;
+  std::string text = render_trail(t);
+  EXPECT_NE(text.find("backend stress"), std::string::npos) << text;
+  ASSERT_TRUE(parse_trail(text, &back, &err)) << err;
+  EXPECT_EQ(back.backend, "stress");
+  expect_equal(t, back);
+}
+
+TEST(Trace, ModelBackendTokenNormalizesToEmpty) {
+  // "backend model" is accepted for symmetry but normalizes to the empty
+  // default, and the renderer never emits it — model trails stay byte-
+  // identical to pre-v2 ones.
+  TrailFile t = full_trail();
+  EXPECT_EQ(render_trail(t).find("backend"), std::string::npos);
+  std::string text = render_trail(t);
+  text.insert(text.find("kind "), "backend model\n");
+  TrailFile back;
+  std::string err;
+  ASSERT_TRUE(parse_trail(text, &back, &err)) << err;
+  EXPECT_EQ(back.backend, "");
+  expect_equal(t, back);
+}
+
+TEST(Trace, UnknownBackendTokenIsRejected) {
+  std::string text = render_trail(full_trail());
+  text.insert(text.find("kind "), "backend quantum\n");
+  TrailFile back;
+  std::string err;
+  EXPECT_FALSE(parse_trail(text, &back, &err));
+  EXPECT_NE(err.find("unknown backend 'quantum'"), std::string::npos) << err;
 }
 
 TEST(Trace, FileIoRoundTripsAndRejectsMissingFile) {

@@ -6,6 +6,16 @@
 //   cdsspec-fuzz --replay FILE...        re-check repro/corpus programs
 //   cdsspec-fuzz --replay-dir DIR        re-check every *.litmus in DIR
 //
+// Cross-backend / external adjudication (both compose with either mode):
+//   --cross-backend [--stress-iters N]   also run each program on the
+//       stress backend (real threads, seeded preemption) and require its
+//       observed behaviors to be a subset of the DFS set; a stress-only
+//       behavior is a disagreement and writes a .litmus + stress .trail
+//       pair to --out.
+//   --herd-out DIR   export each checked program as a herd7 C-litmus test
+//       plus a .expected file holding our exhaustive behavior set, for
+//       tools/herd_adjudicate to compare against herd7's verdict.
+//
 // Each trial generates a seeded random litmus program and cross-checks the
 // engine's behavior set three ways (see src/fuzz/oracle.h): brute-force
 // interleavings on the seq_cst fragment, metamorphic memory-order
@@ -32,6 +42,8 @@
 #include <dirent.h>
 
 #include "fuzz/generator.h"
+#include "fuzz/herd_export.h"
+#include "harness/stress_backend.h"
 #include "fuzz/minimize.h"
 #include "fuzz/oracle.h"
 #include "fuzz/program.h"
@@ -50,8 +62,11 @@ void usage() {
       "usage: cdsspec-fuzz --trials N [--seed S] [--timeout SECS]\n"
       "                    [--out DIR] [--json] [--unsound-hook NAME]\n"
       "                    [--jobs N] [--metrics-out FILE]\n"
-      "       cdsspec-fuzz --replay FILE...\n"
-      "       cdsspec-fuzz --replay-dir DIR\n"
+      "                    [--cross-backend] [--stress-iters N]\n"
+      "                    [--herd-out DIR]\n"
+      "       cdsspec-fuzz --replay FILE... / --replay-dir DIR\n"
+      "                    [--cross-backend] [--stress-iters N]\n"
+      "                    [--herd-out DIR]\n"
       "unsound hooks (self-validation only): sc-floor, sleep-wake\n"
       "exit codes: 0 all oracles agreed, 1 disagreement found, 2 usage\n");
 }
@@ -189,8 +204,134 @@ std::string write_repro(const std::string& out_dir, const Repro& r) {
   return f ? name.str() : "";
 }
 
+// Cross-backend / herd-export settings shared by trial and replay modes.
+struct ExtraChecks {
+  bool cross_backend = false;
+  std::uint64_t stress_iters = 64;
+  std::string herd_out;  // "" = no export
+  std::string out_dir = ".";
+};
+
+// "path/to/mp_relacq.litmus" -> "mp_relacq" (herd test / artifact name).
+std::string stem_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string n = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (n.size() > 7 && n.substr(n.size() - 7) == ".litmus") {
+    n = n.substr(0, n.size() - 7);
+  }
+  return n;
+}
+
+// Exports `p` for herd7 adjudication. Skips (with a note) when the DFS hit
+// a cap before exhausting: a partial .expected would claim behaviors are
+// forbidden that we merely did not finish enumerating.
+void herd_export_one(const cds::fuzz::Program& p,
+                     const cds::fuzz::OracleConfig& cfg,
+                     const std::string& name, const std::string& dir) {
+  auto mb = cds::fuzz::mc_behaviors(p, cfg);
+  if (!mb.exhausted) {
+    std::fprintf(stderr,
+                 "cdsspec-fuzz: --herd-out: %s: DFS hit a cap before "
+                 "exhausting; not exported\n",
+                 name.c_str());
+    return;
+  }
+  std::string err;
+  if (!cds::fuzz::write_herd_files(p, name, mb.behaviors, dir, &err)) {
+    std::fprintf(stderr, "cdsspec-fuzz: --herd-out: %s: %s\n", name.c_str(),
+                 err.c_str());
+    return;
+  }
+  std::printf("herd-out: %s/%s.litmus + .expected (%zu states)\n",
+              dir.c_str(), name.c_str(), mb.behaviors.size());
+}
+
+// Best-effort stress witness: re-runs the single-runner iteration seed
+// stream until `behavior` shows up again, capturing that iteration's seed
+// and preemption decision trail. May fail — the hardware schedule is not
+// replayable — in which case the caller records the root seed only.
+bool find_stress_witness(const cds::fuzz::Program& p, std::uint64_t iters,
+                         std::uint64_t seed, const std::string& behavior,
+                         std::uint64_t* iter_seed,
+                         std::vector<cds::mc::Choice>* decisions) {
+  std::vector<std::uint64_t> obs;
+  cds::mc::TestFn test = p.test_fn(&obs);
+  cds::harness::StressOptions o;
+  o.check_spec = false;
+  cds::harness::StressBackend be(o);
+  for (std::uint64_t it = 0; it < iters; ++it) {
+    std::uint64_t s = cds::support::derive_seed(seed, it);
+    be.run_iteration(test, s);
+    std::vector<std::uint64_t> finals;
+    for (int l = 0; l < p.locations; ++l) {
+      finals.push_back(be.location_final_value(static_cast<std::uint32_t>(l)));
+    }
+    if (cds::fuzz::behavior_string(obs, finals) == behavior) {
+      *iter_seed = s;
+      *decisions = be.decision_trail();
+      return true;
+    }
+  }
+  return false;
+}
+
+// Stress-vs-DFS containment. True when stress observed a behavior the
+// exhaustive DFS never enumerated — one of the two backends is wrong.
+// Writes a replayable .litmus + stress .trail pair to ex.out_dir.
+bool cross_backend_disagrees(const cds::fuzz::Program& p,
+                             const cds::fuzz::OracleConfig& cfg,
+                             const ExtraChecks& ex, const std::string& name,
+                             std::string* detail) {
+  auto mb = cds::fuzz::mc_behaviors(p, cfg);
+  if (!mb.exhausted) {
+    std::fprintf(stderr,
+                 "cdsspec-fuzz: %s: cross-backend check skipped (DFS not "
+                 "exhausted, containment undecidable)\n",
+                 name.c_str());
+    return false;
+  }
+  auto sb = cds::fuzz::stress_behaviors(p, ex.stress_iters,
+                                        /*threads_mult=*/2, cfg.seed);
+  std::vector<std::string> extra;
+  for (const std::string& b : sb) {
+    if (mb.behaviors.count(b) == 0) extra.push_back(b);
+  }
+  if (extra.empty()) return false;
+  *detail = "stress observed " + std::to_string(extra.size()) +
+            " behavior(s) outside the model set of " +
+            std::to_string(mb.behaviors.size()) + "; first: " + extra.front();
+
+  const std::string base = ex.out_dir + "/cross-" + name;
+  std::ofstream f(base + ".litmus");
+  if (f) {
+    f << "# cdsspec-fuzz cross-backend disagreement\n";
+    f << "# stress-only behavior: " << extra.front() << "\n";
+    f << p.to_string();
+  }
+  cds::mc::TrailFile tf;
+  tf.backend = "stress";
+  tf.test_name = "litmus";
+  tf.kind = "cross-backend";
+  tf.detail = extra.front();
+  tf.seed = cfg.seed;
+  std::uint64_t iseed = 0;
+  std::vector<cds::mc::Choice> dec;
+  if (find_stress_witness(p, ex.stress_iters, cfg.seed, extra.front(),
+                          &iseed, &dec)) {
+    tf.seed = iseed;
+    tf.choices = std::move(dec);
+  }
+  std::string terr;
+  if (!cds::mc::write_trail_file(base + ".trail", tf, &terr)) {
+    std::fprintf(stderr, "cdsspec-fuzz: cannot write '%s.trail': %s\n",
+                 base.c_str(), terr.c_str());
+  }
+  return true;
+}
+
 int replay_files(const std::vector<std::string>& files,
-                 const cds::fuzz::OracleConfig& cfg, bool json) {
+                 const cds::fuzz::OracleConfig& cfg, bool json,
+                 const ExtraChecks& ex) {
   int disagreed = 0, failed = 0;
   for (const std::string& path : files) {
     std::ifstream f(path);
@@ -209,6 +350,17 @@ int replay_files(const std::vector<std::string>& files,
       ++failed;
       continue;
     }
+    if (!ex.herd_out.empty()) {
+      herd_export_one(p, cfg, stem_of(path), ex.herd_out);
+    }
+    if (ex.cross_backend) {
+      std::string detail;
+      if (cross_backend_disagrees(p, cfg, ex, stem_of(path), &detail)) {
+        ++disagreed;
+        std::printf("%s: DISAGREEMENT [cross-backend] %s\n", path.c_str(),
+                    detail.c_str());
+      }
+    }
     // Trail fast-path: a witness .trail beside the .litmus replays the one
     // recorded offending execution deterministically. Divergence or a
     // changed behavior (the engine moved since the recording) falls back
@@ -222,6 +374,14 @@ int replay_files(const std::vector<std::string>& files,
           std::fprintf(stderr,
                        "cdsspec-fuzz: %s; re-running full oracles\n",
                        terr.c_str());
+        } else if (!tf.backend.empty()) {
+          // Stress trails replay probabilistically (cdsspec-run
+          // --replay-trail); only model trails drive the deterministic
+          // fast-path.
+          std::fprintf(stderr,
+                       "cdsspec-fuzz: %s: '%s' trail is not a model-checker "
+                       "witness; re-running full oracles\n",
+                       tpath.c_str(), tf.backend.c_str());
         } else {
           cds::fuzz::Program wp = p;
           if (!apply_witness_test_name(tf.test_name, &wp)) {
@@ -291,6 +451,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   std::string metrics_out;
   cds::fuzz::OracleConfig cfg;
+  ExtraChecks ex;
   std::vector<std::string> replay;
 
   for (int i = 1; i < argc; ++i) {
@@ -322,6 +483,17 @@ int main(int argc, char** argv) {
       metrics_out = value("--metrics-out");
     } else if (a == "--json") {
       json = true;
+    } else if (a == "--cross-backend") {
+      ex.cross_backend = true;
+    } else if (a == "--stress-iters") {
+      if (!parse_u64(value("--stress-iters"), &ex.stress_iters) ||
+          ex.stress_iters == 0) {
+        std::fprintf(stderr,
+                     "cdsspec-fuzz: --stress-iters must be positive\n");
+        return kExitUsage;
+      }
+    } else if (a == "--herd-out") {
+      ex.herd_out = value("--herd-out");
     } else if (a == "--unsound-hook") {
       std::string h = value("--unsound-hook");
       if (h == "sc-floor") {
@@ -365,10 +537,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  ex.out_dir = out_dir;
   if (!replay.empty()) {
     // Deterministic order regardless of directory enumeration order.
     std::sort(replay.begin(), replay.end());
-    return replay_files(replay, cfg, json);
+    return replay_files(replay, cfg, json, ex);
   }
   if (trials == 0) {
     usage();
@@ -382,6 +555,7 @@ int main(int argc, char** argv) {
   };
 
   std::uint64_t done = 0, skipped = 0, checks = 0;
+  std::uint64_t cross_disagreed = 0;
   bool timed_out = false;
   std::vector<Repro> repros;
   for (std::uint64_t trial = 0; trial < trials; ++trial) {
@@ -401,6 +575,25 @@ int main(int argc, char** argv) {
     if (res.skipped) {
       ++skipped;
       continue;
+    }
+    const std::string trial_name = "seed" + std::to_string(seed);
+    if (!ex.herd_out.empty()) {
+      herd_export_one(p, tcfg, trial_name, ex.herd_out);
+    }
+    if (ex.cross_backend) {
+      std::string detail;
+      if (cross_backend_disagrees(p, tcfg, ex, trial_name, &detail)) {
+        ++cross_disagreed;
+        ++checks;
+        if (!json) {
+          std::printf("trial %llu seed %llu: DISAGREEMENT [cross-backend]\n"
+                      "  %s\n",
+                      static_cast<unsigned long long>(trial),
+                      static_cast<unsigned long long>(seed), detail.c_str());
+        }
+      } else {
+        ++checks;
+      }
     }
     for (const auto& d : res.disagreements) {
       Repro r;
@@ -467,6 +660,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(skipped));
     std::printf("  \"oracle_checks\": %llu,\n",
                 static_cast<unsigned long long>(checks));
+    std::printf("  \"cross_backend_disagreements\": %llu,\n",
+                static_cast<unsigned long long>(cross_disagreed));
     std::printf("  \"timed_out\": %s,\n", timed_out ? "true" : "false");
     std::printf("  \"seconds\": %.2f,\n", elapsed());
     std::printf("  \"disagreements\": [\n");
@@ -486,11 +681,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf(
         "%llu/%llu trials (%llu skipped), %llu oracle checks, "
-        "%zu disagreements%s in %.1fs (seed %llu)\n",
+        "%zu disagreements (%llu cross-backend)%s in %.1fs (seed %llu)\n",
         static_cast<unsigned long long>(done),
         static_cast<unsigned long long>(trials),
         static_cast<unsigned long long>(skipped),
-        static_cast<unsigned long long>(checks), repros.size(),
+        static_cast<unsigned long long>(checks),
+        repros.size() + static_cast<std::size_t>(cross_disagreed),
+        static_cast<unsigned long long>(cross_disagreed),
         timed_out ? " (timeout)" : "", elapsed(),
         static_cast<unsigned long long>(base_seed));
   }
@@ -500,6 +697,7 @@ int main(int argc, char** argv) {
     m.counter("fuzz.trials_skipped").add(skipped);
     m.counter("fuzz.oracle_checks").add(checks);
     m.counter("fuzz.disagreements").add(repros.size());
+    m.counter("fuzz.cross_backend_disagreements").add(cross_disagreed);
     m.gauge("fuzz.timed_out").set(timed_out ? 1 : 0);
     m.timer("fuzz.campaign").add_ns(
         static_cast<std::uint64_t>(elapsed() * 1e9));
@@ -509,5 +707,6 @@ int main(int argc, char** argv) {
                    metrics_out.c_str(), err.c_str());
     }
   }
-  return repros.empty() ? kExitAgreed : kExitDisagreed;
+  return (repros.empty() && cross_disagreed == 0) ? kExitAgreed
+                                                  : kExitDisagreed;
 }

@@ -8,6 +8,13 @@
 //   cdsspec-run --replay-trail <file>       re-execute one recorded execution
 //   cdsspec-run --worker ADDR               serve shards for a coordinator
 //
+// Backends: --backend model (default) explores exhaustively under the
+// C/C++11 model; --backend stress re-runs the same test bodies on real
+// std::threads with seeded preemption (--iters N per unit test,
+// --threads-mult R concurrent runners). Stress runs sample hardware
+// schedules, so they never verify: the verdict is falsified (exit 1) or
+// inconclusive (exit 3), never verified-exhaustive.
+//
 // Flags: --cap N (execution cap), --stale N (stale-read bound),
 //        --timeout SECS (wall-clock budget; degrades to sampling),
 //        --mem-cap MB (memory budget), --seed N (RNG seed),
@@ -41,6 +48,8 @@
 #include "ds/suite.h"
 #include "harness/parallel.h"
 #include "harness/runner.h"
+#include "harness/stress_backend.h"
+#include "spec/observed.h"
 #include "inject/inject.h"
 #include "mc/checkpoint.h"
 #include "mc/trace.h"
@@ -60,6 +69,8 @@ void usage() {
   std::printf(
       "usage: cdsspec-run --list\n"
       "       cdsspec-run <benchmark> [--inject I | --sites | --sweep]\n"
+      "                   [--backend model|stress] [--iters N]\n"
+      "                   [--threads-mult R]\n"
       "                   [--cap N] [--stale N] [--timeout SECS] [--mem-cap MB]\n"
       "                   [--seed N] [--checkpoint FILE] [--resume]\n"
       "                   [--trail-out FILE] [--json] [--no-sleep-sets]\n"
@@ -192,6 +203,41 @@ int replay_trail(const std::string& path) {
       return kExitUsage;
     }
     std::printf("re-activating injection: %s\n", tf.inject_site.c_str());
+  }
+
+  // Stress trails replay by re-running one iteration under the recorded
+  // seed: the preemption decision stream is reproduced exactly, the
+  // hardware schedule only probabilistically.
+  if (tf.backend == "stress") {
+    cds::harness::StressOptions sopts;
+    cds::harness::StressBackend be(sopts);
+    be.run_iteration(b->tests[test_idx], tf.seed);
+    cds::spec::ObservedCheckResult oc = cds::spec::check_observed_calls(
+        be.iteration_recorder().calls(), sopts.max_histories);
+    if (oc.violation) {
+      be.report_violation(cds::mc::ViolationKind::kSpecAssertion,
+                          std::move(oc.detail));
+    }
+    cds::inject::clear_injection();
+    if (!tf.kind.empty()) {
+      std::printf("trail records: %s%s%s\n", tf.kind.c_str(),
+                  tf.detail.empty() ? "" : " -- ", tf.detail.c_str());
+    }
+    std::printf("re-ran one stress iteration of %s under seed %llu\n",
+                tf.test_name.c_str(),
+                static_cast<unsigned long long>(tf.seed));
+    const auto& vs = be.iteration_violations();
+    if (!vs.empty()) {
+      for (const auto& kv : vs) {
+        std::printf("reproduced: %s: %s\n", cds::mc::wire_name(kv.first),
+                    kv.second.c_str());
+      }
+      return kExitFalsified;
+    }
+    std::printf(
+        "no violation on this iteration (stress replay is probabilistic; "
+        "re-run, or use --backend stress --seed to widen the search)\n");
+    return kExitVerified;
   }
 
   cds::mc::Config cfg;
@@ -505,6 +551,10 @@ int main(int argc, char** argv) {
   std::uint64_t jobs_u = 1;
   std::uint64_t shard_depth_u = 2;
   std::uint64_t dist_workers_u = 0;
+  std::string backend = "model";
+  std::uint64_t iters_u = 256;
+  std::uint64_t threads_mult_u = 1;
+  bool have_stress_flag = false;
   std::string coordinator_addr;
   double lease_secs = 5.0;
   std::uint64_t max_shard_retries_u = 3;
@@ -592,6 +642,34 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cdsspec-run: --shard-depth must be in 1..16\n");
         return kExitUsage;
       }
+    } else if (a == "--backend") {
+      if (!flag_str(argc, argv, &i, "--backend", &backend))
+        return kExitUsage;
+      if (backend != "model" && backend != "stress") {
+        std::fprintf(stderr,
+                     "cdsspec-run: --backend must be 'model' or 'stress', "
+                     "not '%s'\n",
+                     backend.c_str());
+        return kExitUsage;
+      }
+    } else if (a == "--iters") {
+      if (!flag_value(argc, argv, &i, "--iters", &iters_u, parse_u64))
+        return kExitUsage;
+      if (iters_u == 0) {
+        std::fprintf(stderr, "cdsspec-run: --iters must be positive\n");
+        return kExitUsage;
+      }
+      have_stress_flag = true;
+    } else if (a == "--threads-mult") {
+      if (!flag_value(argc, argv, &i, "--threads-mult", &threads_mult_u,
+                      parse_u64))
+        return kExitUsage;
+      if (threads_mult_u == 0 || threads_mult_u > 64) {
+        std::fprintf(stderr,
+                     "cdsspec-run: --threads-mult must be in 1..64\n");
+        return kExitUsage;
+      }
+      have_stress_flag = true;
     } else if (a == "--dist-workers") {
       if (!flag_value(argc, argv, &i, "--dist-workers", &dist_workers_u,
                       parse_u64))
@@ -670,6 +748,24 @@ int main(int argc, char** argv) {
                  "cdsspec-run: --dist-workers/--coordinator apply to plain "
                  "runs only and are exclusive with --jobs, --sweep, --dot, "
                  "--checkpoint and --resume\n");
+    return kExitUsage;
+  }
+  const bool stress_mode = backend == "stress";
+  if (have_stress_flag && !stress_mode) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --iters/--threads-mult apply to "
+                 "--backend stress only\n");
+    return kExitUsage;
+  }
+  if (stress_mode &&
+      (sweep || dot || jobs_u > 1 || dist_mode || want_resume ||
+       !opts.engine.checkpoint_path.empty() || !metrics_out.empty() ||
+       !trace_out.empty())) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --backend stress runs plain only; it is "
+                 "exclusive with --sweep, --dot, --jobs, --dist-workers/"
+                 "--coordinator, --checkpoint/--resume, --metrics-out and "
+                 "--trace-out\n");
     return kExitUsage;
   }
 
@@ -791,6 +887,119 @@ int main(int argc, char** argv) {
     checker.detach();
     cds::inject::clear_injection();
     return 0;
+  }
+
+  if (stress_mode) {
+    cds::harness::StressOptions sopts;
+    sopts.iters = iters_u;
+    sopts.threads_mult = static_cast<int>(threads_mult_u);
+    sopts.stop_on_first_violation = opts.engine.stop_on_first_violation;
+
+    cds::harness::StressStats total;
+    std::vector<std::pair<std::size_t, cds::harness::StressViolation>> found;
+    bool falsified = false;
+    for (std::size_t ti = 0; ti < b->tests.size(); ++ti) {
+      // Per-test seed stream: adding a unit test must not shift the
+      // iteration seeds of its siblings.
+      cds::harness::StressOptions topts = sopts;
+      topts.seed = cds::support::derive_seed(opts.engine.seed, ti);
+      auto res = cds::harness::run_stress(b->tests[ti], topts);
+      total.iterations += res.stats.iterations;
+      total.violations_total += res.stats.violations_total;
+      total.spec_histories_checked += res.stats.spec_histories_checked;
+      total.spec_cap_hits += res.stats.spec_cap_hits;
+      total.seconds += res.stats.seconds;
+      for (auto& v : res.violations) {
+        if (found.size() < cds::harness::StressRunResult::kMaxRecorded) {
+          found.emplace_back(ti, std::move(v));
+        }
+      }
+      if (res.verdict == cds::mc::Verdict::kFalsified) {
+        falsified = true;
+        if (sopts.stop_on_first_violation) break;
+      }
+    }
+    const cds::mc::Verdict verdict = falsified
+                                         ? cds::mc::Verdict::kFalsified
+                                         : cds::mc::Verdict::kInconclusive;
+    if (json) {
+      std::printf("{\n");
+      std::printf("  \"benchmark\": \"%s\",\n",
+                  json_escape(b->name).c_str());
+      std::printf("  \"mode\": \"stress\",\n");
+      std::printf("  \"seed\": %llu,\n",
+                  static_cast<unsigned long long>(opts.engine.seed));
+      std::printf("  \"iters\": %llu,\n",
+                  static_cast<unsigned long long>(iters_u));
+      std::printf("  \"threads_mult\": %llu,\n",
+                  static_cast<unsigned long long>(threads_mult_u));
+      std::printf("  \"iterations\": %llu,\n",
+                  static_cast<unsigned long long>(total.iterations));
+      std::printf("  \"violations_total\": %llu,\n",
+                  static_cast<unsigned long long>(total.violations_total));
+      std::printf("  \"spec_histories\": %llu,\n",
+                  static_cast<unsigned long long>(
+                      total.spec_histories_checked));
+      std::printf("  \"spec_cap_hits\": %llu,\n",
+                  static_cast<unsigned long long>(total.spec_cap_hits));
+      std::printf("  \"verdict\": \"%s\",\n", to_string(verdict));
+      std::printf("  \"exit_code\": %d,\n", exit_code_for(verdict));
+      std::printf("  \"seconds\": %.3f\n", total.seconds);
+      std::printf("}\n");
+    } else {
+      std::printf(
+          "backend=stress iterations=%llu (%llu per unit test, "
+          "threads-mult %llu) violations=%llu\n",
+          static_cast<unsigned long long>(total.iterations),
+          static_cast<unsigned long long>(iters_u),
+          static_cast<unsigned long long>(threads_mult_u),
+          static_cast<unsigned long long>(total.violations_total));
+      std::printf("spec: histories=%llu unresolved-by-cap=%llu\n",
+                  static_cast<unsigned long long>(
+                      total.spec_histories_checked),
+                  static_cast<unsigned long long>(total.spec_cap_hits));
+      for (const auto& [ti, v] : found) {
+        std::printf("violation in %s#%zu (iteration %llu): %s: %s\n",
+                    b->name.c_str(), ti,
+                    static_cast<unsigned long long>(v.iteration),
+                    cds::mc::wire_name(v.kind), v.detail.c_str());
+      }
+      std::printf("time=%.2fs seed=%llu\n", total.seconds,
+                  static_cast<unsigned long long>(opts.engine.seed));
+      std::printf(
+          "verdict=%s (stress samples real schedules: it can falsify, "
+          "never verify)\n",
+          to_string(verdict));
+    }
+    if (!trail_out.empty()) {
+      if (found.empty()) {
+        std::fprintf(stderr,
+                     "cdsspec-run: --trail-out: no stress violation this "
+                     "run; nothing written\n");
+      } else {
+        const auto& [ti, v] = found.front();
+        cds::mc::TrailFile tf;
+        tf.fingerprint_from(opts.engine);
+        tf.backend = "stress";
+        tf.test_name = b->name + "#" + std::to_string(ti);
+        tf.seed = v.iter_seed;
+        tf.kind = cds::mc::wire_name(v.kind);
+        tf.detail = v.detail;
+        tf.inject_site = injected_site_name;
+        tf.choices = v.decisions;
+        std::string err;
+        if (!cds::mc::write_trail_file(trail_out, tf, &err)) {
+          std::fprintf(stderr, "cdsspec-run: cannot write '%s': %s\n",
+                       trail_out.c_str(), err.c_str());
+        } else {
+          std::printf("wrote stress repro trail: %s (%s in %s)\n",
+                      trail_out.c_str(), tf.kind.c_str(),
+                      tf.test_name.c_str());
+        }
+      }
+    }
+    cds::inject::clear_injection();
+    return exit_code_for(verdict);
   }
 
   cds::harness::RunResult r;
