@@ -48,6 +48,35 @@ struct ChaosOptions {
   }
 };
 
+// Coordinator-side injections, aimed at the write-ahead journal's crash
+// windows instead of the worker protocol. Ordinals are 1-based counts of
+// journal appends by THIS coordinator incarnation; the injections fire
+// inside JournalWriter::append, after the record is durable, so a
+// resumed run must reconstruct exactly the state the record order
+// implies. Under every injection, kill + --resume must converge to a
+// verdict and merged counters bit-identical to an uninterrupted run.
+struct CoordinatorChaos {
+  // SIGKILL the coordinator immediately after its Nth journal append
+  // (any record kind) reaches the disk: the canonical mid-run crash.
+  std::ptrdiff_t kill_after_append = -1;
+
+  // SIGKILL after the Nth *result* record is journaled but before the
+  // merge state consumes it — the append-vs-apply window. Resume must
+  // replay the journaled result rather than recompute the shard.
+  std::ptrdiff_t kill_before_merge_on = -1;
+
+  // After the Nth append, chop `truncate_tail_bytes` off the journal's
+  // end and SIGKILL: resume sees a torn tail and must quarantine it (the
+  // half-written record's shard is simply recomputed).
+  std::ptrdiff_t truncate_tail_after = -1;
+  std::size_t truncate_tail_bytes = 7;
+
+  [[nodiscard]] bool any() const {
+    return kill_after_append >= 0 || kill_before_merge_on >= 0 ||
+           truncate_tail_after >= 0;
+  }
+};
+
 }  // namespace cds::dist
 
 #endif  // CDS_DIST_CHAOS_H

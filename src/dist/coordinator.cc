@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/journal.h"
 #include "dist/net.h"
 #include "dist/protocol.h"
 #include "harness/shard_result.h"
@@ -67,6 +68,120 @@ struct Attempt {
   double lease_expiry = 0.0;
 };
 
+// Strict parse plus the sanity check that ties a preempted result's
+// frontier back to the shard's own prefix. Shared by the live accept
+// path and journal replay, so both trust exactly the same payloads.
+bool parse_shard_payload(const Shard& s, const std::string& text,
+                         harness::ShardResult* sr, std::string* why) {
+  if (!harness::parse_shard_result(text, sr, why)) return false;
+  if (sr->stats.preempted && sr->frontier.size() < s.unit.prefix.size()) {
+    *why = "frontier shorter than the shard's own prefix";
+    return false;
+  }
+  return true;
+}
+
+// Applies a validated result to the shard table: a preempted (stolen)
+// shard mints sub-shards covering the unexplored remainder of its
+// subtree, then the (normalized) partial result is stored. Pure given
+// (shards, sidx, sr) — split_remaining_frontier and derive_seed are
+// deterministic — so journal replay re-mints the exact sub-shard
+// sequence the crashed incarnation minted. Returns the minted count.
+std::size_t apply_shard_result(std::vector<Shard>& shards, std::size_t sidx,
+                               harness::ShardResult sr, DistRunResult& dr) {
+  std::size_t minted = 0;
+  if (sr.stats.preempted) {
+    // Copy the parent's fields first: each push_back below may
+    // reallocate `shards`, invalidating references into it.
+    const std::size_t parent_test = shards[sidx].test_index;
+    const harness::ShardUnit parent_unit = shards[sidx].unit;
+    std::vector<std::vector<mc::Choice>> subs =
+        mc::split_remaining_frontier(parent_unit.prefix.size(), sr.frontier);
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+      Shard ns;
+      ns.test_index = parent_test;
+      ns.unit = parent_unit;
+      ns.unit.prefix = std::move(subs[k]);
+      // Fresh derived seed per sub-shard; the sampling budget stays the
+      // parent's (already divided) share — sub-shards jointly re-cover
+      // the parent's unexplored remainder, not a new tranche.
+      ns.unit.engine_seed = support::derive_seed(
+          parent_unit.engine_seed, 1000 + static_cast<std::uint64_t>(k));
+      shards.push_back(std::move(ns));
+      ++dr.steal_subshards;
+      ++dr.shards;
+    }
+    minted = subs.size();
+    // The partial result's counters are exact for the executions it
+    // explored; coverage of the remainder is now the sub-shards' job.
+    // The engine conservatively reports exhausted=false on preemption,
+    // which must not poison the test-level AND.
+    sr.stats.preempted = false;
+    sr.stats.stopped_early = false;
+    sr.stats.exhausted = true;
+  }
+  Shard& sh = shards[sidx];
+  sh.result = std::move(sr);
+  sh.state = Shard::State::kDone;
+  return minted;
+}
+
+// Replays a loaded journal against a freshly planned shard table (the
+// header has already been validated against this plan). Completed
+// shards are satisfied from their journaled payloads; minting replays
+// implicitly because apply_shard_result is deterministic. Lease records
+// are informational — an in-flight shard simply stays kPending and is
+// re-enqueued under the new epoch.
+void replay_journal(const JournalReplay& rep, std::vector<Shard>& shards,
+                    DistRunResult& dr) {
+  for (const JournalRecord& r : rep.records) {
+    switch (r.kind) {
+      case JournalRecord::Kind::kRun:
+      case JournalRecord::Kind::kLease:
+      case JournalRecord::Kind::kMint:
+      case JournalRecord::Kind::kDone:
+        break;
+      case JournalRecord::Kind::kResult: {
+        const auto sidx = static_cast<std::size_t>(r.shard);
+        if (sidx >= shards.size()) {
+          std::fprintf(stderr,
+                       "cds::dist: journaled result for unknown shard %zu; "
+                       "ignored\n",
+                       sidx);
+          break;
+        }
+        if (shards[sidx].state == Shard::State::kDone) break;
+        harness::ShardResult sr;
+        std::string why;
+        if (!parse_shard_payload(shards[sidx], r.payload, &sr, &why)) {
+          std::fprintf(stderr,
+                       "cds::dist: journaled result for shard %zu does not "
+                       "parse (%s); recomputing\n",
+                       sidx, why.c_str());
+          break;
+        }
+        apply_shard_result(shards, sidx, std::move(sr), dr);
+        ++dr.replayed_shards;
+        break;
+      }
+      case JournalRecord::Kind::kFailed: {
+        // A journaled permanent failure is a completed outcome: the
+        // crashed incarnation already spent the retry budget.
+        const auto sidx = static_cast<std::size_t>(r.shard);
+        if (sidx >= shards.size()) break;
+        Shard& s = shards[sidx];
+        if (s.state == Shard::State::kDone ||
+            s.state == Shard::State::kFailed) {
+          break;
+        }
+        s.state = Shard::State::kFailed;
+        ++dr.failed_shards;
+        break;
+      }
+    }
+  }
+}
+
 struct Coordinator {
   const harness::Benchmark& b;
   const harness::RunOptions& opts;
@@ -79,6 +194,27 @@ struct Coordinator {
   std::uint64_t attempt_counter = 0;
   std::uint64_t current_workers = 0;
   double last_worker_seen = 0.0;
+  // Write-ahead journal (null/closed = no durability) and this
+  // incarnation's epoch. Attempt ids embed the epoch in their high 32
+  // bits so a resumed coordinator's fresh ids can never collide with
+  // ids a surviving worker still holds from the crashed incarnation.
+  JournalWriter* journal = nullptr;
+  std::uint64_t epoch = 0;
+  bool journal_broken = false;
+
+  // Journal appends are write-ahead but non-fatal: if the disk fails
+  // mid-run the coordinator degrades to non-durable and keeps going.
+  void jappend(const JournalRecord& r) {
+    if (journal == nullptr || !journal->is_open() || journal_broken) return;
+    std::string jerr;
+    if (!journal->append(r, &jerr)) {
+      journal_broken = true;
+      std::fprintf(stderr,
+                   "cds::dist: journal append failed (%s); continuing "
+                   "without durability\n",
+                   jerr.c_str());
+    }
+  }
 
   [[nodiscard]] bool all_resolved() const {
     for (const Shard& s : shards) {
@@ -109,6 +245,7 @@ struct Coordinator {
     if (s.attempts >= d.max_shard_retries + 1) {
       s.state = Shard::State::kFailed;
       ++dr.failed_shards;
+      record_permanent_failure(sidx, attempt_id, why);
       std::fprintf(stderr,
                    "cds::dist: shard %zu (test %zu) failed permanently "
                    "after %d attempts (last: %s)\n",
@@ -118,6 +255,16 @@ struct Coordinator {
     s.state = Shard::State::kPending;
     s.next_eligible = now_seconds() + backoff_for(s, attempt_id);
     ++dr.retries;
+  }
+
+  void record_permanent_failure(std::size_t sidx, std::uint64_t attempt_id,
+                                const char* why) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kFailed;
+    rec.shard = sidx;
+    rec.attempt = attempt_id;
+    rec.payload = why;
+    jappend(rec);
   }
 
   void drop_conn(Conn& c, const char* why) {
@@ -144,21 +291,14 @@ struct Coordinator {
     return false;
   }
 
-  // A complete, in-lease result arrived for `sidx`: parse strictly, merge
-  // bookkeeping, and — for a preempted (stolen) shard — mint sub-shards
-  // covering the unexplored remainder of its subtree.
+  // A complete, in-lease result arrived for `sidx`: parse strictly,
+  // journal the raw payload write-ahead, then apply (for a preempted
+  // shard, minting sub-shards covering the unexplored remainder).
   void accept_result(std::size_t sidx, std::uint64_t attempt_id,
                      const std::string& text) {
-    Shard& s = shards[sidx];
     harness::ShardResult sr;
     std::string err;
-    bool ok = harness::parse_shard_result(text, &sr, &err);
-    if (ok && sr.stats.preempted &&
-        sr.frontier.size() < s.unit.prefix.size()) {
-      ok = false;
-      err = "frontier shorter than the shard's own prefix";
-    }
-    if (!ok) {
+    if (!parse_shard_payload(shards[sidx], text, &sr, &err)) {
       ++dr.corrupt_results;
       std::fprintf(stderr,
                    "cds::dist: shard %zu returned a corrupt result (%s); "
@@ -167,39 +307,37 @@ struct Coordinator {
       schedule_retry(sidx, attempt_id, "corrupt result");
       return;
     }
-    if (sr.stats.preempted) {
-      // Copy the parent's fields first: each push_back below may
-      // reallocate `shards`, invalidating `s`.
-      const std::size_t parent_test = s.test_index;
-      const harness::ShardUnit parent_unit = s.unit;
-      std::vector<std::vector<mc::Choice>> subs =
-          mc::split_remaining_frontier(parent_unit.prefix.size(), sr.frontier);
-      for (std::size_t k = 0; k < subs.size(); ++k) {
-        Shard ns;
-        ns.test_index = parent_test;
-        ns.unit = parent_unit;
-        ns.unit.prefix = std::move(subs[k]);
-        // Fresh derived seed per sub-shard; the sampling budget stays the
-        // parent's (already divided) share — sub-shards jointly re-cover
-        // the parent's unexplored remainder, not a new tranche.
-        ns.unit.engine_seed = support::derive_seed(
-            parent_unit.engine_seed, 1000 + static_cast<std::uint64_t>(k));
-        shards.push_back(std::move(ns));
-        ++dr.steal_subshards;
-        ++dr.shards;
-      }
-      // The partial result's counters are exact for the executions it
-      // explored; coverage of the remainder is now the sub-shards' job.
-      // The engine conservatively reports exhausted=false on preemption,
-      // which must not poison the test-level AND.
-      sr.stats.preempted = false;
-      sr.stats.stopped_early = false;
-      sr.stats.exhausted = true;
+    // WAL: the raw (pre-normalization) payload is durable before any
+    // merge state changes. A crash from here on replays this record and
+    // re-derives the exact same minted sub-shards and merge input.
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kResult;
+    rec.shard = sidx;
+    rec.attempt = attempt_id;
+    rec.payload = text;
+    jappend(rec);
+    const std::size_t minted = apply_shard_result(shards, sidx, std::move(sr),
+                                                  dr);
+    if (minted > 0) {
+      // Informational (replay re-mints from the result record itself);
+      // lets offline audits cross-check the mint count.
+      JournalRecord m;
+      m.kind = JournalRecord::Kind::kMint;
+      m.shard = sidx;
+      m.count = minted;
+      jappend(m);
     }
-    // `s` may have been invalidated by shards.push_back above.
-    Shard& sh = shards[sidx];
-    sh.result = std::move(sr);
-    sh.state = Shard::State::kDone;
+  }
+
+  // An attempt id minted by a previous coordinator incarnation carries
+  // that incarnation's epoch in its high bits; count such reports as
+  // fenced (the restart-safety property at work) rather than stale.
+  void count_dropped(std::uint64_t attempt_id) {
+    if (epoch != 0 && (attempt_id >> 32) != epoch) {
+      ++dr.fenced_results;
+    } else {
+      ++dr.stale_results;
+    }
   }
 
   void handle_payload(Conn& c, const std::string& text) {
@@ -210,7 +348,7 @@ struct Coordinator {
       if (c.attempt == c.payload_attempt) c.attempt = 0;
       accept_result(sidx, c.payload_attempt, text);
     } else {
-      ++dr.stale_results;
+      count_dropped(c.payload_attempt);
       if (c.attempt == c.payload_attempt) c.attempt = 0;
     }
   }
@@ -230,7 +368,7 @@ struct Coordinator {
         if (c.greeted) break;  // duplicate hello: harmless
         const std::uint64_t hb_us = static_cast<std::uint64_t>(
             std::max(0.001, d.lease_seconds / 3.0) * 1e6);
-        if (!send_to(c, render_welcome(hb_us), "welcome")) return;
+        if (!send_to(c, render_welcome(hb_us, epoch), "welcome")) return;
         c.greeted = true;
         ++dr.connections_total;
         ++current_workers;
@@ -259,7 +397,7 @@ struct Coordinator {
           live.erase(it);
           schedule_retry(sidx, msg.shard_id, msg.reason.c_str());
         } else {
-          ++dr.stale_results;
+          count_dropped(msg.shard_id);
         }
         if (c.attempt == msg.shard_id) c.attempt = 0;
         break;
@@ -338,7 +476,10 @@ struct Coordinator {
       if (pick == shards.size()) return;
       Shard& s = shards[pick];
       Assignment asg;
-      asg.shard_id = ++attempt_counter;
+      // High 32 bits: this incarnation's epoch. The counter restarts at
+      // zero after a crash, so without the epoch a resumed run would
+      // re-mint ids that fenced-off workers still hold.
+      asg.shard_id = (epoch << 32) | ++attempt_counter;
       asg.bench = b.name;
       asg.unit = s.unit;
       asg.engine = opts.engine;
@@ -350,6 +491,13 @@ struct Coordinator {
       s.stolen = false;
       live[asg.shard_id] = Attempt{pick, c.fd, now + d.lease_seconds};
       c.attempt = asg.shard_id;
+      // Journaled before the assignment leaves: a resumed coordinator
+      // sees which shards were in flight (they re-enqueue as pending).
+      JournalRecord lease;
+      lease.kind = JournalRecord::Kind::kLease;
+      lease.shard = pick;
+      lease.attempt = asg.shard_id;
+      jappend(lease);
       if (!send_to(c, render_assign_header(asg.shard_id, payload.size()) +
                           payload,
                    "assignment")) {
@@ -469,10 +617,13 @@ void merge_shards(const harness::Benchmark& b, const harness::RunOptions& opts,
 
 // Runs every still-unresolved shard on the local fork pool (the graceful
 // degradation path, and the whole path on platforms without sockets).
+// With an open journal, every unit outcome is journaled the moment the
+// pool reports it — write-ahead of this function's own bookkeeping — so
+// a crash mid-fallback resumes without redoing finished shards.
 void run_remaining_locally(const harness::Benchmark& b,
                            const harness::RunOptions& opts,
                            const DistOptions& d, std::vector<Shard>& shards,
-                           DistRunResult& dr) {
+                           DistRunResult& dr, JournalWriter* journal) {
   std::vector<std::size_t> remaining;
   for (std::size_t sidx = 0; sidx < shards.size(); ++sidx) {
     Shard::State st = shards[sidx].state;
@@ -484,6 +635,35 @@ void run_remaining_locally(const harness::Benchmark& b,
   dr.fell_back_local = true;
   mc::ForkMapOptions fm;
   fm.jobs = d.fallback_jobs > 0 ? d.fallback_jobs : std::max(1, d.dist_workers);
+  if (journal != nullptr && journal->is_open()) {
+    fm.on_result = [&](std::size_t u, const mc::UnitResult& ur) {
+      JournalRecord rec;
+      rec.shard = remaining[u];
+      rec.attempt = 0;  // fork-pool units run under no lease
+      if (ur.ran) {
+        // Journal only payloads replay will trust; a corrupt one is
+        // recomputed on resume, same as it is recomputed below.
+        harness::ShardResult sr;
+        std::string why;
+        if (!parse_shard_payload(shards[remaining[u]], ur.text, &sr, &why) ||
+            sr.stats.preempted) {
+          return;
+        }
+        rec.kind = JournalRecord::Kind::kResult;
+        rec.payload = ur.text;
+      } else {
+        rec.kind = JournalRecord::Kind::kFailed;
+        rec.payload = "local fork-pool worker died";
+      }
+      std::string jerr;
+      if (!journal->append(rec, &jerr)) {
+        std::fprintf(stderr,
+                     "cds::dist: journal append failed (%s); continuing "
+                     "without durability\n",
+                     jerr.c_str());
+      }
+    };
+  }
   std::vector<mc::UnitResult> results = mc::fork_map(
       remaining.size(),
       [&](std::size_t u) {
@@ -551,6 +731,91 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
   }
   dr.shards = shards.size();
 
+  // ---- Durability: journal replay (--resume) and the write-ahead log ----
+  JournalWriter journal;
+  std::uint64_t epoch = 0;
+  if (!d.journal_path.empty()) {
+    // Hash the freshly planned units BEFORE replay mints sub-shards:
+    // this is the identity a later resume re-derives and compares.
+    std::vector<harness::ShardUnit> planned;
+    planned.reserve(shards.size());
+    for (const Shard& s : shards) planned.push_back(s.unit);
+    const std::uint32_t plan_hash = journal_plan_hash(planned);
+    const std::uint32_t fp = journal_config_fingerprint(opts.engine);
+    epoch = 1;
+    if (d.resume) {
+      JournalReplay rep;
+      std::string jerr;
+      if (!load_journal(d.journal_path, &rep, &jerr)) {
+        std::fprintf(stderr, "cds::dist: %s; starting fresh\n", jerr.c_str());
+      }
+      dr.journal_quarantined_bytes = rep.quarantined_bytes;
+      if (!rep.quarantine_note.empty()) {
+        std::fprintf(stderr, "cds::dist: %s\n", rep.quarantine_note.c_str());
+      }
+      const JournalRecord* hdr = nullptr;
+      for (const JournalRecord& r : rep.records) {
+        if (r.kind == JournalRecord::Kind::kRun) {
+          hdr = &r;
+          break;
+        }
+      }
+      if (hdr != nullptr) {
+        if (hdr->bench != b.name || hdr->fingerprint != fp ||
+            hdr->plan_hash != plan_hash || hdr->shards != planned.size()) {
+          dr.resume_error =
+              "journal '" + d.journal_path + "' records a different " +
+              (hdr->bench != b.name
+                   ? "benchmark ('" + hdr->bench + "')"
+                   : hdr->fingerprint != fp ? std::string("config fingerprint")
+                                            : std::string("shard plan")) +
+              "; refusing to merge incompatible shards (delete the journal "
+              "or rerun with the original parameters)";
+          dr.merged.verdict = mc::Verdict::kInconclusive;
+          dr.merged.mc.verdict = dr.merged.verdict;
+          return dr;
+        }
+        dr.resumed = true;
+        epoch = rep.last_epoch + 1;
+        replay_journal(rep, shards, dr);
+      }
+      // A resume against a missing or headerless journal starts fresh —
+      // convenient for "always pass --resume" retry loops.
+    }
+    std::string jerr;
+    if (!journal.open(d.journal_path, /*truncate=*/!dr.resumed, &jerr)) {
+      std::fprintf(stderr,
+                   "cds::dist: %s; continuing without durability\n",
+                   jerr.c_str());
+    } else {
+      journal.set_chaos(d.coord_chaos);
+      JournalRecord run;
+      run.kind = JournalRecord::Kind::kRun;
+      run.epoch = epoch;
+      run.shards = planned.size();
+      run.plan_hash = plan_hash;
+      run.fingerprint = fp;
+      run.bench = b.name;
+      if (!journal.append(run, &jerr)) {
+        std::fprintf(stderr,
+                     "cds::dist: %s; continuing without durability\n",
+                     jerr.c_str());
+        journal.close_file();
+      }
+    }
+  }
+  dr.epoch = epoch;
+
+  // After replay everything may already be resolved; don't spin up
+  // sockets and workers just to have the main loop exit instantly.
+  bool need_work = false;
+  for (const Shard& s : shards) {
+    if (s.state == Shard::State::kPending ||
+        s.state == Shard::State::kRunning) {
+      need_work = true;
+    }
+  }
+
 #ifdef CDS_DIST_COORD_POSIX
   std::string listen_spec = d.listen;
   bool auto_socket = false;
@@ -562,8 +827,9 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
   Address addr;
   std::string err;
   int listen_fd = -1;
-  if (!parse_address(listen_spec, &addr, &err) ||
-      (listen_fd = listen_on(addr, &err)) < 0) {
+  if (need_work &&
+      (!parse_address(listen_spec, &addr, &err) ||
+       (listen_fd = listen_on(addr, &err)) < 0)) {
     std::fprintf(stderr,
                  "cds::dist: cannot listen on '%s' (%s); running locally\n",
                  listen_spec.c_str(), err.c_str());
@@ -601,6 +867,8 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
     }
 
     Coordinator co{b, opts, d, dr, shards, {}, {}, 0, 0, now_seconds()};
+    co.journal = &journal;
+    co.epoch = epoch;
     const double start = now_seconds();
     while (!co.all_resolved()) {
       // Graceful degradation: nobody ever connected, or everybody left
@@ -631,7 +899,43 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
         pfds.push_back(pollfd{co.conns[ci].fd, POLLIN, 0});
         pfd_conn.push_back(ci);
       }
-      int rc = poll(pfds.data(), pfds.size(), 50);
+      // Sleep in poll(2) until the earliest timer the loop acts on, not
+      // a fixed tick: socket traffic wakes poll by itself, so the only
+      // deadlines are lease expiries, retry-backoff gates, the
+      // steal-age threshold, and the graceful-degradation deadline.
+      // Capped at 1s so clock surprises can't park the loop for long.
+      double wake = now + 1.0;
+      const auto consider = [&wake](double t) { wake = std::min(wake, t); };
+      if (dr.connections_total == 0) {
+        consider(start + d.connect_deadline_seconds);
+      }
+      if (dr.connections_total > 0 && co.current_workers == 0) {
+        consider(co.last_worker_seen + d.connect_deadline_seconds);
+      }
+      for (const auto& [id, at] : co.live) consider(at.lease_expiry);
+      // Only future backoff gates need a timer: an already-eligible
+      // pending shard is assigned the moment a worker turns idle, and
+      // workers turn idle via socket traffic or a lease expiry — both
+      // of which wake poll on their own.
+      for (const Shard& s : shards) {
+        if (s.state == Shard::State::kPending && s.next_eligible > now) {
+          consider(s.next_eligible);
+        }
+      }
+      if (d.enable_steal) {
+        const double steal_after = d.steal_after_seconds > 0
+                                       ? d.steal_after_seconds
+                                       : d.lease_seconds / 2.0;
+        for (const auto& [id, at] : co.live) {
+          const Shard& s = shards[at.shard];
+          if (s.state == Shard::State::kRunning && !s.stolen) {
+            consider(s.assigned_at + steal_after);
+          }
+        }
+      }
+      const int timeout_ms = std::clamp(
+          static_cast<int>((wake - now) * 1000.0) + 1, 1, 1000);
+      int rc = poll(pfds.data(), pfds.size(), timeout_ms);
       if (rc < 0 && errno != EINTR) break;
 
       if (rc > 0 && (pfds[0].revents & POLLIN) != 0) {
@@ -691,13 +995,23 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
     }
   }
 #else
+  (void)need_work;
   dr.listen_address = d.listen;
 #endif
 
   // Anything unresolved (no sockets on this platform, listen failure,
   // fallback trigger) finishes on the local fork pool.
-  run_remaining_locally(b, opts, d, shards, dr);
+  run_remaining_locally(b, opts, d, shards, dr, &journal);
   merge_shards(b, opts, shards, dr);
+  if (journal.is_open()) {
+    JournalRecord done;
+    done.kind = JournalRecord::Kind::kDone;
+    done.verdict = static_cast<std::uint64_t>(dr.merged.verdict);
+    std::string jerr;
+    if (!journal.append(done, &jerr)) {
+      std::fprintf(stderr, "cds::dist: %s\n", jerr.c_str());
+    }
+  }
 
   obs::Registry& M = dr.merged.metrics;
   M.gauge("dist.workers_requested")
@@ -714,6 +1028,11 @@ DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
   M.gauge("dist.stale_results").set(dr.stale_results);
   M.gauge("dist.corrupt_results").set(dr.corrupt_results);
   M.gauge("dist.fell_back_local").set(dr.fell_back_local ? 1 : 0);
+  M.gauge("dist.epoch").set(dr.epoch);
+  M.gauge("dist.resumed").set(dr.resumed ? 1 : 0);
+  M.gauge("dist.replayed_shards").set(dr.replayed_shards);
+  M.gauge("dist.fenced_results").set(dr.fenced_results);
+  M.gauge("dist.journal_quarantined_bytes").set(dr.journal_quarantined_bytes);
   return dr;
 }
 

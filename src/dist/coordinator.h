@@ -71,6 +71,18 @@ struct DistOptions {
   // Fault injection applied to the FIRST forked local worker (chaos
   // tests / the CI chaos step). External workers configure their own.
   ChaosOptions worker_chaos;
+  // Coordinator-side fault injection (journal-append crash windows).
+  CoordinatorChaos coord_chaos;
+  // Write-ahead shard-outcome journal (see dist/journal.h). Empty = no
+  // durability: a coordinator crash discards all progress. The file is
+  // kept on completion (it is the run's audit log and CI artifact).
+  std::string journal_path;
+  // Replay an existing journal before starting: completed shards are
+  // satisfied from their journaled results, in-flight ones re-enqueued,
+  // and this incarnation runs under a bumped epoch. A journal recorded
+  // under a different benchmark/config/shard plan sets
+  // DistRunResult::resume_error instead of merging incompatible state.
+  bool resume = false;
   // Benchmark resolver inherited by forked local workers; defaults to the
   // benchmark under test plus the global registry.
   BenchmarkResolver resolve;
@@ -93,12 +105,22 @@ struct DistRunResult {
   std::uint64_t connections_total = 0;  // hellos accepted (incl. reconnects)
   bool fell_back_local = false;
   std::string listen_address;  // resolved address actually listened on
+  // Durability (journal) bookkeeping.
+  std::uint64_t epoch = 0;             // this incarnation (0 = no journal)
+  bool resumed = false;                // a prior journal was replayed
+  std::uint64_t replayed_shards = 0;   // shards satisfied from the journal
+  std::uint64_t fenced_results = 0;    // out-of-epoch reports dropped
+  std::uint64_t journal_quarantined_bytes = 0;  // torn-tail bytes set aside
+  // Non-empty: --resume was rejected (journal recorded under a different
+  // benchmark, config fingerprint, or shard plan); nothing was run.
+  std::string resume_error;
 };
 
 // Distributed analog of run_benchmark_parallel: plans shards exactly the
 // same way, distributes them to workers, and merges to the same
-// deterministic RunResult. Checkpoint/resume options in `opts` are
-// ignored, as in the parallel path.
+// deterministic RunResult. With `journal_path` set, every shard outcome
+// is journaled write-ahead of the merge, and `resume` continues an
+// interrupted run to a bit-identical verdict and counter set.
 DistRunResult run_benchmark_distributed(const harness::Benchmark& b,
                                         const harness::RunOptions& opts,
                                         const DistOptions& d);

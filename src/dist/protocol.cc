@@ -22,9 +22,10 @@ std::string render_hello(std::uint64_t pid) {
          " pid=" + std::to_string(pid) + "\n";
 }
 
-std::string render_welcome(std::uint64_t heartbeat_us) {
+std::string render_welcome(std::uint64_t heartbeat_us, std::uint64_t epoch) {
   return std::string("welcome ") + kProtocolVersion +
-         " hb_us=" + std::to_string(heartbeat_us) + "\n";
+         " hb_us=" + std::to_string(heartbeat_us) +
+         " epoch=" + std::to_string(epoch) + "\n";
 }
 
 std::string render_heartbeat(std::uint64_t shard_id) {
@@ -127,18 +128,28 @@ bool parse_control_line(const std::string& line, ControlLine* out,
     }
     c.reason = tok.size() == 3 ? unescape_line(tok[2]) : "";
     c.kind = ControlLine::Kind::kFailed;
-  } else if (verb == "hello" || verb == "welcome") {
+  } else if (verb == "hello") {
     std::vector<std::string> tok = split_tokens(line, 4);
-    if (tok.size() != 4) return fail("short hello/welcome line at token 3");
+    if (tok.size() != 4) return fail("short hello line at token 3");
     if (!check_version_pair(tok, &why)) return fail(why);
-    const bool hello = verb == "hello";
-    const char* key = hello ? "pid=" : "hb_us=";
-    if (tok[3].rfind(key, 0) != 0 ||
-        !parse_u64_tok(tok[3].c_str() + std::string(key).size(),
-                       hello ? &c.pid : &c.heartbeat_us)) {
-      return fail(std::string("malformed ") + key + "value at token 3");
+    if (tok[3].rfind("pid=", 0) != 0 ||
+        !parse_u64_tok(tok[3].c_str() + 4, &c.pid)) {
+      return fail("malformed pid= value at token 3");
     }
-    c.kind = hello ? ControlLine::Kind::kHello : ControlLine::Kind::kWelcome;
+    c.kind = ControlLine::Kind::kHello;
+  } else if (verb == "welcome") {
+    std::vector<std::string> tok = split_tokens(line, 5);
+    if (tok.size() != 5) return fail("short welcome line at token 4");
+    if (!check_version_pair(tok, &why)) return fail(why);
+    if (tok[3].rfind("hb_us=", 0) != 0 ||
+        !parse_u64_tok(tok[3].c_str() + 6, &c.heartbeat_us)) {
+      return fail("malformed hb_us= value at token 3");
+    }
+    if (tok[4].rfind("epoch=", 0) != 0 ||
+        !parse_u64_tok(tok[4].c_str() + 6, &c.epoch)) {
+      return fail("malformed epoch= value at token 4");
+    }
+    c.kind = ControlLine::Kind::kWelcome;
   } else {
     return fail("unknown verb '" + verb.substr(0, 32) + "' at token 0");
   }

@@ -13,10 +13,15 @@
 //     failed <shard_id> <escaped reason>
 //
 //   coordinator -> worker
-//     welcome cdsspec-dist v1 hb_us=<heartbeat interval, microseconds>
+//     welcome cdsspec-dist v1 hb_us=<heartbeat us> epoch=<incarnation>
 //     assign <shard_id> <nbytes>\n<nbytes of shard-assign v1 text>
 //     steal <shard_id>
 //     quit
+//
+// The welcome epoch is the coordinator's journal incarnation: a resumed
+// coordinator greets with a higher epoch, and since attempt ids embed
+// the epoch in their high 32 bits, results a worker computed for a
+// previous incarnation can never collide with a fresh attempt id.
 //
 // The assign payload carries everything a (possibly remote, freshly
 // started) worker needs to reproduce the coordinator's exploration tree
@@ -59,11 +64,12 @@ struct ControlLine {
   std::uint64_t payload_len = 0;  // result / assign
   std::uint64_t pid = 0;          // hello
   std::uint64_t heartbeat_us = 0; // welcome
+  std::uint64_t epoch = 0;        // welcome (coordinator incarnation)
   std::string reason;             // failed (unescaped)
 };
 
 std::string render_hello(std::uint64_t pid);
-std::string render_welcome(std::uint64_t heartbeat_us);
+std::string render_welcome(std::uint64_t heartbeat_us, std::uint64_t epoch);
 std::string render_heartbeat(std::uint64_t shard_id);
 std::string render_result_header(std::uint64_t shard_id, std::uint64_t len);
 std::string render_failed(std::uint64_t shard_id, const std::string& reason);

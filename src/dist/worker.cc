@@ -6,10 +6,13 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+
 #include "dist/net.h"
 #include "dist/protocol.h"
 #include "harness/shard_result.h"
 #include "support/io.h"
+#include "support/rng.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CDS_DIST_WORKER_POSIX 1
@@ -31,18 +34,30 @@ double now_seconds() {
       .count();
 }
 
+// Re-dials with capped exponential backoff plus jitter (seeded by pid),
+// so a fleet of workers orphaned by a coordinator crash spreads its
+// reconnect attempts out while the coordinator restarts with --resume,
+// instead of hammering the address in lockstep every 100ms.
 int dial_until(const Address& a, double timeout_seconds) {
   const double deadline = now_seconds() + timeout_seconds;
+  support::Xorshift64 rng(support::derive_seed(
+      static_cast<std::uint64_t>(getpid()), 0x6a09e667f3bcc908ull));
+  double backoff = 0.05;
   for (;;) {
     std::string err;
     int fd = connect_to(a, &err);
     if (fd >= 0) return fd;
-    if (now_seconds() >= deadline) {
+    const double now = now_seconds();
+    if (now >= deadline) {
       std::fprintf(stderr, "cds::dist::worker: %s (gave up after %.1fs)\n",
                    err.c_str(), timeout_seconds);
       return -1;
     }
-    usleep(100 * 1000);
+    const double unit = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    double wait = backoff * (0.5 + unit);  // [0.5, 1.5) x backoff
+    wait = std::min(wait, deadline - now);
+    usleep(static_cast<unsigned>(wait * 1e6) + 1);
+    backoff = std::min(backoff * 2.0, 2.0);
   }
 }
 
@@ -53,6 +68,7 @@ struct WorkerState {
   int fd = -1;
   FrameBuffer buf;
   double hb_interval = 1.0;  // from welcome; refreshed per connection
+  std::uint64_t epoch = 0;   // coordinator incarnation, from welcome
   std::uint64_t assignments = 0;  // across reconnects (chaos ordinals)
 };
 
@@ -320,6 +336,14 @@ int run_worker(const std::string& addr, const WorkerOptions& opts) {
             if (c.heartbeat_us > 0) {
               ws.hb_interval = static_cast<double>(c.heartbeat_us) / 1e6;
             }
+            if (ws.epoch != 0 && c.epoch != ws.epoch) {
+              std::fprintf(stderr,
+                           "cds::dist::worker: coordinator epoch %llu -> "
+                           "%llu (restarted); prior results will be fenced\n",
+                           static_cast<unsigned long long>(ws.epoch),
+                           static_cast<unsigned long long>(c.epoch));
+            }
+            ws.epoch = c.epoch;
             break;
           case ControlLine::Kind::kQuit:
             close(ws.fd);

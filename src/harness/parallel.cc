@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/journal.h"
 #include "harness/shard_result.h"
 #include "mc/shard.h"
 
@@ -29,6 +30,19 @@ bool ensure_dir(const std::string& path) {
 #endif
 }
 
+// One planned shard with a stable global index (test order, then unit
+// order within the test) — the identity journal records refer to, so a
+// resumed run maps journaled outcomes back without ambiguity.
+struct PlannedShard {
+  std::size_t test = 0;
+  std::size_t unit = 0;   // index within its test's plan
+  std::size_t count = 0;  // its test's shard count
+  ShardUnit su;
+  enum class St { kPending, kDone, kCrashed };
+  St st = St::kPending;
+  std::string text;  // shard-result v3 text, valid when kDone
+};
+
 }  // namespace
 
 ParallelRunResult run_benchmark_parallel(const Benchmark& b,
@@ -49,13 +63,8 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
                  par.spool_dir.c_str());
   }
 
-  // Coordinator-side observability: per-worker busy time / unit counts and
-  // aggregate queue wait. These are wall-clock and topology facts, so they
-  // live in gauges/timers, never in the bit-identical counter set.
-  std::map<int, std::pair<double, std::uint64_t>> worker_busy;  // w -> {s, units}
-  double queue_wait_seconds = 0.0;
-  double span_base = 0.0;  // offsets each test's fork_map clock in spans
-
+  // Plan every test upfront so shard indices are global and stable.
+  std::vector<PlannedShard> all;
   for (std::size_t i = 0; i < b.tests.size(); ++i) {
     mc::Config pcfg = opts.engine;
     pcfg.test_name = b.name + "#" + std::to_string(i);
@@ -64,66 +73,252 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
         pcfg, b.tests[i], par.shard_depth, max_shards);
     pr.probe_executions += plan.probe_executions;
     const std::size_t shard_count = plan.prefixes.size();
-    pr.shards += shard_count;
+    for (std::size_t u = 0; u < shard_count; ++u) {
+      PlannedShard ps;
+      ps.test = i;
+      ps.unit = u;
+      ps.count = shard_count;
+      ps.su = make_shard_unit(opts, i, std::move(plan.prefixes[u]), u,
+                              shard_count);
+      all.push_back(std::move(ps));
+    }
+  }
+  pr.shards = all.size();
 
-    mc::ForkMapOptions fm;
-    fm.jobs = pr.jobs;
-    fm.sigkill_on_unit = par.sigkill_shard;
-    if (!par.spool_dir.empty()) {
-      std::string dir = par.spool_dir + "/t" + std::to_string(i);
-      if (ensure_dir(dir)) fm.spool_dir = dir;
+  // ---- Durability: journal replay (resume) and the write-ahead log ----
+  // Same file format and discipline as the distributed coordinator; the
+  // fork pool never preempts, so replay here is a straight result map.
+  dist::JournalWriter journal;
+  std::uint64_t epoch = 0;
+  if (!par.journal_path.empty()) {
+    std::vector<ShardUnit> planned;
+    planned.reserve(all.size());
+    for (const PlannedShard& ps : all) planned.push_back(ps.su);
+    const std::uint32_t plan_hash = dist::journal_plan_hash(planned);
+    const std::uint32_t fp = dist::journal_config_fingerprint(opts.engine);
+    epoch = 1;
+    if (par.resume) {
+      dist::JournalReplay rep;
+      std::string jerr;
+      if (!dist::load_journal(par.journal_path, &rep, &jerr)) {
+        std::fprintf(stderr, "cds::harness: %s; starting fresh\n",
+                     jerr.c_str());
+      }
+      pr.journal_quarantined_bytes = rep.quarantined_bytes;
+      if (!rep.quarantine_note.empty()) {
+        std::fprintf(stderr, "cds::harness: %s\n",
+                     rep.quarantine_note.c_str());
+      }
+      const dist::JournalRecord* hdr = nullptr;
+      for (const dist::JournalRecord& r : rep.records) {
+        if (r.kind == dist::JournalRecord::Kind::kRun) {
+          hdr = &r;
+          break;
+        }
+      }
+      if (hdr != nullptr) {
+        if (hdr->bench != b.name || hdr->fingerprint != fp ||
+            hdr->plan_hash != plan_hash || hdr->shards != all.size()) {
+          pr.resume_error =
+              "journal '" + par.journal_path + "' records a different " +
+              (hdr->bench != b.name
+                   ? "benchmark ('" + hdr->bench + "')"
+                   : hdr->fingerprint != fp ? std::string("config fingerprint")
+                                            : std::string("shard plan")) +
+              "; refusing to merge incompatible shards (delete the journal "
+              "or rerun with the original parameters)";
+          total.verdict = mc::Verdict::kInconclusive;
+          total.mc.verdict = total.verdict;
+          return pr;
+        }
+        pr.resumed = true;
+        epoch = rep.last_epoch + 1;
+        for (const dist::JournalRecord& r : rep.records) {
+          const auto sidx = static_cast<std::size_t>(r.shard);
+          if (sidx >= all.size()) continue;
+          PlannedShard& ps = all[sidx];
+          if (ps.st != PlannedShard::St::kPending) continue;
+          if (r.kind == dist::JournalRecord::Kind::kResult) {
+            ShardResult sr;
+            std::string why;
+            if (!parse_shard_result(r.payload, &sr, &why) ||
+                sr.stats.preempted) {
+              std::fprintf(stderr,
+                           "cds::harness: journaled result for shard %zu "
+                           "does not parse (%s); recomputing\n",
+                           sidx, why.c_str());
+              continue;
+            }
+            ps.st = PlannedShard::St::kDone;
+            ps.text = r.payload;
+            ++pr.replayed_shards;
+          } else if (r.kind == dist::JournalRecord::Kind::kFailed) {
+            // The crashed incarnation recorded this worker death as the
+            // shard's final outcome; replay preserves it.
+            ps.st = PlannedShard::St::kCrashed;
+          }
+        }
+      }
+    }
+    std::string jerr;
+    if (!journal.open(par.journal_path, /*truncate=*/!pr.resumed, &jerr)) {
+      std::fprintf(stderr, "cds::harness: %s; continuing without durability\n",
+                   jerr.c_str());
+    } else {
+      journal.set_chaos(par.coord_chaos);
+      dist::JournalRecord run;
+      run.kind = dist::JournalRecord::Kind::kRun;
+      run.epoch = epoch;
+      run.shards = all.size();
+      run.plan_hash = plan_hash;
+      run.fingerprint = fp;
+      run.bench = b.name;
+      if (!journal.append(run, &jerr)) {
+        std::fprintf(stderr,
+                     "cds::harness: %s; continuing without durability\n",
+                     jerr.c_str());
+        journal.close_file();
+      }
+    }
+  }
+  pr.epoch = epoch;
+
+  // Coordinator-side observability: per-worker busy time / unit counts and
+  // aggregate queue wait. These are wall-clock and topology facts, so they
+  // live in gauges/timers, never in the bit-identical counter set.
+  std::map<int, std::pair<double, std::uint64_t>> worker_busy;  // w -> {s, units}
+  double queue_wait_seconds = 0.0;
+  double span_base = 0.0;  // offsets each test's fork_map clock in spans
+
+  for (std::size_t i = 0; i < b.tests.size(); ++i) {
+    // Shards this test still owes (everything, on a fresh run).
+    std::vector<std::size_t> pending;  // global indices
+    for (std::size_t g = 0; g < all.size(); ++g) {
+      if (all[g].test == i && all[g].st == PlannedShard::St::kPending) {
+        pending.push_back(g);
+      }
     }
 
-    std::vector<mc::UnitResult> results = mc::fork_map(
-        shard_count,
-        [&](std::size_t u) {
-          return run_shard_unit(
-              b, opts, make_shard_unit(opts, i, plan.prefixes[u], u, shard_count));
-        },
-        fm);
+    double test_end = 0.0;
+    if (!pending.empty()) {
+      mc::ForkMapOptions fm;
+      fm.jobs = pr.jobs;
+      fm.sigkill_on_unit = -1;
+      if (par.sigkill_shard >= 0) {
+        // The hook names a within-test shard index; translate it to this
+        // fork_map call's unit numbering (a resumed run skips shards, so
+        // the two no longer coincide).
+        for (std::size_t j = 0; j < pending.size(); ++j) {
+          if (all[pending[j]].unit ==
+              static_cast<std::size_t>(par.sigkill_shard)) {
+            fm.sigkill_on_unit = static_cast<std::ptrdiff_t>(j);
+          }
+        }
+      }
+      if (!par.spool_dir.empty()) {
+        // Spool files are keyed by fork_map unit index, which shifts as
+        // resumed runs shrink the pending list — give each incarnation
+        // its own spool subdirectory so stale keys can't mismatch.
+        std::string dir = par.spool_dir + "/t" + std::to_string(i);
+        if (epoch != 0) dir += ".e" + std::to_string(epoch);
+        if (ensure_dir(dir)) fm.spool_dir = dir;
+      }
+      if (journal.is_open()) {
+        // WAL: each unit outcome is durable the moment the pool reports
+        // it, before this function's own bookkeeping consumes it.
+        fm.on_result = [&](std::size_t j, const mc::UnitResult& ur) {
+          dist::JournalRecord rec;
+          rec.shard = pending[j];
+          rec.attempt = 0;  // fork-pool units run under no lease
+          if (ur.ran) {
+            // Journal only payloads replay will trust; a corrupt one is
+            // recomputed on resume, same as it crashes below.
+            ShardResult sr;
+            std::string why;
+            if (!parse_shard_result(ur.text, &sr, &why) ||
+                sr.stats.preempted) {
+              return;
+            }
+            rec.kind = dist::JournalRecord::Kind::kResult;
+            rec.payload = ur.text;
+          } else {
+            rec.kind = dist::JournalRecord::Kind::kFailed;
+            rec.payload = "fork-pool worker died";
+          }
+          std::string jerr;
+          if (!journal.append(rec, &jerr)) {
+            std::fprintf(stderr,
+                         "cds::harness: journal append failed (%s); "
+                         "continuing without durability\n",
+                         jerr.c_str());
+          }
+        };
+      }
 
-    // Merge in shard order — shard order is DFS order, so the first
-    // falsifying shard's violations lead the merged list and the surfaced
-    // witness is the one serial DFS would have found first.
+      std::vector<mc::UnitResult> results = mc::fork_map(
+          pending.size(),
+          [&](std::size_t j) {
+            return run_shard_unit(b, opts, all[pending[j]].su);
+          },
+          fm);
+
+      for (std::size_t j = 0; j < pending.size(); ++j) {
+        mc::UnitResult& ur = results[j];
+        PlannedShard& ps = all[pending[j]];
+        if (ur.ran && !ur.from_spool &&
+            ur.done_seconds > ur.assigned_seconds) {
+          ShardSpan span;
+          span.name = b.name + "#" + std::to_string(i) + " shard " +
+                      std::to_string(ps.unit + 1) + "/" +
+                      std::to_string(ps.count);
+          span.worker = ur.worker;
+          span.start_seconds = span_base + ur.assigned_seconds;
+          span.duration_seconds = ur.done_seconds - ur.assigned_seconds;
+          pr.spans.push_back(std::move(span));
+          auto& [busy, units] = worker_busy[ur.worker];
+          busy += ur.done_seconds - ur.assigned_seconds;
+          ++units;
+          queue_wait_seconds += ur.assigned_seconds;
+          if (ur.done_seconds > test_end) test_end = ur.done_seconds;
+        }
+        if (!ur.ran) {
+          ps.st = PlannedShard::St::kCrashed;
+          continue;
+        }
+        if (ur.from_spool) ++pr.spooled_shards;
+        ps.st = PlannedShard::St::kDone;
+        ps.text = std::move(ur.text);
+      }
+    }
+
+    // Merge this test's shards in shard order — shard order is DFS
+    // order, so the first falsifying shard's violations lead the merged
+    // list and the surfaced witness is the one serial DFS would have
+    // found first. Replayed and freshly computed shards merge from the
+    // same representation (result text), making resume transparent.
     bool test_exhausted = true;
     bool test_falsified = false;
     std::uint64_t test_fatals = 0;
     std::uint64_t crashed_here = 0;
     std::uint64_t recorded_here = 0;
-    double test_end = 0.0;
-    for (std::size_t u = 0; u < shard_count; ++u) {
-      const mc::UnitResult& ur = results[u];
-      if (ur.ran && !ur.from_spool && ur.done_seconds > ur.assigned_seconds) {
-        ShardSpan span;
-        span.name = b.name + "#" + std::to_string(i) + " shard " +
-                    std::to_string(u + 1) + "/" + std::to_string(shard_count);
-        span.worker = ur.worker;
-        span.start_seconds = span_base + ur.assigned_seconds;
-        span.duration_seconds = ur.done_seconds - ur.assigned_seconds;
-        pr.spans.push_back(std::move(span));
-        auto& [busy, units] = worker_busy[ur.worker];
-        busy += ur.done_seconds - ur.assigned_seconds;
-        ++units;
-        queue_wait_seconds += ur.assigned_seconds;
-        if (ur.done_seconds > test_end) test_end = ur.done_seconds;
-      }
-      if (!results[u].ran) {
+    for (std::size_t g = 0; g < all.size(); ++g) {
+      PlannedShard& ps = all[g];
+      if (ps.test != i) continue;
+      if (ps.st == PlannedShard::St::kCrashed) {
         ++crashed_here;
         test_exhausted = false;
         continue;
       }
-      if (results[u].from_spool) ++pr.spooled_shards;
       ShardResult sr;
       std::string err;
       // Preempted partial results are a distributed-coordinator concept;
       // fork_map workers run with no stop_request, so one here means the
       // spool was fed by a different transport — recompute as crashed.
-      if (!parse_shard_result(results[u].text, &sr, &err) ||
-          sr.stats.preempted) {
+      if (!parse_shard_result(ps.text, &sr, &err) || sr.stats.preempted) {
         std::fprintf(stderr,
                      "cds::harness: shard %zu of test %zu returned a "
                      "corrupt result (%s); treating as crashed\n",
-                     u, i, err.c_str());
+                     ps.unit, i, err.c_str());
         ++crashed_here;
         test_exhausted = false;
         continue;
@@ -170,12 +365,27 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
   }
   total.mc.verdict = total.verdict;
 
+  if (journal.is_open()) {
+    dist::JournalRecord done;
+    done.kind = dist::JournalRecord::Kind::kDone;
+    done.verdict = static_cast<std::uint64_t>(total.verdict);
+    std::string jerr;
+    if (!journal.append(done, &jerr)) {
+      std::fprintf(stderr, "cds::harness: %s\n", jerr.c_str());
+    }
+  }
+
   obs::Registry& M = total.metrics;
   M.gauge("parallel.jobs").set(static_cast<std::uint64_t>(pr.jobs));
   M.gauge("parallel.shards").set(pr.shards);
   M.gauge("parallel.crashed_shards").set(pr.crashed_shards);
   M.gauge("parallel.spooled_shards").set(pr.spooled_shards);
   M.gauge("parallel.probe_executions").set(pr.probe_executions);
+  M.gauge("parallel.epoch").set(pr.epoch);
+  M.gauge("parallel.resumed").set(pr.resumed ? 1 : 0);
+  M.gauge("parallel.replayed_shards").set(pr.replayed_shards);
+  M.gauge("parallel.journal_quarantined_bytes")
+      .set(pr.journal_quarantined_bytes);
   if (queue_wait_seconds > 0.0) {
     M.timer("parallel.shard_queue_wait")
         .add_ns(static_cast<std::uint64_t>(queue_wait_seconds * 1e9));

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/chaos.h"
 #include "harness/runner.h"
 
 namespace cds::harness {
@@ -45,6 +46,18 @@ struct ParallelOptions {
   // Test hook: SIGKILL the worker holding this shard index (applies to
   // every unit test; use single-test benchmarks in containment tests).
   std::ptrdiff_t sigkill_shard = -1;
+  // Write-ahead shard-outcome journal (dist/journal.h — same file format
+  // the distributed coordinator writes). Every shard outcome is durable
+  // before the merge consumes it; empty = no durability.
+  std::string journal_path;
+  // Replay an existing journal before running: shards it records are
+  // satisfied from their journaled results, only the rest recompute. A
+  // journal recorded under a different benchmark/config/shard plan sets
+  // ParallelRunResult::resume_error instead of merging incompatible
+  // state. With no journal on disk, --resume degrades to a fresh run.
+  bool resume = false;
+  // Coordinator-side fault injection (journal-append crash windows).
+  dist::CoordinatorChaos coord_chaos;
 };
 
 // Coordinator-side timing of one shard's stay on a worker, for the
@@ -65,11 +78,22 @@ struct ParallelRunResult {
   std::uint64_t spooled_shards = 0;  // satisfied from the spool directory
   std::uint64_t probe_executions = 0;
   std::vector<ShardSpan> spans;
+  // Durability (journal) bookkeeping.
+  std::uint64_t epoch = 0;            // this incarnation (0 = no journal)
+  bool resumed = false;               // a prior journal was replayed
+  std::uint64_t replayed_shards = 0;  // shards satisfied from the journal
+  std::uint64_t journal_quarantined_bytes = 0;  // torn-tail bytes set aside
+  // Non-empty: resume was rejected (journal recorded under a different
+  // benchmark, config fingerprint, or shard plan); nothing was run.
+  std::string resume_error;
 };
 
-// Parallel analog of run_benchmark(). Checkpoint/resume options in `opts`
-// are ignored (sharded runs do not checkpoint); the engine time budget, if
-// any, applies per shard rather than across the whole benchmark.
+// Parallel analog of run_benchmark(). The serial checkpoint options in
+// `opts` are ignored; sharded runs checkpoint through the write-ahead
+// journal (`ParallelOptions::journal_path`/`resume`) instead, replaying
+// completed shards to a bit-identical verdict and counter set. The
+// engine time budget, if any, applies per shard rather than across the
+// whole benchmark.
 ParallelRunResult run_benchmark_parallel(const Benchmark& b,
                                          const RunOptions& opts,
                                          const ParallelOptions& par);

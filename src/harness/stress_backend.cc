@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "spec/observed.h"
 #include "support/rng.h"
@@ -317,76 +319,193 @@ std::vector<mc::Choice> StressBackend::decision_trail() const {
   return out;
 }
 
-StressRunResult run_stress_per_runner(
-    const std::function<mc::TestFn(int r)>& make_test,
-    const StressOptions& opts, const StressIterationHook& hook) {
-  StressRunResult res;
-  const int runners = opts.threads_mult > 1 ? opts.threads_mult : 1;
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Everything a runner touches lives here, on the heap, shared with every
+// runner thread: a runner the watchdog abandoned may wake up long after
+// run_stress returned and must find its world still valid, notice the
+// abandoned flag, and exit without merging anything.
+struct StressRunCtx {
+  StressOptions opts;
+  std::function<mc::TestFn(int)> make_test;
+  StressIterationHook hook;
   std::atomic<std::uint64_t> next{0};
   std::atomic<std::uint64_t> done{0};
   std::atomic<bool> stop{false};
   std::mutex merge_mu;
-  const auto t0 = std::chrono::steady_clock::now();
+  StressRunResult res;
+  // Watchdog slots, one per runner. iter_plus1 is 0 between iterations;
+  // seed and start_ns are published before it (release) so a nonzero
+  // read (acquire) observes a consistent triple.
+  std::vector<std::atomic<std::uint64_t>> iter_plus1;
+  std::vector<std::atomic<std::uint64_t>> iter_start_ns;
+  std::vector<std::atomic<std::uint64_t>> iter_seed;
+  std::vector<std::atomic<bool>> abandoned;
+  std::vector<std::atomic<bool>> exited;
 
-  auto runner_body = [&](int r) {
-    mc::TestFn test = make_test(r);
-    StressBackend be(opts);
-    for (;;) {
-      if (stop.load(std::memory_order_relaxed)) break;
-      std::uint64_t it = next.fetch_add(1, std::memory_order_relaxed);
-      if (it >= opts.iters) break;
-      std::uint64_t iseed = support::derive_seed(opts.seed, it);
-      be.run_iteration(test, iseed);
+  StressRunCtx(int runners, const StressOptions& o,
+               std::function<mc::TestFn(int)> mk, StressIterationHook h)
+      : opts(o),
+        make_test(std::move(mk)),
+        hook(std::move(h)),
+        iter_plus1(static_cast<std::size_t>(runners)),
+        iter_start_ns(static_cast<std::size_t>(runners)),
+        iter_seed(static_cast<std::size_t>(runners)),
+        abandoned(static_cast<std::size_t>(runners)),
+        exited(static_cast<std::size_t>(runners)) {}
+};
 
-      std::uint64_t oc_histories = 0;
-      bool oc_capped = false;
-      if (opts.check_spec) {
-        spec::ObservedCheckResult oc = spec::check_observed_calls(
-            be.iteration_recorder().calls(), opts.max_histories);
-        oc_histories = oc.histories_checked;
-        oc_capped = oc.capped;
-        if (oc.violation) {
-          be.report_violation(mc::ViolationKind::kSpecAssertion,
-                              std::move(oc.detail));
-        }
-      }
-      done.fetch_add(1, std::memory_order_relaxed);
+void stress_runner(const std::shared_ptr<StressRunCtx>& ctx, int r) {
+  const auto rr = static_cast<std::size_t>(r);
+  mc::TestFn test = ctx->make_test(r);
+  StressBackend be(ctx->opts);
+  for (;;) {
+    if (ctx->stop.load(std::memory_order_relaxed)) break;
+    std::uint64_t it = ctx->next.fetch_add(1, std::memory_order_relaxed);
+    if (it >= ctx->opts.iters) break;
+    std::uint64_t iseed = support::derive_seed(ctx->opts.seed, it);
+    ctx->iter_seed[rr].store(iseed, std::memory_order_relaxed);
+    ctx->iter_start_ns[rr].store(mono_ns(), std::memory_order_relaxed);
+    ctx->iter_plus1[rr].store(it + 1, std::memory_order_release);
+    be.run_iteration(test, iseed);
+    ctx->iter_plus1[rr].store(0, std::memory_order_release);
+    if (ctx->abandoned[rr].load(std::memory_order_acquire)) {
+      // The watchdog gave up on this iteration while it was running;
+      // its outcome was already recorded as a hang, so merging it now
+      // would double-count — drop it and leave quietly.
+      ctx->exited[rr].store(true, std::memory_order_release);
+      return;
+    }
 
-      const auto& vs = be.iteration_violations();
-      {
-        std::lock_guard<std::mutex> lock(merge_mu);
-        res.stats.spec_histories_checked += oc_histories;
-        if (oc_capped) ++res.stats.spec_cap_hits;
-        res.stats.violations_total += vs.size();
-        for (const auto& kv : vs) {
-          if (res.violations.size() < StressRunResult::kMaxRecorded) {
-            StressViolation v;
-            v.kind = kv.first;
-            v.detail = kv.second;
-            v.iteration = it;
-            v.iter_seed = iseed;
-            v.decisions = be.decision_trail();
-            res.violations.push_back(std::move(v));
-          }
-        }
-        if (hook) hook(r, be);
-      }
-      if (!vs.empty() && opts.stop_on_first_violation) {
-        stop.store(true, std::memory_order_relaxed);
+    std::uint64_t oc_histories = 0;
+    bool oc_capped = false;
+    if (ctx->opts.check_spec) {
+      spec::ObservedCheckResult oc = spec::check_observed_calls(
+          be.iteration_recorder().calls(), ctx->opts.max_histories);
+      oc_histories = oc.histories_checked;
+      oc_capped = oc.capped;
+      if (oc.violation) {
+        be.report_violation(mc::ViolationKind::kSpecAssertion,
+                            std::move(oc.detail));
       }
     }
-  };
+    ctx->done.fetch_add(1, std::memory_order_relaxed);
 
-  if (runners == 1) {
-    runner_body(0);
+    const auto& vs = be.iteration_violations();
+    {
+      std::lock_guard<std::mutex> lock(ctx->merge_mu);
+      StressRunResult& res = ctx->res;
+      res.stats.spec_histories_checked += oc_histories;
+      if (oc_capped) ++res.stats.spec_cap_hits;
+      res.stats.violations_total += vs.size();
+      for (const auto& kv : vs) {
+        if (res.violations.size() < StressRunResult::kMaxRecorded) {
+          StressViolation v;
+          v.kind = kv.first;
+          v.detail = kv.second;
+          v.iteration = it;
+          v.iter_seed = iseed;
+          v.decisions = be.decision_trail();
+          res.violations.push_back(std::move(v));
+        }
+      }
+      if (ctx->hook) ctx->hook(r, be);
+    }
+    if (!vs.empty() && ctx->opts.stop_on_first_violation) {
+      ctx->stop.store(true, std::memory_order_relaxed);
+    }
+  }
+  ctx->exited[rr].store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+StressRunResult run_stress_per_runner(
+    const std::function<mc::TestFn(int r)>& make_test,
+    const StressOptions& opts, const StressIterationHook& hook) {
+  const int runners = opts.threads_mult > 1 ? opts.threads_mult : 1;
+  auto ctx = std::make_shared<StressRunCtx>(runners, opts, make_test, hook);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (opts.iteration_timeout_seconds <= 0) {
+    // No watchdog: the pre-watchdog join-unconditionally behavior (a
+    // deadlocked test body blocks forever).
+    if (runners == 1) {
+      stress_runner(ctx, 0);
+    } else {
+      std::vector<std::thread> rs;
+      rs.reserve(static_cast<std::size_t>(runners));
+      for (int r = 0; r < runners; ++r) rs.emplace_back(stress_runner, ctx, r);
+      for (std::thread& t : rs) t.join();
+    }
   } else {
+    // Watchdog: runners always get their own threads (so even a single
+    // runner can be abandoned), and this thread polls for iterations
+    // stuck past the timeout. An abandoned runner is detached — a
+    // deadlocked std::thread cannot be killed, so it leaks until
+    // process exit; StressRunCtx is heap-shared exactly so that leak is
+    // only the thread, never a dangling reference.
+    const auto timeout_ns =
+        static_cast<std::uint64_t>(opts.iteration_timeout_seconds * 1e9);
     std::vector<std::thread> rs;
     rs.reserve(static_cast<std::size_t>(runners));
-    for (int r = 0; r < runners; ++r) rs.emplace_back(runner_body, r);
-    for (std::thread& t : rs) t.join();
+    for (int r = 0; r < runners; ++r) rs.emplace_back(stress_runner, ctx, r);
+    std::vector<bool> joined(static_cast<std::size_t>(runners), false);
+    std::vector<bool> detached(static_cast<std::size_t>(runners), false);
+    for (;;) {
+      bool outstanding = false;
+      for (std::size_t r = 0; r < rs.size(); ++r) {
+        if (joined[r] || detached[r]) continue;
+        if (ctx->exited[r].load(std::memory_order_acquire)) {
+          rs[r].join();
+          joined[r] = true;
+          continue;
+        }
+        const std::uint64_t ip =
+            ctx->iter_plus1[r].load(std::memory_order_acquire);
+        if (ip != 0) {
+          const std::uint64_t started =
+              ctx->iter_start_ns[r].load(std::memory_order_relaxed);
+          const std::uint64_t now = mono_ns();
+          if (now > started && now - started > timeout_ns) {
+            ctx->abandoned[r].store(true, std::memory_order_release);
+            ctx->stop.store(true, std::memory_order_relaxed);
+            const std::uint64_t iseed =
+                ctx->iter_seed[r].load(std::memory_order_relaxed);
+            std::string diag =
+                "stress runner " + std::to_string(r) +
+                " stuck in iteration " + std::to_string(ip - 1) + " (seed " +
+                std::to_string(iseed) + ") past the " +
+                std::to_string(opts.iteration_timeout_seconds) +
+                "s watchdog; thread abandoned, verdict inconclusive";
+            std::fprintf(stderr, "cds::harness: %s\n", diag.c_str());
+            {
+              std::lock_guard<std::mutex> lock(ctx->merge_mu);
+              ++ctx->res.stats.hung_iterations;
+              ctx->res.hangs.push_back(std::move(diag));
+            }
+            rs[r].detach();
+            detached[r] = true;
+            continue;
+          }
+        }
+        outstanding = true;
+      }
+      if (!outstanding) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
   }
 
-  res.stats.iterations = done.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ctx->merge_mu);
+  StressRunResult res = ctx->res;
+  res.stats.iterations = ctx->done.load(std::memory_order_relaxed);
   res.stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

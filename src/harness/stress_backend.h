@@ -48,6 +48,14 @@ struct StressOptions {
   std::uint32_t max_locations = 4096;
   int max_threads = 32;  // per iteration, including the root thread
   bool stop_on_first_violation = false;
+  // Per-iteration watchdog: an iteration that runs longer than this is
+  // declared hung — its runner thread is abandoned (detached; it leaks
+  // until process exit, since a deadlocked std::thread cannot be
+  // killed), a diagnostic naming the iteration and seed lands in
+  // StressRunResult::hangs, and the run returns inconclusive instead of
+  // blocking forever on a deadlocked test body. 0 disables the watchdog
+  // (joins unconditionally, the pre-watchdog behavior).
+  double iteration_timeout_seconds = 60.0;
 };
 
 struct StressViolation {
@@ -66,14 +74,19 @@ struct StressStats {
   std::uint64_t violations_total = 0;
   std::uint64_t spec_histories_checked = 0;
   std::uint64_t spec_cap_hits = 0;  // iterations left unresolved by the cap
+  std::uint64_t hung_iterations = 0;  // abandoned by the watchdog
   double seconds = 0.0;
 };
 
 struct StressRunResult {
   StressStats stats;
   std::vector<StressViolation> violations;  // first kMaxRecorded only
+  // One diagnostic per iteration the watchdog abandoned (runner,
+  // iteration, seed): enough to replay the hang under a debugger.
+  std::vector<std::string> hangs;
   // kFalsified when any violation surfaced, else kInconclusive. Stress
-  // never verifies.
+  // never verifies — and a hang cannot falsify, only leave the verdict
+  // inconclusive with a diagnostic.
   mc::Verdict verdict = mc::Verdict::kInconclusive;
 
   static constexpr std::size_t kMaxRecorded = 16;
@@ -194,6 +207,9 @@ using StressIterationHook = std::function<void(int r, StressBackend&)>;
 // parallel (each with its own StressBackend). `test` must be re-entrant
 // when threads_mult > 1 — use run_stress_per_runner for closures with
 // per-run state (e.g. fuzz::Program::test_fn observation buffers).
+// With the watchdog enabled (iteration_timeout_seconds > 0), anything
+// `test` captures by reference must stay alive until process exit if a
+// hang is possible: an abandoned runner thread still holds the closure.
 StressRunResult run_stress(const mc::TestFn& test, const StressOptions& opts,
                            const StressIterationHook& hook = nullptr);
 

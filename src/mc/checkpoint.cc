@@ -128,6 +128,15 @@ const char* to_string(Checkpoint::Phase p) {
   return "?";
 }
 
+std::string render_config_fingerprint(const Config& cfg) {
+  std::ostringstream os;
+  os << "stale=" << cfg.stale_read_bound << " max_steps=" << cfg.max_steps
+     << " strengthen_sc=" << (cfg.strengthen_to_sc ? 1 : 0)
+     << " sleep_sets=" << (cfg.enable_sleep_sets ? 1 : 0)
+     << " seed=" << cfg.seed;
+  return os.str();
+}
+
 void Checkpoint::fingerprint_from(const Config& cfg) {
   seed = cfg.seed;
   stale_read_bound = cfg.stale_read_bound;

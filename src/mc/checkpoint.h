@@ -104,6 +104,12 @@ struct Checkpoint {
 
 [[nodiscard]] const char* to_string(Checkpoint::Phase p);
 
+// Canonical one-line rendering of the exploration-shaping config (the
+// same fields a Checkpoint/TrailFile pins as its fingerprint, plus the
+// seed). The dist journal checksums this string so a --resume under
+// changed parameters is rejected instead of merging incompatible shards.
+[[nodiscard]] std::string render_config_fingerprint(const Config& cfg);
+
 [[nodiscard]] std::string render_checkpoint(const Checkpoint& cp);
 bool parse_checkpoint(const std::string& text, Checkpoint* out,
                       std::string* err);

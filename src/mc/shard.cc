@@ -189,6 +189,7 @@ std::vector<UnitResult> fork_map(
         out[i].from_spool = true;
         out[i].text = std::move(text);
         done[i] = 1;
+        if (opts.on_result) opts.on_result(i, out[i]);
       } else if (quarantined) {
         // Partial write or bit rot: the file was renamed aside and the
         // unit will be recomputed below.
@@ -221,6 +222,7 @@ std::vector<UnitResult> fork_map(
       out[i].ran = true;
       done[i] = 1;
       spool_write(i);
+      if (opts.on_result) opts.on_result(i, out[i]);
     }
   };
 
@@ -350,6 +352,7 @@ std::vector<UnitResult> fork_map(
           out[idx].done_seconds = elapsed();
           done[idx] = 1;
           spool_write(idx);
+          if (opts.on_result) opts.on_result(idx, out[idx]);
           w.buf.erase(0, nl + 1 + len);
           w.assigned = -1;
           assign(w);
@@ -368,8 +371,10 @@ std::vector<UnitResult> fork_map(
         close(w.result_fd);
         w.result_fd = -1;
         if (w.assigned >= 0) {
-          done[static_cast<std::size_t>(w.assigned)] = 1;
-          out[static_cast<std::size_t>(w.assigned)].ran = false;
+          const auto idx = static_cast<std::size_t>(w.assigned);
+          done[idx] = 1;
+          out[idx].ran = false;
+          if (opts.on_result) opts.on_result(idx, out[idx]);
           w.assigned = -1;
         }
         if (w.pid > 0) {

@@ -71,21 +71,6 @@ bool prefix_dfs_less(const std::vector<Choice>& a,
 // fork_map: run N opaque work units across forked workers
 // ---------------------------------------------------------------------------
 
-struct ForkMapOptions {
-  int jobs = 1;
-  // When set, each unit's result text is persisted to
-  // "<spool_dir>/unit-<i>.result" (atomic write), and results already
-  // spooled there are reused instead of recomputed — the spool directory
-  // doubles as the fallback channel on platforms without fork (units run
-  // sequentially in-process, results still land in the spool) and as a
-  // crude resume for interrupted parallel runs. The caller must create the
-  // directory.
-  std::string spool_dir;
-  // Test hook: the worker assigned this unit raises SIGKILL instead of
-  // running it, exercising the coordinator's worker-crash containment.
-  std::ptrdiff_t sigkill_on_unit = -1;
-};
-
 struct UnitResult {
   // False = the worker process died (crashed/killed) while this unit was
   // assigned to it; `text` is empty and the unit was not retried, so a
@@ -99,6 +84,28 @@ struct UnitResult {
   double assigned_seconds = 0.0;
   double done_seconds = 0.0;
   int worker = -1;
+};
+
+struct ForkMapOptions {
+  int jobs = 1;
+  // When set, each unit's result text is persisted to
+  // "<spool_dir>/unit-<i>.result" (atomic write), and results already
+  // spooled there are reused instead of recomputed — the spool directory
+  // doubles as the fallback channel on platforms without fork (units run
+  // sequentially in-process, results still land in the spool) and as a
+  // crude resume for interrupted parallel runs. The caller must create the
+  // directory.
+  std::string spool_dir;
+  // Test hook: the worker assigned this unit raises SIGKILL instead of
+  // running it, exercising the coordinator's worker-crash containment.
+  std::ptrdiff_t sigkill_on_unit = -1;
+  // Invoked in the coordinating process the moment a unit reaches its
+  // final state — computed by a worker, satisfied from the spool, run
+  // inline, or crashed (`ran == false`). Callers use this to journal
+  // outcomes write-ahead of the merge; the callback runs before fork_map
+  // returns the unit to anyone else, so an fsync inside it orders the
+  // durable record strictly before consumption.
+  std::function<void(std::size_t, const UnitResult&)> on_result;
 };
 
 // Runs `work(i)` for every i in [0, n) and returns results indexed by

@@ -7,6 +7,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define CDS_SUPPORT_IO_POSIX 1
+#include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
 #endif
@@ -111,6 +112,36 @@ std::uint32_t crc32(const void* data, std::size_t len) {
 
 std::uint32_t crc32(const std::string& s) { return crc32(s.data(), s.size()); }
 
+bool fsync_dir(const std::string& dir) {
+#ifdef CDS_SUPPORT_IO_POSIX
+  int fd = -1;
+  do {
+    fd = open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  int rc;
+  do {
+    rc = fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  // Some filesystems refuse fsync on directory fds (EINVAL); treat that
+  // as "as durable as this platform gets" rather than an error.
+  const bool ok = rc == 0 || errno == EINVAL;
+  close(fd);
+  return ok;
+#else
+  (void)dir;
+  errno = ENOSYS;
+  return false;
+#endif
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return fsync_dir(".");
+  if (slash == 0) return fsync_dir("/");
+  return fsync_dir(path.substr(0, slash));
+}
+
 SigpipeIgnoreScope::SigpipeIgnoreScope() : old_action_(nullptr) {
 #ifdef CDS_SUPPORT_IO_POSIX
   auto* old_sa = new struct sigaction;
@@ -181,6 +212,14 @@ bool write_spool_file(const std::string& path, const std::string& text,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     if (err) *err = "rename to '" + path + "' failed: " + std::strerror(errno);
     std::remove(tmp.c_str());
+    return false;
+  }
+  // The new name is only durable once the directory itself is synced.
+  if (!fsync_parent_dir(path)) {
+    if (err) {
+      *err = "fsync of directory holding '" + path +
+             "' failed: " + std::strerror(errno);
+    }
     return false;
   }
   return true;

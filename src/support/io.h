@@ -40,6 +40,17 @@ long read_some(int fd, void* data, std::size_t len);
 std::uint32_t crc32(const void* data, std::size_t len);
 std::uint32_t crc32(const std::string& s);
 
+// Fsyncs the directory `dir`, making previously renamed/created entries
+// in it durable across power loss. A temp+rename is only atomic-durable
+// once the *directory* holding the new name has been synced; fsyncing
+// the file alone persists its bytes but not its name.
+bool fsync_dir(const std::string& dir);
+
+// Fsyncs the directory containing `path` ("." when `path` has no
+// directory component). Convenience wrapper around fsync_dir for
+// callers that hold the file path, not its directory.
+bool fsync_parent_dir(const std::string& path);
+
 // Ignores SIGPIPE for the scope's lifetime and restores the previous
 // disposition on exit. Any layer that writes to fds whose peer can die
 // (fork_map, the dist coordinator/worker) holds one of these around its

@@ -37,11 +37,12 @@ TEST(DistControlLine, RoundTripsEveryVerb) {
   EXPECT_EQ(c.kind, ControlLine::Kind::kHello);
   EXPECT_EQ(c.pid, 4242u);
 
-  ASSERT_TRUE(dist::parse_control_line(strip_nl(dist::render_welcome(1666666)),
-                                       &c, &err))
+  ASSERT_TRUE(dist::parse_control_line(
+      strip_nl(dist::render_welcome(1666666, 3)), &c, &err))
       << err;
   EXPECT_EQ(c.kind, ControlLine::Kind::kWelcome);
   EXPECT_EQ(c.heartbeat_us, 1666666u);
+  EXPECT_EQ(c.epoch, 3u);
 
   ASSERT_TRUE(
       dist::parse_control_line(strip_nl(dist::render_heartbeat(7)), &c, &err));

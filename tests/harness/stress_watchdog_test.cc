@@ -1,0 +1,99 @@
+// Stress watchdog (satellite): a test body that deadlocks under the
+// stress backend — a real std::thread wedged forever — must not hang the
+// whole run. The per-iteration watchdog abandons the stuck runner,
+// records a diagnostic naming the iteration and seed, and caps the
+// verdict at inconclusive; a hang can never falsify.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "harness/stress_backend.h"
+#include "mc/atomic.h"
+#include "mc/engine.h"
+#include "mc/sync.h"
+
+namespace cds {
+namespace {
+
+// Deterministic deadlock: the root body takes the lock, spawns a child
+// that wants it, and joins the child — both sides wait forever.
+void deadlocking_body(mc::Exec& x) {
+  auto* m = x.make<mc::Mutex>("wedge");
+  m->lock();
+  int t = x.spawn([m] { m->lock(); });
+  x.join(t);
+}
+
+TEST(StressWatchdogSlow, HungIterationIsAbandonedWithDiagnostic) {
+  harness::StressOptions opts;
+  opts.iters = 1;
+  opts.threads_mult = 1;
+  opts.seed = 77;
+  opts.iteration_timeout_seconds = 0.5;
+  harness::StressRunResult r = harness::run_stress(deadlocking_body, opts);
+
+  EXPECT_EQ(r.stats.hung_iterations, 1u);
+  ASSERT_EQ(r.hangs.size(), 1u);
+  // The diagnostic must carry enough to replay the hang under a debugger:
+  // the stuck iteration, its seed, and what happened to the thread.
+  EXPECT_NE(r.hangs[0].find("iteration"), std::string::npos) << r.hangs[0];
+  EXPECT_NE(r.hangs[0].find("seed"), std::string::npos) << r.hangs[0];
+  EXPECT_NE(r.hangs[0].find("watchdog"), std::string::npos) << r.hangs[0];
+  EXPECT_EQ(r.verdict, mc::Verdict::kInconclusive)
+      << "a hang leaves the verdict inconclusive, never falsified";
+  EXPECT_TRUE(r.violations.empty());
+}
+
+std::atomic<int> g_calls{0};
+
+// Wedges exactly one iteration (the third body invocation); the rest are
+// trivial and finish instantly.
+void deadlock_on_third_call(mc::Exec& x) {
+  auto* m = x.make<mc::Mutex>("wedge");
+  if (g_calls.fetch_add(1) == 2) {
+    m->lock();
+    int t = x.spawn([m] { m->lock(); });
+    x.join(t);
+  }
+}
+
+TEST(StressWatchdogSlow, HealthyRunnersFinishWhileOneHangs) {
+  // Two runners: the runner that is NOT stuck must keep draining and
+  // merging iterations while the watchdog abandons the wedged one.
+  g_calls.store(0);
+  harness::StressOptions opts;
+  opts.iters = 8;
+  opts.threads_mult = 2;
+  opts.seed = 5;
+  opts.iteration_timeout_seconds = 0.5;
+  harness::StressRunResult r =
+      harness::run_stress(deadlock_on_third_call, opts);
+  EXPECT_EQ(r.stats.hung_iterations, 1u);
+  EXPECT_EQ(r.verdict, mc::Verdict::kInconclusive);
+  EXPECT_GE(r.stats.iterations, 1u)
+      << "the healthy runner's completed iterations must still merge";
+  EXPECT_LT(r.stats.iterations, opts.iters)
+      << "the hung iteration never completes, so the full quota cannot merge";
+}
+
+TEST(StressWatchdog, NormalIterationsNeverTripTheWatchdog) {
+  harness::StressOptions opts;
+  opts.iters = 32;
+  opts.threads_mult = 2;
+  opts.iteration_timeout_seconds = 30.0;
+  harness::StressRunResult r = harness::run_stress(
+      [](mc::Exec& x) {
+        auto* a = x.make<mc::Atomic<int>>(0, "a");
+        int t = x.spawn([a] { a->store(1, mc::MemoryOrder::release); });
+        (void)a->load(mc::MemoryOrder::acquire);
+        x.join(t);
+      },
+      opts);
+  EXPECT_EQ(r.stats.hung_iterations, 0u);
+  EXPECT_TRUE(r.hangs.empty());
+  EXPECT_EQ(r.stats.iterations, opts.iters);
+}
+
+}  // namespace
+}  // namespace cds

@@ -245,6 +245,31 @@ TEST(SpoolRegression, TruncatedCachedShardResultIsRecomputedViaQuarantine) {
   EXPECT_LT(second.spooled_shards, second.shards);
 }
 
+// Directory-fsync helpers behind the spool's and journal's temp+rename
+// durability: a created file's *name* is only durable once its directory
+// has been synced. The positive paths must succeed on a real directory;
+// the negative paths must report failure, not crash, so callers can
+// degrade to non-durable operation with a warning.
+TEST(DirFsync, SyncsARealDirectoryAndAParentOfAFile) {
+  const std::string dir = testing::TempDir();
+  EXPECT_TRUE(support::fsync_dir(dir));
+  const std::string file = tmp_path("fsync-probe.txt");
+  {
+    std::ofstream f(file, std::ios::trunc);
+    f << "x";
+  }
+  EXPECT_TRUE(support::fsync_parent_dir(file));
+  // A bare filename has no directory component: "." is synced.
+  EXPECT_TRUE(support::fsync_parent_dir("bare-name-no-dir"));
+  std::remove(file.c_str());
+}
+
+TEST(DirFsync, MissingDirectoryFailsCleanly) {
+  EXPECT_FALSE(support::fsync_dir(tmp_path("no/such/dir/anywhere")));
+  EXPECT_FALSE(
+      support::fsync_parent_dir(tmp_path("no/such/dir/anywhere/file")));
+}
+
 #endif  // fork-capable platforms
 
 }  // namespace

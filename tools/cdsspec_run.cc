@@ -18,8 +18,9 @@
 // Flags: --cap N (execution cap), --stale N (stale-read bound),
 //        --timeout SECS (wall-clock budget; degrades to sampling),
 //        --mem-cap MB (memory budget), --seed N (RNG seed),
-//        --checkpoint FILE (periodic resumable snapshots),
-//        --resume (continue from the --checkpoint file),
+//        --checkpoint FILE (serial: periodic resumable snapshots;
+//            with --jobs/--dist-workers: write-ahead shard journal),
+//        --resume (continue from the --checkpoint file or journal),
 //        --trail-out FILE (write a .trail repro of the found violation),
 //        --jobs N (parallel sharded exploration over forked workers),
 //        --shard-depth N (prefix depth for --jobs shard enumeration),
@@ -82,6 +83,9 @@ void usage() {
       "       cdsspec-run --replay-trail FILE\n"
       "       cdsspec-run --worker ADDR [--progress[=SECS]]\n"
       "addresses: 'host:port' (TCP) or 'unix:PATH' (Unix-domain socket)\n"
+      "durability: with --jobs/--dist-workers, --checkpoint FILE names a\n"
+      "            write-ahead shard journal; --resume replays it after a\n"
+      "            crash to a bit-identical verdict and counter set\n"
       "exit codes: 0 verified-exhaustive, 1 violation found, 2 usage error\n"
       "            (also replay divergence / resume mismatch), 3 inconclusive\n");
 }
@@ -358,8 +362,15 @@ void print_result_json(const std::string& benchmark,
                 static_cast<unsigned long long>(par->shards));
     std::printf("    \"crashed_shards\": %llu,\n",
                 static_cast<unsigned long long>(par->crashed_shards));
-    std::printf("    \"probe_executions\": %llu\n",
+    std::printf("    \"probe_executions\": %llu,\n",
                 static_cast<unsigned long long>(par->probe_executions));
+    std::printf("    \"epoch\": %llu,\n",
+                static_cast<unsigned long long>(par->epoch));
+    std::printf("    \"resumed\": %s,\n", bstr(par->resumed));
+    std::printf("    \"replayed_shards\": %llu,\n",
+                static_cast<unsigned long long>(par->replayed_shards));
+    std::printf("    \"journal_quarantined_bytes\": %llu\n",
+                static_cast<unsigned long long>(par->journal_quarantined_bytes));
     std::printf("  },\n");
   }
   if (dist != nullptr) {
@@ -388,7 +399,17 @@ void print_result_json(const std::string& benchmark,
                 static_cast<unsigned long long>(dist->stale_results));
     std::printf("    \"corrupt_results\": %llu,\n",
                 static_cast<unsigned long long>(dist->corrupt_results));
-    std::printf("    \"fell_back_local\": %s\n", bstr(dist->fell_back_local));
+    std::printf("    \"fell_back_local\": %s,\n", bstr(dist->fell_back_local));
+    std::printf("    \"epoch\": %llu,\n",
+                static_cast<unsigned long long>(dist->epoch));
+    std::printf("    \"resumed\": %s,\n", bstr(dist->resumed));
+    std::printf("    \"replayed_shards\": %llu,\n",
+                static_cast<unsigned long long>(dist->replayed_shards));
+    std::printf("    \"fenced_results\": %llu,\n",
+                static_cast<unsigned long long>(dist->fenced_results));
+    std::printf("    \"journal_quarantined_bytes\": %llu\n",
+                static_cast<unsigned long long>(
+                    dist->journal_quarantined_bytes));
     std::printf("  },\n");
   }
   std::printf("  \"seed\": %llu,\n",
@@ -559,6 +580,9 @@ int main(int argc, char** argv) {
   double lease_secs = 5.0;
   std::uint64_t max_shard_retries_u = 3;
   std::uint64_t chaos_kill_u = 0;
+  std::uint64_t chaos_coord_kill_append_u = 0;
+  std::uint64_t chaos_coord_kill_merge_u = 0;
+  std::uint64_t chaos_coord_trunc_u = 0;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--sites") sites = true;
@@ -704,6 +728,21 @@ int main(int argc, char** argv) {
       if (!flag_value(argc, argv, &i, "--chaos-kill-assignment", &chaos_kill_u,
                       parse_u64))
         return kExitUsage;
+    } else if (a == "--chaos-coord-kill-append") {
+      // Undocumented test/CI hooks: coordinator-side crash injection in
+      // the journal's write-ahead windows (see dist/chaos.h). Each names
+      // the 1-based ordinal of a journal append by this incarnation.
+      if (!flag_value(argc, argv, &i, "--chaos-coord-kill-append",
+                      &chaos_coord_kill_append_u, parse_u64))
+        return kExitUsage;
+    } else if (a == "--chaos-coord-kill-merge") {
+      if (!flag_value(argc, argv, &i, "--chaos-coord-kill-merge",
+                      &chaos_coord_kill_merge_u, parse_u64))
+        return kExitUsage;
+    } else if (a == "--chaos-coord-truncate-tail") {
+      if (!flag_value(argc, argv, &i, "--chaos-coord-truncate-tail",
+                      &chaos_coord_trunc_u, parse_u64))
+        return kExitUsage;
     } else {
       std::fprintf(stderr, "cdsspec-run: unknown flag '%s'\n", a.c_str());
       usage();
@@ -734,20 +773,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cdsspec-run: --resume requires --checkpoint FILE\n");
     return kExitUsage;
   }
-  if (jobs_u > 1 && (sweep || dot || want_resume ||
-                     !opts.engine.checkpoint_path.empty())) {
+  // --checkpoint/--resume compose with --jobs and --dist-workers: there
+  // the file is the write-ahead shard journal (dist/journal.h) instead of
+  // the serial engine checkpoint, and --resume replays it.
+  if (jobs_u > 1 && (sweep || dot)) {
     std::fprintf(stderr,
-                 "cdsspec-run: --jobs applies to plain runs only; sharded "
-                 "runs do not checkpoint and --sweep/--dot stay serial\n");
+                 "cdsspec-run: --jobs applies to plain runs only; "
+                 "--sweep/--dot stay serial\n");
     return kExitUsage;
   }
   const bool dist_mode = dist_workers_u > 0 || !coordinator_addr.empty();
-  if (dist_mode && (jobs_u > 1 || sweep || dot || want_resume ||
-                    !opts.engine.checkpoint_path.empty())) {
+  if (dist_mode && (jobs_u > 1 || sweep || dot)) {
     std::fprintf(stderr,
                  "cdsspec-run: --dist-workers/--coordinator apply to plain "
-                 "runs only and are exclusive with --jobs, --sweep, --dot, "
-                 "--checkpoint and --resume\n");
+                 "runs only and are exclusive with --jobs, --sweep and "
+                 "--dot\n");
+    return kExitUsage;
+  }
+  const bool sharded_mode = jobs_u > 1 || dist_mode;
+  if (!sharded_mode &&
+      (chaos_coord_kill_append_u > 0 || chaos_coord_kill_merge_u > 0 ||
+       chaos_coord_trunc_u > 0)) {
+    std::fprintf(stderr,
+                 "cdsspec-run: --chaos-coord-* apply to --jobs/--dist-workers "
+                 "runs only\n");
     return kExitUsage;
   }
   const bool stress_mode = backend == "stress";
@@ -775,8 +824,10 @@ int main(int argc, char** argv) {
   // disk must not wedge the tool); a config mismatch is a hard error — the
   // checkpoint belongs to a run with different exploration parameters and
   // silently restarting would discard the user's intent.
+  // Sharded runs resume from the journal instead (below): the serial
+  // checkpoint format does not apply to them.
   cds::mc::Checkpoint resume_cp;
-  if (want_resume) {
+  if (want_resume && !sharded_mode) {
     std::string err;
     std::string text;
     if (!cds::mc::read_text_file(opts.engine.checkpoint_path, &text, &err)) {
@@ -1006,6 +1057,27 @@ int main(int argc, char** argv) {
   cds::harness::ParallelRunResult par;
   cds::dist::DistRunResult dist;
   const bool parallel = jobs_u > 1;
+  // In sharded modes --checkpoint names the shard journal, not a serial
+  // engine checkpoint — hand it to the coordinator and keep it out of the
+  // engine config forwarded to shard children.
+  std::string journal_path;
+  if (sharded_mode) {
+    journal_path = opts.engine.checkpoint_path;
+    opts.engine.checkpoint_path.clear();
+  }
+  cds::dist::CoordinatorChaos coord_chaos;
+  if (chaos_coord_kill_append_u > 0) {
+    coord_chaos.kill_after_append =
+        static_cast<std::ptrdiff_t>(chaos_coord_kill_append_u);
+  }
+  if (chaos_coord_kill_merge_u > 0) {
+    coord_chaos.kill_before_merge_on =
+        static_cast<std::ptrdiff_t>(chaos_coord_kill_merge_u);
+  }
+  if (chaos_coord_trunc_u > 0) {
+    coord_chaos.truncate_tail_after =
+        static_cast<std::ptrdiff_t>(chaos_coord_trunc_u);
+  }
   if (dist_mode) {
     cds::dist::DistOptions dopts;
     dopts.listen = coordinator_addr;
@@ -1015,17 +1087,31 @@ int main(int argc, char** argv) {
     dopts.shard_depth = static_cast<int>(shard_depth_u);
     dopts.worker_progress_interval_seconds =
         opts.engine.progress_interval_seconds;
+    dopts.journal_path = journal_path;
+    dopts.resume = want_resume;
+    dopts.coord_chaos = coord_chaos;
     if (chaos_kill_u > 0) {
       dopts.worker_chaos.kill_on_assignment =
           static_cast<std::ptrdiff_t>(chaos_kill_u);
     }
     dist = cds::dist::run_benchmark_distributed(*b, opts, dopts);
+    if (!dist.resume_error.empty()) {
+      std::fprintf(stderr, "cdsspec-run: %s\n", dist.resume_error.c_str());
+      return kExitUsage;
+    }
     r = std::move(dist.merged);
   } else if (parallel) {
     cds::harness::ParallelOptions popts;
     popts.jobs = static_cast<int>(jobs_u);
     popts.shard_depth = static_cast<int>(shard_depth_u);
+    popts.journal_path = journal_path;
+    popts.resume = want_resume;
+    popts.coord_chaos = coord_chaos;
     par = cds::harness::run_benchmark_parallel(*b, opts, popts);
+    if (!par.resume_error.empty()) {
+      std::fprintf(stderr, "cdsspec-run: %s\n", par.resume_error.c_str());
+      return kExitUsage;
+    }
     r = std::move(par.merged);
   } else {
     r = cds::harness::run_benchmark(*b, opts);
@@ -1053,6 +1139,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(dist.stale_results),
           static_cast<unsigned long long>(dist.corrupt_results),
           dist.fell_back_local ? " (fell back to local fork pool)" : "");
+      if (dist.epoch != 0) {
+        std::printf(
+            "journal: epoch=%llu%s replayed=%llu fenced=%llu "
+            "quarantined-bytes=%llu\n",
+            static_cast<unsigned long long>(dist.epoch),
+            dist.resumed ? " (resumed)" : "",
+            static_cast<unsigned long long>(dist.replayed_shards),
+            static_cast<unsigned long long>(dist.fenced_results),
+            static_cast<unsigned long long>(dist.journal_quarantined_bytes));
+      }
     }
     if (parallel) {
       std::printf("parallel: jobs=%d shards=%llu crashed=%llu "
@@ -1060,6 +1156,14 @@ int main(int argc, char** argv) {
                   par.jobs, static_cast<unsigned long long>(par.shards),
                   static_cast<unsigned long long>(par.crashed_shards),
                   static_cast<unsigned long long>(par.probe_executions));
+      if (par.epoch != 0) {
+        std::printf(
+            "journal: epoch=%llu%s replayed=%llu quarantined-bytes=%llu\n",
+            static_cast<unsigned long long>(par.epoch),
+            par.resumed ? " (resumed)" : "",
+            static_cast<unsigned long long>(par.replayed_shards),
+            static_cast<unsigned long long>(par.journal_quarantined_bytes));
+      }
     }
     print_result(r, reports);
   }
