@@ -1,0 +1,54 @@
+// The two widened litmus shapes the nightly benchmark artifacts report on.
+// Shared by parallel_scaling (BENCH_parallel.json) and checker_micro
+// (BENCH_engine.json) so both artifacts always describe the same programs.
+//
+// Widened variants of the seed corpus shapes (tests/corpus/): enough
+// threads and conflicting operations that the DFS tree dwarfs fork and
+// shard-probe overhead.
+#ifndef CDS_BENCH_BENCH_SHAPES_H
+#define CDS_BENCH_BENCH_SHAPES_H
+
+namespace cds_bench {
+
+struct Shape {
+  const char* name;
+  const char* text;
+};
+
+inline constexpr Shape kBenchShapes[] = {
+    {"mp_relacq_wide",
+     "litmus v1\n"
+     "locations 3\n"
+     "t0 store x 1 relaxed\n"
+     "t0 store y 1 release\n"
+     "t1 store z 1 release\n"
+     "t1 store x 2 relaxed\n"
+     "t2 load y acquire\n"
+     "t2 load x relaxed\n"
+     "t2 load z relaxed\n"
+     "t2 load x relaxed\n"
+     "t3 load z acquire\n"
+     "t3 load x relaxed\n"
+     "t3 load y relaxed\n"
+     "t3 load x relaxed\n"},
+    {"casloop_wide",
+     "litmus v1\n"
+     "locations 3\n"
+     "t0 cas x 0 1 acq_rel relaxed\n"
+     "t0 store y 1 release\n"
+     "t1 cas x 0 2 seq_cst acquire\n"
+     "t1 store z 1 release\n"
+     "t2 load y acquire\n"
+     "t2 load z relaxed\n"
+     "t2 load x relaxed\n"
+     "t2 load z relaxed\n"
+     "t3 load z acquire\n"
+     "t3 load y relaxed\n"
+     "t3 load x relaxed\n"
+     "t3 load y relaxed\n"
+     "t3 load z relaxed\n"},
+};
+
+}  // namespace cds_bench
+
+#endif  // CDS_BENCH_BENCH_SHAPES_H

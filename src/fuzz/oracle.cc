@@ -162,6 +162,7 @@ mc::Config engine_config(const OracleConfig& cfg, bool sampling_only) {
   ec.seed = cfg.seed;
   ec.sampling_only = sampling_only;
   ec.sample_executions = sampling_only ? cfg.sample_executions : 0;
+  ec.explore = cfg.explore;
   ec.unsound_hook = cfg.unsound_hook;
   return ec;
 }
@@ -241,7 +242,9 @@ McBehaviors mc_behaviors(const Program& p, const OracleConfig& cfg,
       auto stats = engine.explore(make_test(&obs));
       std::ostringstream os;
       os << "exhausted " << (stats.exhausted ? 1 : 0) << "\n"
-         << "executions " << stats.executions << "\n";
+         << "executions " << stats.executions << "\n"
+         << "rf_classes " << stats.rf_classes << "\n"
+         << "rf_infeasible " << stats.rf_infeasible << "\n";
       for (const std::string& b : shard_set) os << b << "\n";
       return os.str();
     };
@@ -262,7 +265,15 @@ McBehaviors mc_behaviors(const Program& p, const OracleConfig& cfg,
         if (line.substr(10) != "1") out.exhausted = false;
         if (std::getline(is, line) && line.rfind("executions ", 0) == 0) {
           out.executions += std::strtoull(line.c_str() + 11, nullptr, 10);
-          header_ok = true;
+          if (std::getline(is, line) && line.rfind("rf_classes ", 0) == 0) {
+            out.rf_classes += std::strtoull(line.c_str() + 11, nullptr, 10);
+            if (std::getline(is, line) &&
+                line.rfind("rf_infeasible ", 0) == 0) {
+              out.rf_infeasible +=
+                  std::strtoull(line.c_str() + 14, nullptr, 10);
+              header_ok = true;
+            }
+          }
         }
       }
       if (!header_ok) {
@@ -282,6 +293,8 @@ McBehaviors mc_behaviors(const Program& p, const OracleConfig& cfg,
   auto stats = engine.explore(p.test_fn(&obs));
   out.exhausted = stats.exhausted;
   out.executions = stats.executions;
+  out.rf_classes = stats.rf_classes;
+  out.rf_infeasible = stats.rf_infeasible;
   return out;
 }
 

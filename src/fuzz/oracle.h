@@ -57,6 +57,10 @@ struct OracleConfig {
   int jobs = 1;
   // Node cap for the brute-force interleaving enumerator.
   std::uint64_t max_interleaving_nodes = 4000000;
+  // Exploration equivalence (schedule vs reads-from classes); both modes
+  // must produce the same behavior set — the rf-vs-schedule differential
+  // tests run every oracle under each.
+  mc::ExploreMode explore = mc::ExploreMode::kSchedule;
   // Self-validation sabotage, threaded through to the engine.
   mc::UnsoundHook unsound_hook = mc::UnsoundHook::kNone;
 };
@@ -65,6 +69,10 @@ struct McBehaviors {
   BehaviorSet behaviors;
   bool exhausted = false;  // DFS enumerated the whole bounded tree
   std::uint64_t executions = 0;
+  // rf-mode class counters (0 under ExploreMode::kSchedule). Sharded runs
+  // sum them across shards, bit-identical to a serial run.
+  std::uint64_t rf_classes = 0;
+  std::uint64_t rf_infeasible = 0;
 };
 
 // Explores `p` to exhaustion (or, with sampling_only, draws the seeded

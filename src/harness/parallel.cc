@@ -222,6 +222,18 @@ ParallelRunResult run_benchmark_parallel(const Benchmark& b,
         std::string dir = par.spool_dir + "/t" + std::to_string(i);
         if (epoch != 0) dir += ".e" + std::to_string(epoch);
         if (ensure_dir(dir)) fm.spool_dir = dir;
+        // A spool entry from an older build passes the CRC footer but not
+        // today's wire schema; reuse it only if it parses, else fork_map
+        // quarantines it and the unit recomputes.
+        fm.accept_spooled = [](const std::string& text, std::string* why) {
+          ShardResult sr;
+          if (!parse_shard_result(text, &sr, why)) return false;
+          if (sr.stats.preempted) {
+            if (why) *why = "preempted partial result in spool";
+            return false;
+          }
+          return true;
+        };
       }
       if (journal.is_open()) {
         // WAL: each unit outcome is durable the moment the pool reports

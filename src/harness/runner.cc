@@ -125,6 +125,8 @@ void encode_prior(const RunResult& total, mc::Checkpoint* cp) {
   set("crash", total.mc.crash_execs);
   set("sampled", total.mc.sampled);
   set("violations_total", total.mc.violations_total);
+  set("rf_classes", total.mc.rf_classes);
+  set("rf_infeasible", total.mc.rf_infeasible);
   set("seconds_ms", static_cast<std::uint64_t>(total.mc.seconds * 1000.0));
   set("max_depth", total.mc.max_trail_depth);
   set("cap", total.mc.hit_execution_cap ? 1 : 0);
@@ -158,6 +160,8 @@ bool decode_prior(const mc::Checkpoint& cp, RunResult* total) {
   total->mc.crash_execs = get("crash");
   total->mc.sampled = get("sampled");
   total->mc.violations_total = get("violations_total");
+  total->mc.rf_classes = get("rf_classes");
+  total->mc.rf_infeasible = get("rf_infeasible");
   total->mc.seconds = static_cast<double>(get("seconds_ms")) / 1000.0;
   total->mc.max_trail_depth = get("max_depth");
   total->mc.hit_execution_cap = get("cap") != 0;
@@ -258,6 +262,8 @@ RunResult run_benchmark(const Benchmark& b, const RunOptions& opts) {
     total.mc.crash_execs += r.mc.crash_execs;
     total.mc.sampled += r.mc.sampled;
     total.mc.violations_total += r.mc.violations_total;
+    total.mc.rf_classes += r.mc.rf_classes;
+    total.mc.rf_infeasible += r.mc.rf_infeasible;
     total.mc.seconds += r.mc.seconds;
     total.mc.hit_execution_cap |= r.mc.hit_execution_cap;
     total.mc.hit_time_budget |= r.mc.hit_time_budget;

@@ -41,7 +41,7 @@ std::string unescape_line(const std::string& s) {
 
 std::string render_shard_result(const RunResult& r) {
   const mc::ExplorationStats& m = r.mc;
-  std::string s = "shard-result v3\n";
+  std::string s = "shard-result v4\n";
   s += "stats executions=" + std::to_string(m.executions) +
        " feasible=" + std::to_string(m.feasible) +
        " pruned_bound=" + std::to_string(m.pruned_bound) +
@@ -52,6 +52,8 @@ std::string render_shard_result(const RunResult& r) {
        " crash=" + std::to_string(m.crash_execs) +
        " violations_total=" + std::to_string(m.violations_total) +
        " sampled=" + std::to_string(m.sampled) +
+       " rf_classes=" + std::to_string(m.rf_classes) +
+       " rf_infeasible=" + std::to_string(m.rf_infeasible) +
        " max_depth=" + std::to_string(m.max_trail_depth) +
        " seconds_us=" +
        std::to_string(static_cast<std::uint64_t>(m.seconds * 1e6)) +
@@ -180,7 +182,7 @@ bool parse_shard_result(const std::string& text, ShardResult* out,
     return false;
   };
   const std::string* l = next();
-  if (l == nullptr || *l != "shard-result v3") {
+  if (l == nullptr || *l != "shard-result v4") {
     return fail("not a shard result (or a stale wire version)");
   }
   l = next();
@@ -202,6 +204,8 @@ bool parse_shard_result(const std::string& text, ShardResult* out,
                         {"crash", &m.crash_execs},
                         {"violations_total", &m.violations_total},
                         {"sampled", &m.sampled},
+                        {"rf_classes", &m.rf_classes},
+                        {"rf_infeasible", &m.rf_infeasible},
                         {"max_depth", &m.max_trail_depth},
                         {"seconds_us", &seconds_us},
                         {"cap", &cap},

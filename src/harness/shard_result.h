@@ -5,7 +5,7 @@
 // multi-line payloads (violation details, spec reports) are escaped onto
 // single lines so the whole message parses line-by-line:
 //
-//   shard-result v3
+//   shard-result v4
 //   stats executions=.. feasible=.. ... exhausted=0|1 preempted=0|1 verdict=0|1|2
 //   spec checked=.. inadmissible=.. ... r_cycle=0|1
 //   violations <n>
@@ -28,8 +28,11 @@
 // frontier), so the partial result plus the sub-shards' results cover
 // exactly the executions the undisturbed shard would have explored.
 // Complete shards always carry `preempted=0` and an empty frontier.
+// v4 adds the rf-mode class counters (rf_classes, rf_infeasible) to the
+// stats line; they merge by summation, so a --jobs/--dist-workers run
+// reports class counts bit-identical to a serial run.
 //
-// Parsing is strict-versioned: stale v1/v2 spool files are treated as
+// Parsing is strict-versioned: stale v1/v2/v3 spool files are treated as
 // corrupt (shard recomputed or crashed) rather than silently merged with
 // missing sections.
 #ifndef CDS_HARNESS_SHARD_RESULT_H

@@ -133,7 +133,7 @@ std::string render_config_fingerprint(const Config& cfg) {
   os << "stale=" << cfg.stale_read_bound << " max_steps=" << cfg.max_steps
      << " strengthen_sc=" << (cfg.strengthen_to_sc ? 1 : 0)
      << " sleep_sets=" << (cfg.enable_sleep_sets ? 1 : 0)
-     << " seed=" << cfg.seed;
+     << " explore=" << to_string(cfg.explore) << " seed=" << cfg.seed;
   return os.str();
 }
 
@@ -143,6 +143,7 @@ void Checkpoint::fingerprint_from(const Config& cfg) {
   max_steps = cfg.max_steps;
   strengthen_to_sc = cfg.strengthen_to_sc;
   enable_sleep_sets = cfg.enable_sleep_sets;
+  explore = cfg.explore;
   if (!cfg.test_name.empty()) test_name = cfg.test_name;
   test_index = cfg.test_index;
 }
@@ -157,6 +158,7 @@ std::string Checkpoint::fingerprint_mismatch(const Config& cfg) const {
   fp.max_steps = max_steps;
   fp.strengthen_to_sc = strengthen_to_sc;
   fp.enable_sleep_sets = enable_sleep_sets;
+  fp.explore = explore;
   return fp.fingerprint_mismatch(cfg);
 }
 
@@ -191,7 +193,8 @@ std::string render_checkpoint(const Checkpoint& cp) {
   os << "elapsed " << buf << '\n';
   os << "config stale=" << cp.stale_read_bound << " max_steps=" << cp.max_steps
      << " strengthen_sc=" << (cp.strengthen_to_sc ? 1 : 0)
-     << " sleep_sets=" << (cp.enable_sleep_sets ? 1 : 0) << '\n';
+     << " sleep_sets=" << (cp.enable_sleep_sets ? 1 : 0)
+     << " explore=" << (cp.explore == ExploreMode::kRf ? 1 : 0) << '\n';
   const ExplorationStats& st = cp.stats;
   os << "stats executions=" << st.executions << " feasible=" << st.feasible
      << " pruned_bound=" << st.pruned_bound
@@ -200,6 +203,7 @@ std::string render_checkpoint(const Checkpoint& cp) {
      << " builtin=" << st.builtin_violation_execs
      << " fatal=" << st.engine_fatal_execs << " crash=" << st.crash_execs
      << " violations=" << st.violations_total << " sampled=" << st.sampled
+     << " rf_classes=" << st.rf_classes << " rf_infeasible=" << st.rf_infeasible
      << " max_depth=" << st.max_trail_depth
      << " last_progress=" << cp.last_progress_exec << '\n';
   os << "flags cap=" << (st.hit_execution_cap ? 1 : 0)
@@ -293,12 +297,13 @@ bool parse_checkpoint(const std::string& text, Checkpoint* out,
     return need("'config ...'");
   }
   {
-    std::uint64_t stale = 0, steps = 0, sc = 0, sleeps = 0;
+    std::uint64_t stale = 0, steps = 0, sc = 0, sleeps = 0, explore = 0;
     if (!parse_kv_line(rest, "config",
                        {{"stale", &stale},
                         {"max_steps", &steps},
                         {"strengthen_sc", &sc},
-                        {"sleep_sets", &sleeps}},
+                        {"sleep_sets", &sleeps},
+                        {"explore", &explore}},
                        err)) {
       return false;
     }
@@ -306,6 +311,7 @@ bool parse_checkpoint(const std::string& text, Checkpoint* out,
     out->max_steps = steps;
     out->strengthen_to_sc = sc != 0;
     out->enable_sleep_sets = sleeps != 0;
+    out->explore = explore != 0 ? ExploreMode::kRf : ExploreMode::kSchedule;
   }
   ++i;
 
@@ -324,6 +330,8 @@ bool parse_checkpoint(const std::string& text, Checkpoint* out,
                       {"crash", &st.crash_execs},
                       {"violations", &st.violations_total},
                       {"sampled", &st.sampled},
+                      {"rf_classes", &st.rf_classes},
+                      {"rf_infeasible", &st.rf_infeasible},
                       {"max_depth", &st.max_trail_depth},
                       {"last_progress", &out->last_progress_exec}},
                      err)) {

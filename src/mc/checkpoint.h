@@ -14,14 +14,14 @@
 // start instead of a crash.
 //
 // Format (line-oriented, '#' comments, order fixed):
-//   cdsspec-checkpoint v2
+//   cdsspec-checkpoint v3
 //   test msqueue#1
 //   test_index 1
 //   seed 11400714819323198485
 //   phase dfs                       # start | dfs | sampling
 //   rng 88172645463325252
 //   elapsed 1.250000
-//   config stale=3 max_steps=20000 strengthen_sc=0 sleep_sets=1
+//   config stale=3 max_steps=20000 strengthen_sc=0 sleep_sets=1 explore=0
 //   stats executions=1000 feasible=940 ... last_progress=1000
 //   flags cap=0 time=0 mem=0 watchdog=0 exhausted=0 stopped=0
 //   violations 1
@@ -49,9 +49,12 @@
 namespace cds::mc {
 
 struct Checkpoint {
+  // v3: the exploration mode (--explore schedule|rf) joined the config
+  // fingerprint and the stats line gained the rf class counters; a v2
+  // checkpoint would resume with those counters silently zeroed.
   // v2: RNG stream change (rejection-sampled Xorshift64::below); resuming a
   // v1 sampling-phase checkpoint would not reproduce the interrupted run.
-  static constexpr int kVersion = 2;
+  static constexpr int kVersion = 3;
 
   // Where the interrupted run was:
   //   kStart    — about to begin this test from scratch (the harness writes
@@ -73,6 +76,7 @@ struct Checkpoint {
   std::uint64_t max_steps = 20000;
   bool strengthen_to_sc = false;
   bool enable_sleep_sets = true;
+  ExploreMode explore = ExploreMode::kSchedule;
 
   // Counters and flags of the current (partial) test. `seconds` and
   // `verdict` are recomputed on resume; the integer fields and budget

@@ -26,6 +26,28 @@ enum class UnsoundHook : std::uint8_t {
   kSleepSetNeverWakes,
 };
 
+// What the DFS branches on (see --explore).
+enum class ExploreMode : std::uint8_t {
+  // Branch on every scheduler choice point (plus reads-from picks):
+  // CDSChecker-style enumeration with sleep-set reduction.
+  kSchedule = 0,
+  // Reads-from equivalence (Tunç et al.): non-seq_cst atomic loads never
+  // branch the scheduler. They execute greedily at their earliest
+  // placement and branch only on their reads-from assignment, where a
+  // trailing "wait for the next same-location write" alternative stands in
+  // for every later placement. Each completed execution is the
+  // representative of one rf equivalence class; executions whose wait
+  // choices are never satisfied are infeasible classes, pruned and counted
+  // separately (ExplorationStats::rf_infeasible). Behavior sets, verdicts
+  // and per-class counters are identical to kSchedule's; only the number
+  // of explored executions shrinks.
+  kRf,
+};
+
+[[nodiscard]] inline const char* to_string(ExploreMode m) {
+  return m == ExploreMode::kRf ? "rf" : "schedule";
+}
+
 struct Config {
   // Hard cap on modeled threads per execution (including the test's root
   // thread).
@@ -58,6 +80,13 @@ struct Config {
   // Sleep-set partial-order reduction (sound; prunes redundant
   // interleavings). Disable only for ablation measurements.
   bool enable_sleep_sets = true;
+
+  // Equivalence relation the DFS enumerates representatives of. Part of
+  // the config fingerprint: trails, checkpoints and shard journals
+  // recorded in one mode never resume or replay under the other. Under
+  // strengthen_to_sc every load is seq_cst, so kRf degenerates to
+  // kSchedule (no load is ever deferred).
+  ExploreMode explore = ExploreMode::kSchedule;
 
   // The paper's Section 2 "Strengthen the Atomics" alternative: coerce
   // every atomic operation to seq_cst. Under this mode the relaxed

@@ -89,7 +89,8 @@ const char* to_string(TraceEvent::Kind k) {
 
 Engine* Engine::current() { return g_engine; }
 
-Engine::Engine(Config cfg) : cfg_(cfg) {
+Engine::Engine(Config cfg)
+    : cfg_(cfg), rf_mode_(cfg.explore == ExploreMode::kRf) {
   sched_fiber_.init_native();
   threads_.resize(static_cast<std::size_t>(cfg_.max_threads));
   for (Thread& t : threads_) t.fib = std::make_unique<fiber::Fiber>();
@@ -106,6 +107,10 @@ Engine::Engine(Config cfg) : cfg_(cfg) {
   m_rf_choice_points_ = &obs_.counter("engine.rf_choice_points");
   m_rf_candidates_ = &obs_.counter("engine.rf_candidates");
   m_sched_choice_points_ = &obs_.counter("engine.schedule_choice_points");
+  m_rf_classes_ = &obs_.counter("engine.rf_classes");
+  m_rf_infeasible_ = &obs_.counter("engine.rf_infeasible_prunes");
+  m_rf_deferred_reads_ = &obs_.counter("engine.rf_deferred_reads");
+  m_rf_wait_choices_ = &obs_.counter("engine.rf_wait_choices");
   m_trail_depth_ = &obs_.histogram("engine.trail_depth");
   m_rf_fanout_ = &obs_.histogram("engine.rf_fanout");
   m_mem_peak_ = &obs_.gauge("engine.mem_estimate_peak_bytes");
@@ -281,14 +286,29 @@ bool Engine::tally_execution(ExplorationStats& stats) {
     stats.max_trail_depth = trail_.depth();
   }
   bool keep_going = true;
+  // Each checkable execution in rf mode is one class representative (both
+  // clean completions and built-in-violation executions name a class —
+  // CDSChecker counts buggy executions as explored).
   switch (outcome_) {
     case Outcome::kComplete:
       ++stats.feasible;
+      if (rf_mode_) {
+        ++stats.rf_classes;
+        m_rf_classes_->add();
+      }
       if (listener_ != nullptr) keep_going = listener_->on_execution_complete(*this);
       break;
     case Outcome::kBuiltinViolation:
-      ++stats.feasible;  // CDSChecker counts buggy executions as explored
+      ++stats.feasible;
       ++stats.builtin_violation_execs;
+      if (rf_mode_) {
+        ++stats.rf_classes;
+        m_rf_classes_->add();
+      }
+      break;
+    case Outcome::kPrunedInfeasibleRf:
+      ++stats.rf_infeasible;
+      m_rf_infeasible_->add();
       break;
     case Outcome::kEngineFatal:
       ++stats.engine_fatal_execs;
@@ -413,6 +433,7 @@ ExplorationStats Engine::explore(const TestFn& test) {
   hit_time_budget_ = false;
   hit_memory_budget_ = false;
   resume_elapsed_ = 0.0;
+  frontier_frac_floor_ = 0.0;
   install_crash_handlers();
 
   std::uint64_t last_progress_exec = 0;
@@ -653,14 +674,13 @@ ExplorationStats Engine::explore(const TestFn& test) {
 double Engine::frontier_fraction() const {
   // The trail is a mixed-radix numeral: digit i has base num_i and value
   // chosen_i. Its fractional value is the share of the DFS tree strictly
-  // before the current leaf — a cheap, monotonically growing coverage
-  // estimate (exact when subtree sizes are uniform).
-  double frac = 0.0;
-  double scale = 1.0;
-  for (const Choice& c : trail_.raw()) {
-    scale /= static_cast<double>(c.num);
-    frac += static_cast<double>(c.chosen) * scale;
-  }
+  // before the current leaf — a cheap coverage estimate (exact when
+  // subtree sizes are uniform). frontier_fraction_of already clamps to
+  // [0, 1] and is monotone across advance(); the floor additionally pins
+  // monotonicity across restore()/resume boundaries within one explore().
+  double frac = frontier_fraction_of(trail_.raw());
+  if (frac < frontier_frac_floor_) return frontier_frac_floor_;
+  frontier_frac_floor_ = frac;
   return frac;
 }
 
@@ -733,6 +753,10 @@ void Engine::reset_execution_state() {
   fatal_abandon_ = false;
   trace_.clear();
   sleep_.clear();
+  if (rf_mode_) {
+    rf_.reset_execution();
+    rf_check_.reset();
+  }
   arena_.reset();
   trail_.begin_execution();
 }
@@ -772,6 +796,7 @@ void Engine::run_one(const TestFn& test) {
     int n = 0;
     bool any_yielded = false;
     bool any_blocked = false;
+    bool any_wait_read = false;
     for (int i = 0; i < spawned_; ++i) {
       switch (threads_[static_cast<std::size_t>(i)].status) {
         case ThreadStatus::kRunnable:
@@ -785,6 +810,9 @@ void Engine::run_one(const TestFn& test) {
         case ThreadStatus::kBlockedMutex:
           any_blocked = true;
           break;
+        case ThreadStatus::kBlockedRead:
+          any_wait_read = true;
+          break;
         case ThreadStatus::kDone:
         case ThreadStatus::kAbsent:
           break;
@@ -792,7 +820,14 @@ void Engine::run_one(const TestFn& test) {
     }
 
     if (n == 0) {
-      if (!any_yielded && !any_blocked) {
+      if (any_wait_read) {
+        // A load chose to read a message no remaining thread will write:
+        // this rf class is infeasible. Takes priority over deadlock and
+        // livelock classification — the non-wait sibling branch re-explores
+        // this state with the load resolved, so real deadlocks/livelocks
+        // are still reported there.
+        outcome_ = Outcome::kPrunedInfeasibleRf;
+      } else if (!any_yielded && !any_blocked) {
         outcome_ = Outcome::kComplete;
       } else if (any_yielded) {
         // Only spinners (and threads waiting on them) remain: an unfair
@@ -835,6 +870,24 @@ void Engine::run_one(const TestFn& test) {
       if (p.cls == PendingOp::Class::kInternal) {
         pick = enabled[i];
         break;
+      }
+    }
+    // rf mode, third sound reduction: a deferred (non-seq_cst) load never
+    // branches the schedule. Its only globally visible effect is which
+    // message it observes, and that is exactly what its kReadsFrom choice
+    // (plus the trailing wait alternative, standing in for every later
+    // placement) enumerates — so it runs greedily at its earliest
+    // placement. Seq_cst loads keep schedule branching: they read and
+    // advance the location's SC floors, which other threads observe.
+    if (pick < 0 && rf_mode_) {
+      for (int i = 0; i < n; ++i) {
+        const PendingOp& p =
+            threads_[static_cast<std::size_t>(enabled[i])].pending;
+        if (p.cls == PendingOp::Class::kRead && rf_defers_load(p.order)) {
+          pick = enabled[i];
+          m_rf_deferred_reads_->add();
+          break;
+        }
       }
     }
     if (pick < 0) {
@@ -903,6 +956,20 @@ void Engine::run_one(const TestFn& test) {
     if (abandoned_) {
       outcome_ = fatal_abandon_ ? Outcome::kEngineFatal : Outcome::kBuiltinViolation;
       break;
+    }
+  }
+
+  // Defense in depth for rf-class representatives: the operational
+  // construction only ever records constraint edges from earlier-executed
+  // to later-executed events, so a cycle here means the engine itself
+  // mis-built the class. Discard the execution as an internal error (which
+  // also taints any exhaustive-proof verdict) rather than checking it.
+  if (rf_mode_ && outcome_ == Outcome::kComplete) {
+    std::string why;
+    if (!rf_check_.validate(&why)) {
+      report_violation(ViolationKind::kEngineFatal,
+                       "rf-class constraints admit no linearization: " + why);
+      outcome_ = Outcome::kEngineFatal;
     }
   }
 }
@@ -1059,7 +1126,8 @@ void Engine::apply_read_sync(ThreadMMState& t, const Message& m, MemoryOrder o) 
 
 std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
                                 std::uint64_t exclude_value, bool use_exclude,
-                                bool* has_option) {
+                                bool* has_option, std::uint32_t min_ts,
+                                bool offer_wait, bool* chose_wait) {
   Location& L = locs_[loc];
   ThreadMMState& t = cur_mm();
   std::uint32_t floor = t.cur.view.get(loc);
@@ -1068,6 +1136,7 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
     floor = std::max(floor, L.sc_write_floor);
     floor = std::max(floor, L.sc_read_floor);
   }
+  if (min_ts > floor) floor = min_ts;
   std::uint32_t hi = L.last_ts();
   assert(floor <= hi);
   bool budget = t.stale_reads < cfg_.stale_read_bound;
@@ -1086,14 +1155,25 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
     if (i == floor) break;
   }
 
-  if (n == 0) {
+  // rf mode: one trailing alternative defers the read past the current
+  // history — "observe a message some thread has not written yet". It
+  // comes after every direct candidate so the all-greedy execution is the
+  // DFS's leftmost leaf.
+  const std::uint32_t extra = offer_wait ? 1u : 0u;
+  if (n + extra == 0) {
     *has_option = false;
     return 0;
   }
   m_rf_choice_points_->add();
-  m_rf_candidates_->add(n);
-  m_rf_fanout_->record(n);
-  std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, n);
+  m_rf_candidates_->add(n + extra);
+  m_rf_fanout_->record(n + extra);
+  std::uint32_t k = trail_.choose(ChoiceKind::kReadsFrom, n + extra);
+  if (offer_wait && k == n) {
+    m_rf_wait_choices_->add();
+    *chose_wait = true;
+    *has_option = true;
+    return 0;
+  }
   std::uint32_t idx = cands[k];
   if (idx != hi) ++t.stale_reads;
   *has_option = true;
@@ -1102,9 +1182,25 @@ std::uint32_t Engine::pick_read(std::uint32_t loc, MemoryOrder o,
 
 std::uint64_t Engine::atomic_load(std::uint32_t loc, MemoryOrder o) {
   if (cfg_.strengthen_to_sc) o = MemoryOrder::seq_cst;
-  park(PendingOp{PendingOp::Class::kRead, loc, nullptr});
+  park(PendingOp{PendingOp::Class::kRead, loc, nullptr, o});
+  // rf mode: a deferred load may pick the wait alternative, block until a
+  // store appends a new message, then re-pick among only the messages
+  // newer than the ones it declined (wait_floor) — possibly waiting again.
+  // Each iteration is one kReadsFrom trail digit, so replay and resume
+  // walk the same loop deterministically.
+  const bool deferred = rf_mode_ && rf_defers_load(o);
   bool has = false;
-  std::uint32_t idx = pick_read(loc, o, 0, false, &has);
+  std::uint32_t idx = 0;
+  for (;;) {
+    std::uint32_t min_ts =
+        deferred && rf_.waiting(current_) ? rf_.wait_floor(current_) : 0;
+    bool chose_wait = false;
+    idx = pick_read(loc, o, 0, false, &has, min_ts, deferred, &chose_wait);
+    if (!chose_wait) break;
+    rf_.begin_wait(current_, loc, locs_[loc].last_ts());
+    block(ThreadStatus::kBlockedRead);
+  }
+  if (deferred && rf_.waiting(current_)) rf_.end_wait(current_);
   assert(has);
   Location& L = locs_[loc];
   const Message& m = L.history[idx];
@@ -1124,6 +1220,7 @@ std::uint64_t Engine::atomic_load(std::uint32_t loc, MemoryOrder o) {
   } else {
     t.last_sc_index = 0;
   }
+  if (rf_mode_) rf_check_.on_read(current_, loc, idx, is_seq_cst(o));
   record(TraceEvent::Kind::kLoad, o, loc, m.value);
   return m.value;
 }
@@ -1174,6 +1271,21 @@ void Engine::append_store(std::uint32_t loc, std::uint64_t v, MemoryOrder o,
 
   L.history.push_back(std::move(m));
   if (heads_own) L.rs_heads.push_back(ReleaseSeqHead{tid, std::move(base)});
+  if (rf_mode_) {
+    rf_check_.on_write(tid, loc, ts, is_seq_cst(o));
+    // Wake every load waiting on this location: the message it deferred to
+    // may be this one (its re-pick is restricted to ts > wait floor).
+    if (rf_.any_waiting()) {
+      rf_woken_scratch_.clear();
+      rf_.notify_store(loc, rf_woken_scratch_);
+      for (int w : rf_woken_scratch_) {
+        Thread& u = threads_[static_cast<std::size_t>(w)];
+        if (u.status == ThreadStatus::kBlockedRead) {
+          u.status = ThreadStatus::kRunnable;
+        }
+      }
+    }
+  }
   wake_yielded(tid);
 }
 
@@ -1202,6 +1314,7 @@ std::uint64_t Engine::atomic_rmw(std::uint32_t loc, MemoryOrder o,
   ThreadMMState& t = cur_mm();
   apply_read_sync(t, tail, o);
   t.cur.view.raise(loc, tail.timestamp);
+  if (rf_mode_) rf_check_.on_read(current_, loc, tail.timestamp, is_seq_cst(o));
   append_store(loc, op(old, operand), o, /*is_rmw=*/true);
   record(TraceEvent::Kind::kRmw, o, loc, old);
   return old;
@@ -1265,6 +1378,9 @@ bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
     const Message& tail = L.latest();
     apply_read_sync(t, tail, success);
     t.cur.view.raise(loc, tail.timestamp);
+    if (rf_mode_) {
+      rf_check_.on_read(current_, loc, tail.timestamp, is_seq_cst(success));
+    }
     append_store(loc, desired, success, /*is_rmw=*/true);
     record(TraceEvent::Kind::kRmw, success, loc, desired);
     return true;
@@ -1288,6 +1404,7 @@ bool Engine::atomic_cas(std::uint32_t loc, std::uint64_t& expected,
     t.last_sc_index = 0;
   }
   expected = m.value;
+  if (rf_mode_) rf_check_.on_read(current_, loc, idx, is_seq_cst(failure));
   record(TraceEvent::Kind::kCasFail, failure, loc, m.value);
   return false;
 }
@@ -1309,6 +1426,7 @@ void Engine::atomic_thread_fence(MemoryOrder o) {
     t.cur.view.join(sc_view_);
     sc_view_.join(t.cur.view);
     t.last_sc_index = next_sc_index();
+    if (rf_mode_) rf_check_.on_fence(current_);
   } else {
     t.last_sc_index = 0;
   }

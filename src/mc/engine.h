@@ -29,6 +29,8 @@
 #include "mc/config.h"
 #include "mc/location.h"
 #include "mc/memory_order.h"
+#include "mc/rf_consistency.h"
+#include "mc/rf_explore.h"
 #include "mc/stats.h"
 #include "mc/thread_state.h"
 #include "mc/trail.h"
@@ -251,6 +253,9 @@ class Engine : public harness::Backend {
     Class cls = Class::kInternal;
     std::uint32_t loc = 0;
     const MutexState* mutex = nullptr;
+    // Declared memory order (after any strengthen_to_sc coercion); rf mode
+    // uses it to tell deferred (non-seq_cst) loads from branching ones.
+    MemoryOrder order = MemoryOrder::relaxed;
   };
 
   struct Thread {
@@ -299,9 +304,14 @@ class Engine : public harness::Backend {
   // Resolves which message a load observes (choice point); returns its
   // timestamp index. `exclude_value`/`use_exclude` implement failed-CAS
   // reads, which may only observe messages with value != expected.
+  // `min_ts` floors the candidates (rf mode: a woken waiter may only pick
+  // among the messages newer than the ones it declined); with `offer_wait`
+  // the choice gains one trailing "wait for the next same-location write"
+  // alternative, reported through `chose_wait`.
   std::uint32_t pick_read(std::uint32_t loc, MemoryOrder o,
                           std::uint64_t exclude_value, bool use_exclude,
-                          bool* has_option);
+                          bool* has_option, std::uint32_t min_ts,
+                          bool offer_wait, bool* chose_wait);
   std::uint32_t next_sc_index() { return ++sc_counter_; }
   void record(TraceEvent::Kind k, MemoryOrder o, std::uint32_t loc,
               std::uint64_t value);
@@ -310,6 +320,12 @@ class Engine : public harness::Backend {
     kRunning, kComplete, kPrunedBound, kPrunedLivelock, kPrunedRedundant,
     kBuiltinViolation, kEngineFatal,
     kCrash,  // test body took a fatal signal; contained, never checkable
+    // rf mode: some thread still waits for a same-location write that no
+    // remaining thread will perform — the chosen rf assignment names a
+    // message that never exists. An infeasible class, not a deadlock:
+    // every wait alternative has a non-wait sibling branch covering the
+    // real continuations (including real deadlocks).
+    kPrunedInfeasibleRf,
   };
 
   // Fiber fall-through recovery (installed as fiber::Fiber's handler).
@@ -330,7 +346,9 @@ class Engine : public harness::Backend {
   // armed a meter, so the disabled hot path is one null check.
   void beat_progress(const ExplorationStats& stats, const char* phase);
   // Estimated fraction of the DFS tree strictly before the current trail:
-  // the mixed-radix fraction of the trail's chosen/num digits.
+  // the mixed-radix fraction of the trail's chosen/num digits (see
+  // frontier_fraction_of in mc/trail.h), made monotone non-decreasing
+  // across one explore() via frontier_frac_floor_.
   [[nodiscard]] double frontier_fraction() const;
   // Trail overflow trampoline: routes an unrecordable choice fan-out into
   // engine_fatal, failing only the offending execution.
@@ -365,6 +383,14 @@ class Engine : public harness::Backend {
 
   Trail trail_;
   std::vector<SleepEntry> sleep_;
+  // Reads-from equivalence mode (cfg_.explore == ExploreMode::kRf): wait
+  // bookkeeping for deferred loads, the per-class constraint cross-check,
+  // and a wake scratch list. Under strengthen_to_sc every load is seq_cst,
+  // so rf mode degenerates to schedule-equivalent exploration naturally.
+  const bool rf_mode_;
+  RfExplorer rf_;
+  RfConsistencyChecker rf_check_;
+  std::vector<int> rf_woken_scratch_;
   // Reads-from candidate scratch, reused across choice points so the hot
   // path never allocates; sized by the visible history span, replacing a
   // fixed cap that silently dropped eligible writes past entry 128.
@@ -395,6 +421,11 @@ class Engine : public harness::Backend {
   // Frontier captured when cfg_.stop_request preempted the DFS.
   std::vector<Choice> preempt_frontier_;
 
+  // Highest frontier_fraction reported so far this explore(): floating-
+  // point rounding on deep trails must never make the progress estimate
+  // step backwards.
+  mutable double frontier_frac_floor_ = 0.0;
+
   // Checkpoint/resume state.
   std::optional<Checkpoint> resume_;
   Checkpoint cp_base_;
@@ -411,6 +442,10 @@ class Engine : public harness::Backend {
   obs::Counter* m_rf_choice_points_ = nullptr;
   obs::Counter* m_rf_candidates_ = nullptr;
   obs::Counter* m_sched_choice_points_ = nullptr;
+  obs::Counter* m_rf_classes_ = nullptr;
+  obs::Counter* m_rf_infeasible_ = nullptr;
+  obs::Counter* m_rf_deferred_reads_ = nullptr;
+  obs::Counter* m_rf_wait_choices_ = nullptr;
   obs::Histogram* m_trail_depth_ = nullptr;
   obs::Histogram* m_rf_fanout_ = nullptr;
   obs::Gauge* m_mem_peak_ = nullptr;

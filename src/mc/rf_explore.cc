@@ -1,0 +1,50 @@
+#include "mc/rf_explore.h"
+
+#include <cassert>
+
+namespace cds::mc {
+
+void RfExplorer::begin_wait(int tid, std::uint32_t loc, std::uint32_t last_ts) {
+  for (Wait& w : waits_) {
+    if (w.tid == tid) {
+      assert(w.loc == loc && "a thread waits on one location at a time");
+      assert(last_ts >= w.last_ts);
+      w.last_ts = last_ts;
+      return;
+    }
+  }
+  waits_.push_back(Wait{tid, loc, last_ts});
+}
+
+void RfExplorer::notify_store(std::uint32_t loc, std::vector<int>& woken) const {
+  for (const Wait& w : waits_) {
+    if (w.loc == loc) woken.push_back(w.tid);
+  }
+}
+
+bool RfExplorer::waiting(int tid) const {
+  for (const Wait& w : waits_) {
+    if (w.tid == tid) return true;
+  }
+  return false;
+}
+
+std::uint32_t RfExplorer::wait_floor(int tid) const {
+  for (const Wait& w : waits_) {
+    if (w.tid == tid) return w.last_ts + 1;
+  }
+  assert(false && "wait_floor queried for a thread that is not waiting");
+  return 0;
+}
+
+void RfExplorer::end_wait(int tid) {
+  for (std::size_t i = 0; i < waits_.size(); ++i) {
+    if (waits_[i].tid == tid) {
+      waits_[i] = waits_.back();
+      waits_.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace cds::mc

@@ -1,0 +1,71 @@
+// Reads-from equivalence exploration support (ExploreMode::kRf).
+//
+// In rf mode the DFS branches on reads-from assignments instead of every
+// scheduler choice point. Non-seq_cst atomic loads never enter schedule
+// branching: the scheduler runs them greedily at their earliest placement
+// (right after thread-local operations, before any branched pick), and each
+// such load's choice point gains one trailing "wait for the next
+// same-location write" alternative that stands in for every later
+// placement. A thread that takes the wait alternative blocks
+// (ThreadStatus::kBlockedRead) until a store appends a new message to the
+// location, then re-picks among the messages newer than the ones it
+// declined. Executions whose wait choices are never satisfied are
+// infeasible rf classes — pruned (Outcome::kPrunedInfeasibleRf), never
+// reported as deadlocks, because every wait alternative has a non-wait
+// sibling that covers the real continuations.
+//
+// This class owns the per-execution wait bookkeeping; the engine owns the
+// greedy scheduling itself and the class counters (see DESIGN.md
+// "Reads-from equivalence exploration" for the soundness argument).
+#ifndef CDS_MC_RF_EXPLORE_H
+#define CDS_MC_RF_EXPLORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/memory_order.h"
+
+namespace cds::mc {
+
+// True for loads the rf mode defers (greedy placement + wait alternative):
+// everything below seq_cst. SC loads keep full schedule branching because
+// they read and advance the global SC floors — their placement is visible
+// to other threads, so greedy placement would lose behaviors.
+[[nodiscard]] inline bool rf_defers_load(MemoryOrder o) {
+  return !is_seq_cst(o);
+}
+
+class RfExplorer {
+ public:
+  void reset_execution() { waits_.clear(); }
+
+  // `tid` took the wait alternative after declining every message up to
+  // and including `last_ts`. Re-arms (updates last_ts) if already waiting.
+  void begin_wait(int tid, std::uint32_t loc, std::uint32_t last_ts);
+
+  // A store appended a message to `loc`: appends every thread waiting on
+  // that location to `woken` (the engine flips them back to runnable;
+  // their wait record survives so the re-pick is floor-restricted).
+  void notify_store(std::uint32_t loc, std::vector<int>& woken) const;
+
+  [[nodiscard]] bool waiting(int tid) const;
+  // Smallest message timestamp `tid` may still observe: one past the
+  // newest message it declined by waiting.
+  [[nodiscard]] std::uint32_t wait_floor(int tid) const;
+  // The waited-on load resolved to a real message; drop the record.
+  void end_wait(int tid);
+
+  [[nodiscard]] bool any_waiting() const { return !waits_.empty(); }
+
+ private:
+  struct Wait {
+    int tid;
+    std::uint32_t loc;
+    std::uint32_t last_ts;  // newest message declined so far
+  };
+  std::vector<Wait> waits_;
+};
+
+}  // namespace cds::mc
+
+#endif  // CDS_MC_RF_EXPLORE_H

@@ -185,6 +185,17 @@ std::vector<UnitResult> fork_map(
       std::string text, err;
       bool quarantined = false;
       if (support::read_spool_file(path, &text, &err, &quarantined)) {
+        std::string why;
+        if (opts.accept_spooled && !opts.accept_spooled(text, &why)) {
+          // Intact on disk but not a payload this build can consume
+          // (typically a stale wire version): set it aside and recompute.
+          std::fprintf(stderr,
+                       "cds::mc::fork_map: rejecting spool entry %s (%s); "
+                       "quarantined\n",
+                       path.c_str(), why.c_str());
+          (void)std::rename(path.c_str(), (path + ".quarantined").c_str());
+          continue;
+        }
         out[i].ran = true;
         out[i].from_spool = true;
         out[i].text = std::move(text);

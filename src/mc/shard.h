@@ -96,6 +96,12 @@ struct ForkMapOptions {
   // crude resume for interrupted parallel runs. The caller must create the
   // directory.
   std::string spool_dir;
+  // When set, a spooled result is only reused if this returns true;
+  // rejected entries are quarantined (renamed aside, like a torn file)
+  // and recomputed. Callers use it to reject payloads written by an
+  // older wire version — the CRC footer proves integrity, not schema.
+  std::function<bool(const std::string& text, std::string* why)>
+      accept_spooled;
   // Test hook: the worker assigned this unit raises SIGKILL instead of
   // running it, exercising the coordinator's worker-crash containment.
   std::ptrdiff_t sigkill_on_unit = -1;

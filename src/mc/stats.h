@@ -20,6 +20,12 @@ struct ExplorationStats {
   std::uint64_t engine_fatal_execs = 0;  // discarded: internal checker error
   std::uint64_t crash_execs = 0;  // test body crashed; contained (kCrash)
   std::uint64_t violations_total = 0;  // built-in + spec-layer reports
+  // --- reads-from equivalence mode (Config::ExploreMode::kRf) ----------
+  // Both stay 0 under schedule mode. Like every other counter they are
+  // schedule-independent per subtree, so sharded merges stay bit-identical
+  // to serial runs.
+  std::uint64_t rf_classes = 0;     // feasible rf-class representatives
+  std::uint64_t rf_infeasible = 0;  // wait-starved (infeasible) rf classes
   bool hit_execution_cap = false;
   bool stopped_early = false;
   double seconds = 0.0;
@@ -63,6 +69,8 @@ inline void merge_shard_stats(ExplorationStats& into,
   into.engine_fatal_execs += shard.engine_fatal_execs;
   into.crash_execs += shard.crash_execs;
   into.violations_total += shard.violations_total;
+  into.rf_classes += shard.rf_classes;
+  into.rf_infeasible += shard.rf_infeasible;
   into.hit_execution_cap = into.hit_execution_cap || shard.hit_execution_cap;
   into.stopped_early = into.stopped_early || shard.stopped_early;
   into.seconds += shard.seconds;

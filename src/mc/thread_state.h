@@ -14,6 +14,7 @@ enum class ThreadStatus : std::uint8_t {
   kYielded,       // called yield(); deprioritized until another thread stores
   kBlockedJoin,   // waiting for a thread to finish
   kBlockedMutex,  // waiting for a mutex
+  kBlockedRead,   // rf mode: load chose to wait for a not-yet-written message
   kDone,
 };
 

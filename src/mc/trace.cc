@@ -116,6 +116,7 @@ void TrailFile::fingerprint_from(const Config& cfg) {
   max_steps = cfg.max_steps;
   strengthen_to_sc = cfg.strengthen_to_sc;
   enable_sleep_sets = cfg.enable_sleep_sets;
+  explore = cfg.explore;
   if (!cfg.test_name.empty()) test_name = cfg.test_name;
 }
 
@@ -125,6 +126,7 @@ void TrailFile::apply_fingerprint(Config* cfg) const {
   cfg->max_steps = max_steps;
   cfg->strengthen_to_sc = strengthen_to_sc;
   cfg->enable_sleep_sets = enable_sleep_sets;
+  cfg->explore = explore;
   cfg->test_name = test_name;
 }
 
@@ -152,6 +154,11 @@ std::string TrailFile::fingerprint_mismatch(const Config& cfg) const {
   if (cfg.enable_sleep_sets != enable_sleep_sets) {
     return mismatch("sleep_sets", enable_sleep_sets ? 1 : 0,
                     cfg.enable_sleep_sets ? 1 : 0);
+  }
+  if (cfg.explore != explore) {
+    return std::string("--explore mismatch: file was recorded under '") +
+           to_string(explore) + "', this run is '" + to_string(cfg.explore) +
+           "'";
   }
   return "";
 }
@@ -193,6 +200,9 @@ std::string render_trail(const TrailFile& t) {
   if (!t.kind.empty()) os << "kind " << t.kind << '\n';
   if (!t.detail.empty()) os << "detail " << flatten(t.detail) << '\n';
   if (!t.inject_site.empty()) os << "inject " << t.inject_site << '\n';
+  if (t.explore != ExploreMode::kSchedule) {
+    os << "explore " << to_string(t.explore) << '\n';
+  }
   os << "config stale=" << t.stale_read_bound << " max_steps=" << t.max_steps
      << " strengthen_sc=" << (t.strengthen_to_sc ? 1 : 0)
      << " sleep_sets=" << (t.enable_sleep_sets ? 1 : 0) << '\n';
@@ -263,6 +273,17 @@ bool parse_trail(const std::string& text, TrailFile* out, std::string* err) {
   if (i < lines.size() && take_keyword(line().text, "detail", &out->detail)) ++i;
   if (i < lines.size() &&
       take_keyword(line().text, "inject", &out->inject_site)) {
+    ++i;
+  }
+  if (i < lines.size() && take_keyword(line().text, "explore", &rest)) {
+    // Strict token set, and "schedule" normalizes to the absent default so
+    // parse(render(t)) round-trips exactly.
+    if (rest != "schedule" && rest != "rf") {
+      return fail_at(err, line().number,
+                     "unknown explore mode '" + rest +
+                         "' (this build replays 'schedule' and 'rf' trails)");
+    }
+    out->explore = rest == "rf" ? ExploreMode::kRf : ExploreMode::kSchedule;
     ++i;
   }
 

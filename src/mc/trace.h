@@ -18,6 +18,8 @@
 //   kind data-race                       # optional: wire_name(ViolationKind)
 //   detail read of 'head' races ...      # optional, newlines flattened
 //   inject msqueue/enqueue-tail-store    # optional: active injection site
+//   explore rf                           # optional: exploration mode; absent
+//                                        # means "schedule" (the default)
 //   config stale=3 max_steps=20000 strengthen_sc=0 sleep_sets=1
 //   choices 3
 //   S 1/2                                # schedule: chose 1 of 2
@@ -66,6 +68,13 @@ struct TrailFile {
   // named site before replaying, since the injected memory order shapes
   // the choice tree the trail indexes into.
   std::string inject_site;
+
+  // Exploration mode the trail was recorded under. rf-mode trails carry
+  // kReadsFrom choices with a trailing "wait" alternative and schedule
+  // trails never do, so replaying under the wrong mode desynchronizes;
+  // rendered as an optional "explore rf" line (absent for the default
+  // schedule mode, keeping pre-rf trails parseable unchanged).
+  ExploreMode explore = ExploreMode::kSchedule;
 
   // Config fingerprint: the exploration parameters that shape the choice
   // tree. Replaying under a different fingerprint would desynchronize the

@@ -31,6 +31,27 @@ struct Choice {
   std::uint16_t num;
 };
 
+// Mixed-radix progress estimate: the fraction of the DFS tree strictly
+// before `trail` (digit i contributes chosen_i with base num_i). Evaluated
+// Horner-style from the deepest digit up — each step computes
+// (chosen + f) / num with f in [0, 1], so deep or wide trails neither
+// underflow a running scale factor to zero (the old forward accumulation
+// saturated past ~1000 digits) nor overshoot: every step is monotone in f
+// and bounded by 1, which also makes the estimate non-decreasing across
+// Trail::advance() in floating point, not just in exact arithmetic. The
+// result is clamped to [0, 1].
+[[nodiscard]] inline double frontier_fraction_of(
+    const std::vector<Choice>& trail) {
+  double frac = 0.0;
+  for (std::size_t i = trail.size(); i-- > 0;) {
+    frac = (static_cast<double>(trail[i].chosen) + frac) /
+           static_cast<double>(trail[i].num);
+  }
+  if (frac < 0.0) return 0.0;
+  if (frac > 1.0) return 1.0;
+  return frac;
+}
+
 class Trail {
  public:
   // DFS enumerates the tree systematically; random is the fail-safe

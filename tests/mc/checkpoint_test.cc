@@ -3,6 +3,7 @@
 // and verdict of an uninterrupted one, in-process and across a SIGKILL.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -35,6 +36,7 @@ mc::Checkpoint full_checkpoint() {
   cp.max_steps = 4321;
   cp.strengthen_to_sc = true;
   cp.enable_sleep_sets = false;
+  cp.explore = mc::ExploreMode::kRf;
   cp.stats.executions = 1000;
   cp.stats.feasible = 940;
   cp.stats.pruned_bound = 10;
@@ -45,6 +47,8 @@ mc::Checkpoint full_checkpoint() {
   cp.stats.crash_execs = 1;
   cp.stats.violations_total = 3;
   cp.stats.sampled = 128;
+  cp.stats.rf_classes = 77;
+  cp.stats.rf_infeasible = 88;
   cp.stats.max_trail_depth = 42;
   cp.stats.hit_execution_cap = true;
   cp.stats.hit_time_budget = true;
@@ -78,6 +82,7 @@ void expect_equal(const mc::Checkpoint& a, const mc::Checkpoint& b) {
   EXPECT_EQ(a.max_steps, b.max_steps);
   EXPECT_EQ(a.strengthen_to_sc, b.strengthen_to_sc);
   EXPECT_EQ(a.enable_sleep_sets, b.enable_sleep_sets);
+  EXPECT_EQ(a.explore, b.explore);
   EXPECT_EQ(a.stats.executions, b.stats.executions);
   EXPECT_EQ(a.stats.feasible, b.stats.feasible);
   EXPECT_EQ(a.stats.pruned_bound, b.stats.pruned_bound);
@@ -88,6 +93,8 @@ void expect_equal(const mc::Checkpoint& a, const mc::Checkpoint& b) {
   EXPECT_EQ(a.stats.crash_execs, b.stats.crash_execs);
   EXPECT_EQ(a.stats.violations_total, b.stats.violations_total);
   EXPECT_EQ(a.stats.sampled, b.stats.sampled);
+  EXPECT_EQ(a.stats.rf_classes, b.stats.rf_classes);
+  EXPECT_EQ(a.stats.rf_infeasible, b.stats.rf_infeasible);
   EXPECT_EQ(a.stats.max_trail_depth, b.stats.max_trail_depth);
   EXPECT_EQ(a.stats.hit_execution_cap, b.stats.hit_execution_cap);
   EXPECT_EQ(a.stats.hit_time_budget, b.stats.hit_time_budget);
@@ -175,8 +182,12 @@ TEST(Checkpoint, CorruptedFieldsAreRejectedWithActionableErrors) {
     EXPECT_NE(err.find(expect_msg), std::string::npos)
         << "'" << from << "' -> '" << to << "': " << err;
   };
-  reject("cdsspec-checkpoint v2", "cdsspec-checkpoint v7",
+  reject("cdsspec-checkpoint v3", "cdsspec-checkpoint v7",
          "unsupported checkpoint version v7");
+  // A stale pre-rf checkpoint would resume with the rf class counters
+  // silently zeroed; the version gate turns that into a fresh start.
+  reject("cdsspec-checkpoint v3", "cdsspec-checkpoint v2",
+         "unsupported checkpoint version v2");
   reject("phase sampling", "phase lunch", "unknown phase");
   reject("executions=", "exekutions=", "unknown key");
   reject("feasible=940", "feasible=nine", "malformed value");
@@ -219,6 +230,12 @@ TEST(Checkpoint, FingerprintMismatchNamesTheFlag) {
   cfg.enable_sleep_sets = !cfg.enable_sleep_sets;
   EXPECT_NE(cp.fingerprint_mismatch(cfg).find("sleep_sets"),
             std::string::npos);
+  cfg.enable_sleep_sets = !cfg.enable_sleep_sets;
+  cfg.explore = mc::ExploreMode::kRf;
+  std::string msg = cp.fingerprint_mismatch(cfg);
+  EXPECT_NE(msg.find("--explore"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'schedule'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'rf'"), std::string::npos) << msg;
 }
 
 TEST(Checkpoint, FileIoAtomicWriteAndTornFileRejection) {
@@ -279,6 +296,8 @@ void expect_stats_converged(const mc::ExplorationStats& a,
   EXPECT_EQ(a.sampled, b.sampled);
   EXPECT_EQ(a.max_trail_depth, b.max_trail_depth);
   EXPECT_EQ(a.violations_total, b.violations_total);
+  EXPECT_EQ(a.rf_classes, b.rf_classes);
+  EXPECT_EQ(a.rf_infeasible, b.rf_infeasible);
   EXPECT_EQ(a.exhausted, b.exhausted);
   EXPECT_EQ(a.verdict, b.verdict);
 }
@@ -320,6 +339,90 @@ TEST(Checkpoint, DfsResumeConvergesToUninterruptedStats) {
   resumed.set_resume(cp);
   mc::ExplorationStats final_stats = resumed.explore(cyclic_body);
   expect_stats_converged(final_stats, base);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RfDfsResumeConvergesToUninterruptedStats) {
+  const std::string path = testing::TempDir() + "/checkpoint_rf_resume.ckpt";
+  std::remove(path.c_str());
+
+  mc::Config cfg;
+  cfg.test_name = "cp-rf#0";
+  cfg.explore = mc::ExploreMode::kRf;
+
+  mc::ExplorationStats base = mc::Engine(cfg).explore(cyclic_body);
+  ASSERT_TRUE(base.exhausted);
+  ASSERT_GT(base.rf_classes, 0u) << "rf mode must count class representatives";
+
+  mc::Config capped = cfg;
+  capped.checkpoint_path = path;
+  capped.checkpoint_every_execs = 5;
+  capped.max_executions = base.executions / 2;
+  mc::ExplorationStats partial = mc::Engine(capped).explore(cyclic_body);
+  ASSERT_TRUE(partial.hit_execution_cap);
+
+  mc::Checkpoint cp;
+  std::string err;
+  ASSERT_TRUE(mc::load_checkpoint_file(path, &cp, &err)) << err;
+  EXPECT_EQ(cp.explore, mc::ExploreMode::kRf);
+  EXPECT_EQ(cp.fingerprint_mismatch(cfg), "");
+  // A schedule-mode run must refuse the rf checkpoint outright.
+  mc::Config sched = cfg;
+  sched.explore = mc::ExploreMode::kSchedule;
+  EXPECT_NE(cp.fingerprint_mismatch(sched).find("--explore"),
+            std::string::npos);
+
+  // Resume without the cap: bit-identical stats, including the class
+  // counters (the interrupted prefix's classes carry over exactly).
+  mc::Engine resumed(cfg);
+  resumed.set_resume(cp);
+  expect_stats_converged(resumed.explore(cyclic_body), base);
+  std::remove(path.c_str());
+}
+
+// Sleep-set persistence audit (regression): sleep sets are per-execution
+// state rebuilt deterministically while the engine replays the trail
+// prefix, so nothing needs checkpointing — but a bug there would surface
+// as resumed pruned_redundant drifting from the baseline. Interrupt the
+// DFS at EVERY execution index in turn and resume; each resumed run must
+// reproduce the baseline counters exactly, on a body where sleep sets
+// actually prune (pruned_redundant > 0). "Sweep" routes it to the slow
+// label.
+TEST(CheckpointSweep, ResumeAtEveryDepthRebuildsSleepSetState) {
+  const std::string path = testing::TempDir() + "/checkpoint_sleep_sweep.ckpt";
+  mc::Config cfg;
+  cfg.test_name = "cp-sleep#0";
+
+  mc::ExplorationStats base = mc::Engine(cfg).explore(cyclic_body);
+  ASSERT_TRUE(base.exhausted);
+  ASSERT_GT(base.pruned_redundant, 0u)
+      << "body must exercise sleep-set pruning for the audit to have teeth";
+
+  // Sample a bounded set of interruption depths: each probe costs a capped
+  // run plus a full resume, so probing every depth would be quadratic in
+  // the body's execution count.
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, base.executions / 12);
+  for (std::uint64_t k = 1; k < base.executions; k += stride) {
+    std::remove(path.c_str());
+    mc::Config capped = cfg;
+    capped.checkpoint_path = path;
+    capped.checkpoint_every_execs = 1;
+    capped.max_executions = k;
+    mc::ExplorationStats partial = mc::Engine(capped).explore(cyclic_body);
+    ASSERT_TRUE(partial.hit_execution_cap) << "k=" << k;
+
+    mc::Checkpoint cp;
+    std::string err;
+    ASSERT_TRUE(mc::load_checkpoint_file(path, &cp, &err))
+        << "k=" << k << ": " << err;
+    mc::Engine resumed(cfg);
+    resumed.set_resume(cp);
+    mc::ExplorationStats final_stats = resumed.explore(cyclic_body);
+    EXPECT_EQ(final_stats.pruned_redundant, base.pruned_redundant)
+        << "k=" << k << ": sleep-set pruning diverged after resume";
+    expect_stats_converged(final_stats, base);
+  }
   std::remove(path.c_str());
 }
 

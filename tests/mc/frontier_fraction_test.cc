@@ -1,0 +1,117 @@
+// frontier_fraction_of (mc/trail.h): the mixed-radix DFS progress
+// estimate. Regression coverage for the precision bugs the Horner form
+// fixes: the old forward accumulation underflowed its running scale
+// factor to zero past ~1000 digits (deep trails reported 0% forever) and
+// could overshoot 1.0 via rounding. The estimate must stay in [0, 1] and
+// be non-decreasing across Trail::advance() on adversarial shapes — deep
+// chains, maximum fan-out, and mixed radices.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/trail.h"
+#include "support/rng.h"
+
+namespace cds::mc {
+namespace {
+
+std::vector<Choice> uniform_trail(std::size_t depth, std::uint16_t num,
+                                  std::uint16_t chosen) {
+  return std::vector<Choice>(depth, Choice{ChoiceKind::kSchedule, chosen, num});
+}
+
+TEST(FrontierFraction, EmptyTrailIsZero) {
+  EXPECT_EQ(frontier_fraction_of({}), 0.0);
+}
+
+TEST(FrontierFraction, ExactOnSmallMixedRadix) {
+  // Digits (chosen/num) = 1/2, 2/3, 1/2: the 11th of 12 leaves, so the
+  // fraction strictly before it is 11/12.
+  std::vector<Choice> t = {
+      Choice{ChoiceKind::kSchedule, 1, 2},
+      Choice{ChoiceKind::kReadsFrom, 2, 3},
+      Choice{ChoiceKind::kSchedule, 1, 2},
+  };
+  EXPECT_NEAR(frontier_fraction_of(t), 11.0 / 12.0, 1e-12);
+}
+
+TEST(FrontierFraction, DeepFirstLeafIsZeroAndLastLeafNearOne) {
+  // Depth 5000 at the uint16 maximum fan-out. The all-zeros trail is the
+  // first leaf (exactly 0); the all-max trail is the last leaf, whose
+  // "strictly before" fraction is 1 - 65535^-5000 — indistinguishable
+  // from 1 in double precision, and must neither exceed 1 nor collapse to
+  // 0 the way the underflowing accumulation did.
+  EXPECT_EQ(frontier_fraction_of(uniform_trail(5000, 65535, 0)), 0.0);
+  double last = frontier_fraction_of(uniform_trail(5000, 65535, 65534));
+  EXPECT_LE(last, 1.0);
+  EXPECT_GT(last, 0.9999);
+}
+
+TEST(FrontierFraction, MidpointKeepsLeadingDigitPrecision) {
+  // Only the first digit distinguishes these two trails. At depth 12 the
+  // separation (7^-11) is representable, so the order must be strict; at
+  // depth 4000 it genuinely rounds to a tie, but the estimates must still
+  // land on the boundary from the correct side instead of crossing it.
+  for (std::size_t depth : {std::size_t{12}, std::size_t{4000}}) {
+    std::vector<Choice> lo = uniform_trail(depth, 7, 6);
+    lo[0] = Choice{ChoiceKind::kSchedule, 0, 2};
+    std::vector<Choice> hi = uniform_trail(depth, 7, 0);
+    hi[0] = Choice{ChoiceKind::kSchedule, 1, 2};
+    EXPECT_LE(frontier_fraction_of(lo), 0.5) << depth;
+    EXPECT_GE(frontier_fraction_of(hi), 0.5) << depth;
+    if (depth == 12) {
+      EXPECT_LT(frontier_fraction_of(lo), frontier_fraction_of(hi)) << depth;
+    }
+  }
+}
+
+TEST(FrontierFraction, MonotoneAcrossAdvanceOnAdversarialShapes) {
+  // Drive Trail::advance() from several adversarial starting trails —
+  // deep, max fan-out, mixed radices, long saturated tails that advance()
+  // pops in bulk — and require the estimate never decreases and never
+  // leaves [0, 1]. This is the engine's exact usage: it evaluates the raw
+  // trail right after advance().
+  struct Start {
+    const char* label;
+    std::vector<Choice> trail;
+  };
+  std::vector<Start> starts;
+  starts.push_back({"deep binary", uniform_trail(5000, 2, 0)});
+  starts.push_back({"deep wide", uniform_trail(2000, 65535, 65530)});
+  {
+    // Saturated tail: every digit below 10 is at its maximum, so one
+    // advance() pops thousands of digits at once.
+    std::vector<Choice> t = uniform_trail(3000, 3, 2);
+    for (std::size_t i = 0; i < 10; ++i) t[i].chosen = 0;
+    starts.push_back({"bulk pop", std::move(t)});
+  }
+  {
+    support::Xorshift64 rng(0xF5u);
+    std::vector<Choice> t;
+    for (int i = 0; i < 4000; ++i) {
+      auto num = static_cast<std::uint16_t>(2 + rng.next() % 65534);
+      auto chosen = static_cast<std::uint16_t>(rng.next() % num);
+      t.push_back(Choice{ChoiceKind::kReadsFrom, chosen, num});
+    }
+    starts.push_back({"random radices", std::move(t)});
+  }
+
+  for (Start& s : starts) {
+    Trail trail;
+    trail.restore(std::move(s.trail));
+    double prev = frontier_fraction_of(trail.raw());
+    ASSERT_GE(prev, 0.0) << s.label;
+    ASSERT_LE(prev, 1.0) << s.label;
+    for (int step = 0; step < 20000 && trail.advance(); ++step) {
+      double f = frontier_fraction_of(trail.raw());
+      ASSERT_GE(f, prev) << s.label << " step " << step
+                         << ": estimate went backwards";
+      ASSERT_LE(f, 1.0) << s.label << " step " << step;
+      prev = f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cds::mc

@@ -25,6 +25,7 @@ TrailFile full_trail() {
   t.max_steps = 1234;
   t.strengthen_to_sc = true;
   t.enable_sleep_sets = false;
+  t.explore = ExploreMode::kRf;
   t.choices = {
       Choice{ChoiceKind::kSchedule, 1, 2},
       Choice{ChoiceKind::kReadsFrom, 0, 3},
@@ -44,6 +45,7 @@ void expect_equal(const TrailFile& a, const TrailFile& b) {
   EXPECT_EQ(a.max_steps, b.max_steps);
   EXPECT_EQ(a.strengthen_to_sc, b.strengthen_to_sc);
   EXPECT_EQ(a.enable_sleep_sets, b.enable_sleep_sets);
+  EXPECT_EQ(a.explore, b.explore);
   ASSERT_EQ(a.choices.size(), b.choices.size());
   for (std::size_t i = 0; i < a.choices.size(); ++i) {
     EXPECT_EQ(a.choices[i].kind, b.choices[i].kind) << "choice " << i;
@@ -85,6 +87,8 @@ TEST(Trace, RoundTripPropertyOverRandomTrails) {
     t.max_steps = rng.next() % 100000;
     t.strengthen_to_sc = rng.next() % 2 != 0;
     t.enable_sleep_sets = rng.next() % 2 != 0;
+    t.explore =
+        rng.next() % 2 != 0 ? ExploreMode::kRf : ExploreMode::kSchedule;
     std::size_t n = rng.next() % 40;
     for (std::size_t i = 0; i < n; ++i) {
       auto num = static_cast<std::uint16_t>(2 + rng.next() % 200);
@@ -246,6 +250,43 @@ TEST(Trace, UnknownBackendTokenIsRejected) {
   EXPECT_NE(err.find("unknown backend 'quantum'"), std::string::npos) << err;
 }
 
+TEST(Trace, ExploreScheduleTokenNormalizesToAbsent) {
+  // "explore schedule" is accepted for symmetry but normalizes to the
+  // default, and the renderer only emits the line for rf trails — so
+  // schedule-mode trails stay byte-identical to pre-rf ones.
+  TrailFile t = full_trail();
+  t.explore = ExploreMode::kSchedule;
+  std::string text = render_trail(t);
+  EXPECT_EQ(text.find("explore"), std::string::npos) << text;
+  text.insert(text.find("config "), "explore schedule\n");
+  TrailFile back;
+  std::string err;
+  ASSERT_TRUE(parse_trail(text, &back, &err)) << err;
+  EXPECT_EQ(back.explore, ExploreMode::kSchedule);
+  expect_equal(t, back);
+}
+
+TEST(Trace, RfTrailCarriesExploreLine) {
+  TrailFile t = full_trail();
+  std::string text = render_trail(t);
+  EXPECT_NE(text.find("explore rf"), std::string::npos) << text;
+  TrailFile back;
+  std::string err;
+  ASSERT_TRUE(parse_trail(text, &back, &err)) << err;
+  EXPECT_EQ(back.explore, ExploreMode::kRf);
+}
+
+TEST(Trace, UnknownExploreModeIsRejected) {
+  std::string text = render_trail(full_trail());
+  std::size_t at = text.find("explore rf");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 10, "explore povo");
+  TrailFile back;
+  std::string err;
+  EXPECT_FALSE(parse_trail(text, &back, &err));
+  EXPECT_NE(err.find("unknown explore mode"), std::string::npos) << err;
+}
+
 TEST(Trace, FileIoRoundTripsAndRejectsMissingFile) {
   const std::string path = testing::TempDir() + "/trace_test_roundtrip.trail";
   TrailFile t = full_trail();
@@ -270,6 +311,12 @@ TEST(Trace, FingerprintMismatchNamesTheFlag) {
   cfg.test_name = "other#0";
   EXPECT_NE(t.fingerprint_mismatch(cfg).find("test mismatch"),
             std::string::npos);
+  t.apply_fingerprint(&cfg);
+  cfg.explore = ExploreMode::kSchedule;
+  std::string msg = t.fingerprint_mismatch(cfg);
+  EXPECT_NE(msg.find("--explore"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'rf'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'schedule'"), std::string::npos) << msg;
 }
 
 }  // namespace

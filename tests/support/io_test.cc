@@ -190,13 +190,10 @@ TEST(FullIo, WriteToDeadPeerFailsWithEpipeNotASignal) {
   close(fds[1]);
 }
 
-TEST(SpoolRegression, TruncatedCachedShardResultIsRecomputedViaQuarantine) {
-  // End-to-end satellite regression: truncate a cached shard result in a
-  // parallel spool dir mid-file; the rerun must quarantine it, recompute
-  // the shard, and still produce the exhaustive verdict.
+harness::Benchmark spool_bench(const char* name) {
   harness::Benchmark bench;
-  bench.name = "spool-truncation-regression";
-  bench.display = "Spool truncation (synthetic)";
+  bench.name = name;
+  bench.display = "Spool regression (synthetic)";
   bench.spec = nullptr;
   bench.tests.push_back([](mc::Exec& x) {
     auto* a = x.make<mc::Atomic<int>>(0, "a");
@@ -212,8 +209,20 @@ TEST(SpoolRegression, TruncatedCachedShardResultIsRecomputedViaQuarantine) {
     x.join(t1);
     x.join(t2);
   });
+  return bench;
+}
 
-  const std::string spool = testing::TempDir() + "spool_regression_dir";
+TEST(SpoolRegression, TruncatedCachedShardResultIsRecomputedViaQuarantine) {
+  // End-to-end satellite regression: truncate a cached shard result in a
+  // parallel spool dir mid-file; the rerun must quarantine it, recompute
+  // the shard, and still produce the exhaustive verdict.
+  harness::Benchmark bench = spool_bench("spool-truncation-regression");
+
+  // Keyed by pid: TempDir persists across test-binary invocations, and a
+  // spool left by an OLDER BUILD would otherwise feed this run stale-wire
+  // payloads (that case has its own test below).
+  const std::string spool = testing::TempDir() + "spool_regression_dir." +
+                            std::to_string(getpid());
   harness::RunOptions opts;
   harness::ParallelOptions par;
   par.jobs = 2;
@@ -240,6 +249,45 @@ TEST(SpoolRegression, TruncatedCachedShardResultIsRecomputedViaQuarantine) {
   EXPECT_EQ(second.crashed_shards, 0u);
   // The torn entry must have been preserved for inspection, and the other
   // (intact) entries reused from the spool.
+  EXPECT_TRUE(exists(victim + ".quarantined"));
+  EXPECT_GT(second.spooled_shards, 0u);
+  EXPECT_LT(second.spooled_shards, second.shards);
+}
+
+TEST(SpoolRegression, StaleWireVersionSpoolEntryIsQuarantinedAndRecomputed) {
+  // A spool entry left by an older build has a valid CRC footer but a
+  // payload today's shard-result parser rejects. It must be treated like
+  // corruption — quarantined and recomputed — not merged (silently wrong)
+  // or counted as a crashed shard (verdict destroyed).
+  harness::Benchmark bench = spool_bench("spool-stale-wire-regression");
+
+  const std::string spool = testing::TempDir() + "spool_stale_wire_dir." +
+                            std::to_string(getpid());
+  harness::RunOptions opts;
+  harness::ParallelOptions par;
+  par.jobs = 2;
+  par.spool_dir = spool;
+
+  harness::ParallelRunResult first =
+      harness::run_benchmark_parallel(bench, opts, par);
+  ASSERT_EQ(first.merged.verdict, mc::Verdict::kVerifiedExhaustive);
+  ASSERT_GT(first.shards, 1u);
+
+  // Replace one cached result with a well-formed spool file whose payload
+  // speaks the previous wire version.
+  const std::string victim = spool + "/t0/unit-0.result";
+  ASSERT_FALSE(slurp(victim).empty()) << victim;
+  std::string err;
+  ASSERT_TRUE(support::write_spool_file(
+      victim, "shard-result v3\nstats executions=10 exhausted=1\nend\n",
+      &err))
+      << err;
+
+  harness::ParallelRunResult second =
+      harness::run_benchmark_parallel(bench, opts, par);
+  EXPECT_EQ(second.merged.verdict, mc::Verdict::kVerifiedExhaustive);
+  EXPECT_EQ(second.merged.mc.executions, first.merged.mc.executions);
+  EXPECT_EQ(second.crashed_shards, 0u);
   EXPECT_TRUE(exists(victim + ".quarantined"));
   EXPECT_GT(second.spooled_shards, 0u);
   EXPECT_LT(second.spooled_shards, second.shards);

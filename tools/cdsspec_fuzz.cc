@@ -2,7 +2,7 @@
 // engine (the correctness-tooling layer: the checker checking itself).
 //
 //   cdsspec-fuzz --trials N [--seed S] [--timeout SECS] [--out DIR] [--json]
-//                [--jobs N] [--metrics-out FILE]
+//                [--jobs N] [--metrics-out FILE] [--explore schedule|rf]
 //   cdsspec-fuzz --replay FILE...        re-check repro/corpus programs
 //   cdsspec-fuzz --replay-dir DIR        re-check every *.litmus in DIR
 //
@@ -62,6 +62,7 @@ void usage() {
       "usage: cdsspec-fuzz --trials N [--seed S] [--timeout SECS]\n"
       "                    [--out DIR] [--json] [--unsound-hook NAME]\n"
       "                    [--jobs N] [--metrics-out FILE]\n"
+      "                    [--explore schedule|rf]\n"
       "                    [--cross-backend] [--stress-iters N]\n"
       "                    [--herd-out DIR]\n"
       "       cdsspec-fuzz --replay FILE... / --replay-dir DIR\n"
@@ -494,6 +495,23 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--herd-out") {
       ex.herd_out = value("--herd-out");
+    } else if (a == "--explore") {
+      // Runs every oracle with the engine in the given exploration mode;
+      // `rf` makes the whole differential campaign exercise the rf-class
+      // enumerator against the brute-force / monotonicity / sampling
+      // oracles (the CI equality job runs both modes on the same seeds).
+      std::string mode = value("--explore");
+      if (mode == "schedule") {
+        cfg.explore = cds::mc::ExploreMode::kSchedule;
+      } else if (mode == "rf") {
+        cfg.explore = cds::mc::ExploreMode::kRf;
+      } else {
+        std::fprintf(stderr,
+                     "cdsspec-fuzz: --explore must be 'schedule' or 'rf', "
+                     "not '%s'\n",
+                     mode.c_str());
+        return kExitUsage;
+      }
     } else if (a == "--unsound-hook") {
       std::string h = value("--unsound-hook");
       if (h == "sc-floor") {

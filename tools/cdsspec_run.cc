@@ -15,7 +15,11 @@
 // schedules, so they never verify: the verdict is falsified (exit 1) or
 // inconclusive (exit 3), never verified-exhaustive.
 //
-// Flags: --cap N (execution cap), --stale N (stale-read bound),
+// Flags: --explore schedule|rf (branch on scheduler choices — the default —
+//            or on reads-from classes: one representative execution per
+//            (rf,mo,sc) class, typically far fewer executions for the same
+//            behavior set; see mc/rf_explore.h),
+//        --cap N (execution cap), --stale N (stale-read bound),
 //        --timeout SECS (wall-clock budget; degrades to sampling),
 //        --mem-cap MB (memory budget), --seed N (RNG seed),
 //        --checkpoint FILE (serial: periodic resumable snapshots;
@@ -71,7 +75,7 @@ void usage() {
       "usage: cdsspec-run --list\n"
       "       cdsspec-run <benchmark> [--inject I | --sites | --sweep]\n"
       "                   [--backend model|stress] [--iters N]\n"
-      "                   [--threads-mult R]\n"
+      "                   [--threads-mult R] [--explore schedule|rf]\n"
       "                   [--cap N] [--stale N] [--timeout SECS] [--mem-cap MB]\n"
       "                   [--seed N] [--checkpoint FILE] [--resume]\n"
       "                   [--trail-out FILE] [--json] [--no-sleep-sets]\n"
@@ -324,6 +328,14 @@ void print_result(const cds::harness::RunResult& r, bool reports) {
       static_cast<unsigned long long>(r.mc.pruned_bound),
       static_cast<unsigned long long>(r.mc.pruned_redundant),
       static_cast<unsigned long long>(r.mc.engine_fatal_execs));
+  if (r.mc.rf_classes > 0 || r.mc.rf_infeasible > 0) {
+    // rf mode only: each class is one representative execution of a
+    // distinct (rf,mo,sc) equivalence class; infeasible counts wait
+    // branches no later write ever satisfied.
+    std::printf("rf-classes=%llu rf-infeasible=%llu\n",
+                static_cast<unsigned long long>(r.mc.rf_classes),
+                static_cast<unsigned long long>(r.mc.rf_infeasible));
+  }
   std::printf(
       "histories=%llu justifications=%llu  violations: builtin=%s "
       "admissibility=%s assertion=%s (total %llu)\n",
@@ -429,6 +441,10 @@ void print_result_json(const std::string& benchmark,
               static_cast<unsigned long long>(r.mc.pruned_livelock));
   std::printf("    \"pruned_redundant\": %llu,\n",
               static_cast<unsigned long long>(r.mc.pruned_redundant));
+  std::printf("    \"rf_classes\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.rf_classes));
+  std::printf("    \"rf_infeasible\": %llu,\n",
+              static_cast<unsigned long long>(r.mc.rf_infeasible));
   std::printf("    \"max_trail_depth\": %llu,\n",
               static_cast<unsigned long long>(r.mc.max_trail_depth));
   std::printf("    \"exhausted\": %s\n", bstr(r.mc.exhausted));
@@ -674,6 +690,21 @@ int main(int argc, char** argv) {
                      "cdsspec-run: --backend must be 'model' or 'stress', "
                      "not '%s'\n",
                      backend.c_str());
+        return kExitUsage;
+      }
+    } else if (a == "--explore") {
+      std::string mode;
+      if (!flag_str(argc, argv, &i, "--explore", &mode))
+        return kExitUsage;
+      if (mode == "schedule") {
+        opts.engine.explore = cds::mc::ExploreMode::kSchedule;
+      } else if (mode == "rf") {
+        opts.engine.explore = cds::mc::ExploreMode::kRf;
+      } else {
+        std::fprintf(stderr,
+                     "cdsspec-run: --explore must be 'schedule' or 'rf', "
+                     "not '%s'\n",
+                     mode.c_str());
         return kExitUsage;
       }
     } else if (a == "--iters") {
